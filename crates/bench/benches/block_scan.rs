@@ -1,0 +1,59 @@
+//! Criterion benchmark for Data Block scans: SARGable predicate evaluation on
+//! compressed data vs the bit-packed baseline, and point accesses (Table 3 flavour).
+
+use bitpack::BitPackedColumn;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datablocks::builder::{freeze, int_column};
+use datablocks::{scan_collect, Restriction, ScanOptions};
+
+fn bench_scan(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let values: Vec<i64> = {
+        let mut x = 7u64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 65_537) as i64
+            })
+            .collect()
+    };
+    let block = freeze(&[int_column(values.clone())]);
+    let packed = BitPackedColumn::pack(&values.iter().map(|&v| v as u32).collect::<Vec<_>>(), 17);
+    let hi = 65_537 / 4; // ~25% selectivity
+
+    let mut group = c.benchmark_group("sarg_scan_64k");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("datablocks", |b| {
+        let options = ScanOptions { use_sma: false, use_psma: false, ..ScanOptions::default() };
+        b.iter(|| scan_collect(&block, &[Restriction::between(0, 0i64, hi)], options))
+    });
+    group.bench_function("bitpacked_robust", |b| {
+        let mut out = Vec::with_capacity(n);
+        b.iter(|| packed.scan_between_robust(0, hi as u32, &mut out))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("point_access");
+    group.sample_size(20);
+    group.bench_function("datablock_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            block.get(i, 0)
+        })
+    });
+    group.bench_function("bitpacked_get", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            packed.get(i)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the SIMD find/reduce kernels (Figures 8 and 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbsimd::{find_matches, reduce_matches, IsaLevel, RangePredicate};
+
+fn data_u32(n: usize, modulus: u32) -> Vec<u32> {
+    let mut x = 0x9E37_79B9u32;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x % modulus
+        })
+        .collect()
+}
+
+fn bench_find(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data = data_u32(n, 1000);
+    let pred = RangePredicate::between(0u32, 199); // 20% selectivity
+    let mut group = c.benchmark_group("find_matches_u32");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    for isa in IsaLevel::available() {
+        group.bench_with_input(BenchmarkId::from_parameter(isa), &isa, |b, &isa| {
+            let mut out = Vec::with_capacity(n);
+            b.iter(|| {
+                out.clear();
+                find_matches(isa, &data, &pred, 0, &mut out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data = data_u32(n, 1000);
+    let first = RangePredicate::between(0u32, 499);
+    let second = RangePredicate::between(200u32, 700);
+    let mut initial = Vec::new();
+    find_matches(IsaLevel::Scalar, &data, &first, 0, &mut initial);
+    let mut group = c.benchmark_group("reduce_matches_u32");
+    group.throughput(Throughput::Elements(initial.len() as u64));
+    group.sample_size(20);
+    for isa in IsaLevel::available() {
+        group.bench_with_input(BenchmarkId::from_parameter(isa), &isa, |b, &isa| {
+            let mut work = Vec::with_capacity(initial.len());
+            b.iter(|| {
+                work.clone_from(&initial);
+                reduce_matches(isa, &data, &second, 0, &mut work)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_find, bench_reduce);
+criterion_main!(benches);

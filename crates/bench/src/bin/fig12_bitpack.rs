@@ -1,0 +1,120 @@
+//! Figure 12: byte-addressable Data Blocks vs horizontal bit-packing.
+//!
+//! (a) cost of evaluating a SARGable between-predicate at varying selectivities,
+//! (b) cost of unpacking the matching tuples of three attributes.
+//! The setup follows Section 5.4: three columns of 2^16 values, domains chosen one
+//! bit past the 1-/2-byte truncation limits (worst case for Data Blocks).
+
+use bitpack::BitPackedColumn;
+use datablocks::builder::{freeze, int_column};
+use datablocks::{scan_collect, Restriction, ScanOptions};
+use db_bench::{cycles_per_element, print_table_header, print_table_row, time_median};
+
+fn main() {
+    let n = 1usize << 16;
+    // domains: A, B in [0, 2^16] (17 bits), C in [0, 2^8] (9 bits)
+    let gen = |seed: u64, modulus: u64| -> Vec<i64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % modulus) as i64
+            })
+            .collect()
+    };
+    let a = gen(1, (1 << 16) + 1);
+    let b = gen(2, (1 << 16) + 1);
+    let c = gen(3, (1 << 8) + 1);
+
+    // Data Block over the three columns (forced to 4-, 4- and 2-byte codes).
+    let block = freeze(&[int_column(a.clone()), int_column(b.clone()), int_column(c.clone())]);
+    // Horizontal bit-packed columns at 17 / 17 / 9 bits.
+    let pa = BitPackedColumn::pack(&a.iter().map(|&v| v as u32).collect::<Vec<_>>(), 17);
+    let pb = BitPackedColumn::pack(&b.iter().map(|&v| v as u32).collect::<Vec<_>>(), 17);
+    let pc = BitPackedColumn::pack(&c.iter().map(|&v| v as u32).collect::<Vec<_>>(), 9);
+
+    let widths = [12usize, 14, 16, 20];
+    print_table_header(
+        "Figure 12(a): predicate evaluation cost (cycles per tuple)",
+        &["selectivity", "Data Blocks", "bit-packed", "bit-packed+table"],
+        &widths,
+    );
+    for sel in [0u64, 10, 25, 50, 75, 100] {
+        let hi = ((1u64 << 16) * sel / 100) as i64;
+        let restriction = [Restriction::between(0, 0i64, hi)];
+        let options = ScanOptions { use_psma: false, use_sma: false, ..ScanOptions::default() };
+        let (_, dur_db) = time_median(5, || scan_collect(&block, &restriction, options));
+        let mut positions = Vec::new();
+        let (_, dur_branchy) =
+            time_median(5, || pa.scan_between_branchy(0, hi.max(0) as u32, &mut positions));
+        let (_, dur_robust) =
+            time_median(5, || pa.scan_between_robust(0, hi.max(0) as u32, &mut positions));
+        print_table_row(
+            &[
+                format!("{sel}%"),
+                format!("{:.2}", cycles_per_element(dur_db, n)),
+                format!("{:.2}", cycles_per_element(dur_branchy, n)),
+                format!("{:.2}", cycles_per_element(dur_robust, n)),
+            ],
+            &widths,
+        );
+    }
+
+    print_table_header(
+        "Figure 12(b): unpacking cost for 3 attributes (cycles per matching tuple)",
+        &["selectivity", "Data Blocks", "bit-packed (pos)", "bit-packed (all)"],
+        &widths,
+    );
+    for sel in [1u64, 10, 25, 50, 75, 100] {
+        let hi = ((1u64 << 16) * sel / 100) as i64;
+        let restriction = [Restriction::between(0, 0i64, hi)];
+        let options = ScanOptions { use_psma: false, use_sma: false, ..ScanOptions::default() };
+        let matches = scan_collect(&block, &restriction, options);
+        let count = matches.len().max(1);
+
+        // Data Blocks: positional unpack of the three columns
+        let (_, dur_db) = time_median(5, || {
+            let mut out = [
+                datablocks::Column::new(datablocks::DataType::Int),
+                datablocks::Column::new(datablocks::DataType::Int),
+                datablocks::Column::new(datablocks::DataType::Int),
+            ];
+            datablocks::unpack::unpack_columns(&block, &[0, 1, 2], &matches, &mut out);
+            out[0].len()
+        });
+        // bit-packed positional access
+        let (_, dur_pos) = time_median(5, || {
+            let mut o = Vec::new();
+            pa.unpack_positions(&matches, &mut o);
+            pb.unpack_positions(&matches, &mut o);
+            pc.unpack_positions(&matches, &mut o);
+            o.len()
+        });
+        // bit-packed unpack-all-and-filter
+        let (_, dur_all) = time_median(5, || {
+            let mut all = Vec::new();
+            let mut filtered = 0usize;
+            for packed in [&pa, &pb, &pc] {
+                packed.unpack_all(&mut all);
+                for &m in &matches {
+                    filtered += all[m as usize] as usize & 1;
+                }
+            }
+            filtered
+        });
+        print_table_row(
+            &[
+                format!("{sel}%"),
+                format!("{:.1}", cycles_per_element(dur_db, count)),
+                format!("{:.1}", cycles_per_element(dur_pos, count)),
+                format!("{:.1}", cycles_per_element(dur_all, count)),
+            ],
+            &widths,
+        );
+    }
+    println!("\nExpected shape (paper): Data Blocks are selectivity-robust and ~1.8x faster at");
+    println!("predicate evaluation; positional bit-packed unpacking is competitive only below");
+    println!("~20% selectivity, unpack-all wins above that, and Data Blocks win almost always.");
+}

@@ -1,0 +1,85 @@
+//! Table 1: database sizes for TPC-H, IMDB cast_info and the flights data set,
+//! comparing uncompressed in-memory storage, compressed Data Blocks and the heavy
+//! (Vectorwise-style PFOR/PDICT) baseline.
+
+use bitpack::HeavyColumn;
+use db_bench::{bench_rows, fmt_bytes, print_table_header, print_table_row, tpch_scale_factor};
+use storage::Relation;
+use workloads::{imdb, flights, TpchDb};
+
+fn heavy_size(relation: &Relation) -> usize {
+    // Whole-column heavy compression over each frozen block's logical columns.
+    let mut total = 0usize;
+    for block in relation.cold_blocks() {
+        for col in 0..block.column_count() {
+            let n = block.tuple_count() as usize;
+            let first = block.get(0, col);
+            match first {
+                datablocks::Value::Str(_) => {
+                    let values: Vec<String> = (0..n)
+                        .map(|r| block.get(r, col).as_str().unwrap_or("").to_string())
+                        .collect();
+                    total += HeavyColumn::compress_strings(&values).byte_size();
+                }
+                _ => {
+                    let values: Vec<i64> = (0..n)
+                        .map(|r| match block.get(r, col) {
+                            datablocks::Value::Int(v) => v,
+                            datablocks::Value::Double(v) => (v * 100.0) as i64,
+                            _ => 0,
+                        })
+                        .collect();
+                    total += HeavyColumn::compress_ints(&values).byte_size();
+                }
+            }
+        }
+    }
+    total
+}
+
+fn report(name: &str, relations: Vec<&Relation>, widths: &[usize]) {
+    let uncompressed: usize =
+        relations.iter().map(|r| r.storage_stats().cold_bytes_uncompressed).sum();
+    let datablocks: usize = relations.iter().map(|r| r.storage_stats().cold_bytes).sum();
+    let heavy: usize = relations.iter().map(|r| heavy_size(r)).sum();
+    print_table_row(
+        &[
+            name.to_string(),
+            fmt_bytes(uncompressed),
+            fmt_bytes(datablocks),
+            fmt_bytes(heavy),
+            format!("{:.2}x", uncompressed as f64 / datablocks as f64),
+            format!("{:.2}x", uncompressed as f64 / heavy.max(1) as f64),
+        ],
+        widths,
+    );
+}
+
+fn main() {
+    let widths = [14usize, 14, 14, 16, 12, 12];
+    print_table_header(
+        "Table 1: database sizes (uncompressed vs Data Blocks vs heavy/PFOR baseline)",
+        &["data set", "uncompressed", "Data Blocks", "heavy (PFOR)", "DB ratio", "heavy ratio"],
+        &widths,
+    );
+
+    let sf = tpch_scale_factor();
+    let mut tpch = TpchDb::generate(sf);
+    tpch.freeze();
+    report(
+        &format!("TPC-H sf{sf}"),
+        workloads::tpch::RELATIONS.iter().map(|n| tpch.relation(n)).collect(),
+        &widths,
+    );
+
+    let mut cast = imdb::generate(bench_rows(200_000), datablocks::DEFAULT_BLOCK_CAPACITY);
+    cast.freeze_all();
+    report("IMDB cast_info", vec![&cast], &widths);
+
+    let mut fl = flights::generate(bench_rows(200_000), datablocks::DEFAULT_BLOCK_CAPACITY);
+    fl.freeze_all();
+    report("Flights", vec![&fl], &widths);
+
+    println!("\nPaper reference (SF 100): HyPer 126 GB uncompressed vs 66 GB Data Blocks (1.9x);");
+    println!("Vectorwise compressed is ~25% smaller than Data Blocks. Compare the ratio columns.");
+}

@@ -1,0 +1,173 @@
+//! # db-bench — harness regenerating every table and figure of the paper
+//!
+//! Each table and figure of the evaluation section has a dedicated binary in
+//! `src/bin/` (see DESIGN.md for the experiment index); Criterion micro-benchmarks
+//! for the SIMD kernels live in `benches/`. This library holds the shared plumbing:
+//! timing, cycle conversion, geometric means and table formatting.
+//!
+//! All binaries honour two environment variables:
+//!
+//! * `TPCH_SF` — TPC-H scale factor used by the query benchmarks (default 0.01).
+//! * `BENCH_ROWS` — row count used by the data-set size experiments (default varies
+//!   per binary).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Nominal CPU frequency used to convert wall-clock time into "cycles per tuple" the
+/// way the paper reports micro-benchmark costs. Override with the `CPU_GHZ`
+/// environment variable if the host differs significantly.
+pub fn cpu_hz() -> f64 {
+    std::env::var("CPU_GHZ")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|ghz| ghz * 1e9)
+        .unwrap_or(2.3e9)
+}
+
+/// Convert a measured duration over `items` processed elements into cycles/element.
+pub fn cycles_per_element(elapsed: Duration, items: usize) -> f64 {
+    if items == 0 {
+        return 0.0;
+    }
+    elapsed.as_secs_f64() * cpu_hz() / items as f64
+}
+
+/// Time a closure once.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Time a closure: one warm-up run, then the median of `runs` timed runs.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(runs >= 1);
+    let mut result = f(); // warm-up
+    let mut times = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        result = f();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (result, times[times.len() / 2])
+}
+
+/// Geometric mean of a set of durations (how the paper summarises TPC-H runtimes).
+pub fn geometric_mean(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    let log_sum: f64 = durations.iter().map(|d| d.as_secs_f64().max(1e-12).ln()).sum();
+    Duration::from_secs_f64((log_sum / durations.len() as f64).exp())
+}
+
+/// Scale factor for TPC-H experiments (`TPCH_SF`, default 0.01).
+pub fn tpch_scale_factor() -> f64 {
+    std::env::var("TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01)
+}
+
+/// Row count for data-set experiments (`BENCH_ROWS`, with a per-binary default).
+pub fn bench_rows(default: usize) -> usize {
+    std::env::var("BENCH_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Format a duration in the most readable unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: &[&str] = &["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.2} {}", UNITS[unit])
+}
+
+/// Print a header row followed by a separator, for the fixed-width tables the
+/// harness binaries emit.
+pub fn print_table_header(title: &str, columns: &[&str], widths: &[usize]) {
+    println!("\n== {title} ==");
+    let mut line = String::new();
+    for (col, width) in columns.iter().zip(widths) {
+        line.push_str(&format!("{col:>width$}  ", width = width));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Print one row of a fixed-width table.
+pub fn print_table_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  ", width = width));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_durations_is_identity() {
+        let d = vec![Duration::from_millis(100); 4];
+        let gm = geometric_mean(&d);
+        assert!((gm.as_secs_f64() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_mean_is_between_min_and_max() {
+        let d = vec![Duration::from_millis(10), Duration::from_millis(1000)];
+        let gm = geometric_mean(&d);
+        assert!(gm > d[0] && gm < d[1]);
+        // gm of 10ms and 1000ms = 100ms
+        assert!((gm.as_secs_f64() - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cycles_conversion_uses_frequency() {
+        let cycles = cycles_per_element(Duration::from_secs(1), 1_000_000);
+        assert!(cycles > 1_000.0);
+        assert_eq!(cycles_per_element(Duration::from_secs(1), 0), 0.0);
+    }
+
+    #[test]
+    fn timing_helpers_return_results() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+        let (v, d) = time_median(3, || (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512.00 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("us"));
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(tpch_scale_factor() > 0.0);
+        assert_eq!(bench_rows(123), 123);
+    }
+}

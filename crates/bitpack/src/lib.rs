@@ -1,0 +1,18 @@
+//! # bitpack — the compression baselines Data Blocks are evaluated against
+//!
+//! Two comparators from the paper's evaluation live here:
+//!
+//! * [`horizontal`] — horizontal (sub-byte) bit-packing, the BitWeaving-style format
+//!   whose expensive positional access motivates the byte-addressable design of Data
+//!   Blocks (Section 5.4, Figure 12);
+//! * [`heavy`] — whole-column PFOR / PDICT compression with patching, standing in for
+//!   the Vectorwise storage format that compresses ~25 % better than Data Blocks but
+//!   cannot filter early or access single positions cheaply (Tables 1 and 2).
+
+#![warn(missing_docs)]
+
+pub mod heavy;
+pub mod horizontal;
+
+pub use heavy::HeavyColumn;
+pub use horizontal::{bits_for, BitPackedColumn};

@@ -1,0 +1,225 @@
+//! The Data Block container: a self-contained, immutable, compressed columnar
+//! representation of one chunk of a relation (Section 3).
+
+use crate::compression::{ColumnCompression, SchemeKind};
+use crate::psma::Psma;
+use crate::sma::Sma;
+use crate::value::Value;
+
+/// Default number of records frozen into one Data Block (the paper's default of
+/// 2^16; smaller blocks pay proportionally more metadata overhead, see Figure 10).
+pub const DEFAULT_BLOCK_CAPACITY: usize = 1 << 16;
+
+/// One attribute of a Data Block: the chosen compression, its Small Materialized
+/// Aggregate, its Positional SMA and (if the attribute is nullable) a validity bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockColumn {
+    /// The compressed payload.
+    pub compression: ColumnCompression,
+    /// Min/max of the attribute in this block.
+    pub sma: Sma,
+    /// Positional SMA over the compressed code words (absent for single-value and
+    /// floating-point attributes, which have no code vector to index).
+    pub psma: Option<Psma>,
+    /// Validity bitmap (`false` = NULL); absent when the attribute has no NULLs.
+    pub validity: Option<Vec<bool>>,
+}
+
+impl BlockColumn {
+    /// Is the value at `row` NULL?
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        match &self.compression {
+            ColumnCompression::SingleValue(Value::Null) => true,
+            _ => self.validity.as_ref().map(|v| !v[row]).unwrap_or(false),
+        }
+    }
+
+    /// Decompress the value at `row`, honouring NULLs.
+    pub fn get(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            Value::Null
+        } else {
+            self.compression.get(row)
+        }
+    }
+
+    /// In-memory size of the column's compressed data, SMA and PSMA in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.compression.byte_size()
+            + self.sma.serialized_size()
+            + self.psma.as_ref().map(|p| p.byte_size()).unwrap_or(0)
+            + self.validity.as_ref().map(|v| v.len() / 8 + 1).unwrap_or(0)
+    }
+
+    /// Size without the PSMA index (used to quantify the PSMA overhead).
+    pub fn byte_size_without_psma(&self) -> usize {
+        self.byte_size() - self.psma.as_ref().map(|p| p.byte_size()).unwrap_or(0)
+    }
+}
+
+/// An immutable ("frozen") compressed block of records.
+///
+/// A Data Block stores all attributes of a sequence of tuples in compressed columnar
+/// format (PAX-style). Once frozen the contained data never changes; the only
+/// permitted mutation is marking a record as deleted, which sets a flag — updates are
+/// handled by the storage layer as delete-plus-reinsert into a hot chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBlock {
+    tuple_count: u32,
+    columns: Vec<BlockColumn>,
+    /// Lazily allocated delete flags (`true` = record deleted).
+    deleted: Option<Vec<bool>>,
+    deleted_count: u32,
+}
+
+impl DataBlock {
+    /// Assemble a block from already-frozen columns. Used by the builder; all columns
+    /// must describe the same number of records.
+    pub(crate) fn from_parts(tuple_count: u32, columns: Vec<BlockColumn>) -> DataBlock {
+        DataBlock { tuple_count, columns, deleted: None, deleted_count: 0 }
+    }
+
+    /// Number of records stored in the block (including deleted ones).
+    pub fn tuple_count(&self) -> u32 {
+        self.tuple_count
+    }
+
+    /// Number of records not marked as deleted.
+    pub fn live_tuple_count(&self) -> u32 {
+        self.tuple_count - self.deleted_count
+    }
+
+    /// Number of attributes.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Access one attribute's block-level metadata and compressed payload.
+    pub fn column(&self, col: usize) -> &BlockColumn {
+        &self.columns[col]
+    }
+
+    /// All attributes.
+    pub fn columns(&self) -> &[BlockColumn] {
+        &self.columns
+    }
+
+    /// Point access: decompress attribute `col` of record `row` (Section 3.4 —
+    /// point accesses skip all scan machinery and unpack a single position).
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Has record `row` been marked deleted?
+    pub fn is_deleted(&self, row: usize) -> bool {
+        self.deleted.as_ref().map(|d| d[row]).unwrap_or(false)
+    }
+
+    /// Mark record `row` as deleted. Returns `false` if it was already deleted.
+    ///
+    /// This is the only mutation a frozen block supports.
+    pub fn delete(&mut self, row: usize) -> bool {
+        let flags = self
+            .deleted
+            .get_or_insert_with(|| vec![false; self.tuple_count as usize]);
+        if flags[row] {
+            false
+        } else {
+            flags[row] = true;
+            self.deleted_count += 1;
+            true
+        }
+    }
+
+    /// True if any record in the block carries a delete flag.
+    pub fn has_deletions(&self) -> bool {
+        self.deleted_count > 0
+    }
+
+    /// Borrow the delete-flag bitmap, if any deletions happened.
+    pub fn deleted_flags(&self) -> Option<&[bool]> {
+        self.deleted.as_deref()
+    }
+
+    /// The storage-layout combination of this block: the compression scheme of every
+    /// attribute. A tuple-at-a-time JIT engine would need one generated code path per
+    /// distinct combination (Section 4, Figure 5).
+    pub fn layout_combination(&self) -> Vec<SchemeKind> {
+        self.columns.iter().map(|c| c.compression.kind()).collect()
+    }
+
+    /// Total in-memory size of the block in bytes, including SMAs, PSMAs, validity
+    /// and delete bitmaps, plus a fixed per-attribute header (tuple count, scheme tag
+    /// and the four offsets of Figure 3).
+    pub fn byte_size(&self) -> usize {
+        let header = 4 + self.columns.len() * 20;
+        header
+            + self.columns.iter().map(|c| c.byte_size()).sum::<usize>()
+            + self.deleted.as_ref().map(|d| d.len() / 8 + 1).unwrap_or(0)
+    }
+
+    /// Block size excluding the PSMA lookup tables (quantifies index overhead).
+    pub fn byte_size_without_psma(&self) -> usize {
+        let header = 4 + self.columns.len() * 20;
+        header
+            + self.columns.iter().map(|c| c.byte_size_without_psma()).sum::<usize>()
+            + self.deleted.as_ref().map(|d| d.len() / 8 + 1).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::freeze;
+    use crate::column::{Column, ColumnData};
+
+    fn sample_block() -> DataBlock {
+        let a = Column::from_data(ColumnData::Int((0..100).collect()));
+        let b = Column::from_data(ColumnData::Str(
+            (0..100).map(|i| format!("s{}", i % 5)).collect(),
+        ));
+        let c = Column::from_data(ColumnData::Double((0..100).map(|i| i as f64 / 2.0).collect()));
+        freeze(&[a, b, c])
+    }
+
+    #[test]
+    fn point_access_roundtrip() {
+        let block = sample_block();
+        assert_eq!(block.tuple_count(), 100);
+        assert_eq!(block.column_count(), 3);
+        assert_eq!(block.get(42, 0), Value::Int(42));
+        assert_eq!(block.get(42, 1), Value::Str("s2".into()));
+        assert_eq!(block.get(42, 2), Value::Double(21.0));
+    }
+
+    #[test]
+    fn delete_flags() {
+        let mut block = sample_block();
+        assert!(!block.is_deleted(10));
+        assert!(!block.has_deletions());
+        assert!(block.delete(10));
+        assert!(block.is_deleted(10));
+        assert!(!block.delete(10), "double delete reports false");
+        assert_eq!(block.live_tuple_count(), 99);
+        assert!(block.has_deletions());
+        // Deleting does not change the stored data — the record is only flagged.
+        assert_eq!(block.get(10, 0), Value::Int(10));
+    }
+
+    #[test]
+    fn layout_combination_lists_all_attributes() {
+        let block = sample_block();
+        let layout = block.layout_combination();
+        assert_eq!(layout.len(), 3);
+        assert!(matches!(layout[0], SchemeKind::Truncated(1)));
+        assert!(matches!(layout[1], SchemeKind::DictStr(1)));
+        assert!(matches!(layout[2], SchemeKind::Double));
+    }
+
+    #[test]
+    fn byte_size_includes_psma_overhead() {
+        let block = sample_block();
+        assert!(block.byte_size() > block.byte_size_without_psma());
+    }
+}

@@ -1,0 +1,233 @@
+//! Freezing cold chunks into Data Blocks.
+//!
+//! When the storage layer identifies a chunk as cold it is *frozen*: each attribute
+//! is compressed with the scheme that is optimal for its value distribution in that
+//! chunk, SMAs and PSMAs are computed, and the result becomes an immutable
+//! [`DataBlock`]. Freezing may optionally re-order the chunk by a sort attribute to
+//! cluster similar values, which sharpens the PSMA ranges (Section 3.2; this is what
+//! the paper's Figure 11 experiment does to `l_shipdate`).
+
+use crate::block::{BlockColumn, DataBlock};
+use crate::column::{Column, ColumnData};
+use crate::compression::ColumnCompression;
+use crate::psma::Psma;
+use crate::sma::Sma;
+use crate::value::DataType;
+
+/// Freeze a chunk (one [`Column`] per attribute, all of equal length) into a Data
+/// Block, preserving the insertion order of the records.
+///
+/// # Panics
+///
+/// Panics if the columns have differing lengths or the chunk is empty — both are
+/// storage-layer invariants, not runtime conditions.
+pub fn freeze(columns: &[Column]) -> DataBlock {
+    assert!(!columns.is_empty(), "cannot freeze a chunk with no attributes");
+    let rows = columns[0].len();
+    assert!(rows > 0, "cannot freeze an empty chunk");
+    assert!(
+        columns.iter().all(|c| c.len() == rows),
+        "all attributes of a chunk must have the same length"
+    );
+    assert!(rows <= u32::MAX as usize, "a Data Block addresses records with 32-bit positions");
+
+    let block_columns = columns.iter().map(freeze_column).collect();
+    DataBlock::from_parts(rows as u32, block_columns)
+}
+
+/// Freeze a chunk after re-ordering its records by ascending value of attribute
+/// `sort_by` (NULLs first). All attributes are permuted consistently, so the block
+/// still represents the same set of tuples.
+pub fn freeze_sorted(columns: &[Column], sort_by: usize) -> DataBlock {
+    assert!(sort_by < columns.len(), "sort attribute out of range");
+    let rows = columns[0].len();
+    let mut permutation: Vec<u32> = (0..rows as u32).collect();
+    let key = &columns[sort_by];
+    permutation.sort_by(|&a, &b| key.get(a as usize).total_cmp(&key.get(b as usize)));
+
+    let reordered: Vec<Column> = columns.iter().map(|c| apply_permutation(c, &permutation)).collect();
+    freeze(&reordered)
+}
+
+/// Apply a row permutation to a column (row `i` of the result is row `permutation[i]`
+/// of the input).
+pub fn apply_permutation(column: &Column, permutation: &[u32]) -> Column {
+    let mut data = ColumnData::with_capacity(column.data_type(), permutation.len());
+    match (&column.data, &mut data) {
+        (ColumnData::Int(src), ColumnData::Int(dst)) => {
+            dst.extend(permutation.iter().map(|&i| src[i as usize]));
+        }
+        (ColumnData::Double(src), ColumnData::Double(dst)) => {
+            dst.extend(permutation.iter().map(|&i| src[i as usize]));
+        }
+        (ColumnData::Str(src), ColumnData::Str(dst)) => {
+            dst.extend(permutation.iter().map(|&i| src[i as usize].clone()));
+        }
+        _ => unreachable!("ColumnData::with_capacity preserves the type"),
+    }
+    let validity = column
+        .validity
+        .as_ref()
+        .map(|v| permutation.iter().map(|&i| v[i as usize]).collect());
+    Column { data, validity }
+}
+
+fn freeze_column(column: &Column) -> BlockColumn {
+    let sma = Sma::compute(column);
+    let compression = ColumnCompression::compress(column);
+    // The PSMA indexes the compressed code words: for truncation the code *is* the
+    // delta to the SMA minimum (exactly the paper's Δ(v)), for dictionaries the code
+    // order mirrors the value order because the dictionaries are order-preserving.
+    let psma = compression
+        .codes()
+        .and_then(|codes| Psma::build(&(0..codes.len()).map(|i| codes.get(i) as i64).collect::<Vec<_>>()));
+    // Keep the validity bitmap only if the column actually contains NULLs (and is not
+    // the degenerate all-NULL single value, which needs no bitmap).
+    let has_nulls = column.null_count() > 0;
+    let all_null = column.null_count() == column.len();
+    let validity = if has_nulls && !all_null { column.validity.clone() } else { None };
+    BlockColumn { compression, sma, psma, validity }
+}
+
+/// Split a large chunk column-set into consecutive sub-chunks of at most
+/// `block_capacity` rows and freeze each one. Convenience used by the workload
+/// loaders and the Figure 10 block-size sweep.
+pub fn freeze_chunked(columns: &[Column], block_capacity: usize) -> Vec<DataBlock> {
+    assert!(block_capacity > 0);
+    let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    while start < rows {
+        let end = (start + block_capacity).min(rows);
+        let slice: Vec<Column> = columns.iter().map(|c| slice_column(c, start, end)).collect();
+        blocks.push(freeze(&slice));
+        start = end;
+    }
+    blocks
+}
+
+/// Copy rows `[from, to)` of a column into a new column.
+pub fn slice_column(column: &Column, from: usize, to: usize) -> Column {
+    let data = match &column.data {
+        ColumnData::Int(v) => ColumnData::Int(v[from..to].to_vec()),
+        ColumnData::Double(v) => ColumnData::Double(v[from..to].to_vec()),
+        ColumnData::Str(v) => ColumnData::Str(v[from..to].to_vec()),
+    };
+    let validity = column.validity.as_ref().map(|v| v[from..to].to_vec());
+    Column { data, validity }
+}
+
+/// Total uncompressed in-memory size of a chunk in bytes (for compression-ratio
+/// reporting).
+pub fn uncompressed_size(columns: &[Column]) -> usize {
+    columns.iter().map(|c| c.byte_size()).sum()
+}
+
+/// Helper: an integer column without NULLs.
+pub fn int_column(values: Vec<i64>) -> Column {
+    Column::from_data(ColumnData::Int(values))
+}
+
+/// Helper: a double column without NULLs.
+pub fn double_column(values: Vec<f64>) -> Column {
+    Column::from_data(ColumnData::Double(values))
+}
+
+/// Helper: a string column without NULLs.
+pub fn str_column(values: Vec<String>) -> Column {
+    Column::from_data(ColumnData::Str(values))
+}
+
+/// Helper: an empty column of a given type (used when assembling chunks row by row).
+pub fn empty_column(ty: DataType) -> Column {
+    Column::new(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn freeze_roundtrips_every_value() {
+        let a = int_column((0..1000).map(|i| i % 97).collect());
+        let b = str_column((0..1000).map(|i| format!("v{}", i % 13)).collect());
+        let c = double_column((0..1000).map(|i| i as f64 * 0.25).collect());
+        let block = freeze(&[a.clone(), b.clone(), c.clone()]);
+        for row in (0..1000).step_by(37) {
+            assert_eq!(block.get(row, 0), a.get(row));
+            assert_eq!(block.get(row, 1), b.get(row));
+            assert_eq!(block.get(row, 2), c.get(row));
+        }
+    }
+
+    #[test]
+    fn freeze_preserves_nulls() {
+        let mut col = Column::new(DataType::Int);
+        for i in 0..100 {
+            if i % 10 == 0 {
+                col.push(Value::Null);
+            } else {
+                col.push(Value::Int(i));
+            }
+        }
+        let block = freeze(&[col.clone()]);
+        for row in 0..100 {
+            assert_eq!(block.get(row, 0), col.get(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn freeze_sorted_clusters_values() {
+        let key = int_column(vec![5, 1, 9, 3, 7]);
+        let payload = str_column(vec!["e".into(), "a".into(), "i".into(), "c".into(), "g".into()]);
+        let block = freeze_sorted(&[key, payload], 0);
+        let keys: Vec<Value> = (0..5).map(|r| block.get(r, 0)).collect();
+        assert_eq!(
+            keys,
+            vec![Value::Int(1), Value::Int(3), Value::Int(5), Value::Int(7), Value::Int(9)]
+        );
+        // The payload column is permuted consistently.
+        assert_eq!(block.get(0, 1), Value::Str("a".into()));
+        assert_eq!(block.get(4, 1), Value::Str("i".into()));
+    }
+
+    #[test]
+    fn freeze_chunked_splits_rows() {
+        let col = int_column((0..2500).collect());
+        let blocks = freeze_chunked(&[col], 1000);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].tuple_count(), 1000);
+        assert_eq!(blocks[2].tuple_count(), 500);
+        assert_eq!(blocks[2].get(0, 0), Value::Int(2000));
+    }
+
+    #[test]
+    fn compression_shrinks_typical_chunks() {
+        // low-cardinality strings + dense ints compress well below uncompressed size
+        let a = int_column((0..10_000).map(|i| 20_000 + (i % 500)).collect());
+        let b = str_column((0..10_000).map(|i| format!("status-{}", i % 4)).collect());
+        let uncompressed = uncompressed_size(&[a.clone(), b.clone()]);
+        let block = freeze(&[a, b]);
+        assert!(
+            block.byte_size() * 3 < uncompressed,
+            "expected >3x compression, got {} vs {}",
+            block.byte_size(),
+            uncompressed
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn freeze_rejects_ragged_chunks() {
+        let a = int_column(vec![1, 2, 3]);
+        let b = int_column(vec![1]);
+        freeze(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chunk")]
+    fn freeze_rejects_empty_chunks() {
+        freeze(&[int_column(vec![])]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Uncompressed columnar data — the representation of *hot* chunks and of the
+//! intermediate buffers that vectorized scans unpack matches into.
+
+use crate::value::{DataType, Value};
+
+/// The typed payload of an uncompressed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers (also dates, scaled decimals, char(1) code points).
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Double(Vec<f64>),
+    /// Owned strings.
+    Str(Vec<String>),
+}
+
+impl ColumnData {
+    /// The logical type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Double(_) => DataType::Double,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Double(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty column of the given type.
+    pub fn new(ty: DataType) -> ColumnData {
+        match ty {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Double => ColumnData::Double(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    /// An empty column of the given type with pre-reserved capacity.
+    pub fn with_capacity(ty: DataType, cap: usize) -> ColumnData {
+        match ty {
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Double => ColumnData::Double(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Read one row as an owned [`Value`].
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Double(v) => Value::Double(v[row]),
+            ColumnData::Str(v) => Value::Str(v[row].clone()),
+        }
+    }
+
+    /// Append a non-null value; panics on a type mismatch (schema violations are
+    /// programming errors, not runtime conditions).
+    pub fn push(&mut self, value: Value) {
+        match (self, value) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(x),
+            (ColumnData::Double(v), Value::Double(x)) => v.push(x),
+            (ColumnData::Double(v), Value::Int(x)) => v.push(x as f64),
+            (ColumnData::Str(v), Value::Str(x)) => v.push(x),
+            (col, value) => panic!(
+                "type mismatch: cannot push {:?} into a {} column",
+                value,
+                col.data_type()
+            ),
+        }
+    }
+
+    /// Append a default "zero" value (used as the payload slot of NULL rows).
+    pub fn push_default(&mut self) {
+        match self {
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Double(v) => v.push(0.0),
+            ColumnData::Str(v) => v.push(String::new()),
+        }
+    }
+
+    /// Borrow the integer payload; `None` if this is not an integer column.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the float payload; `None` if this is not a double column.
+    pub fn as_double(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::Double(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string payload; `None` if this is not a string column.
+    pub fn as_str(&self) -> Option<&[String]> {
+        match self {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Heap size of the payload in bytes (used for the Table 1 size accounting of
+    /// uncompressed storage).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Double(v) => v.len() * 8,
+            // A string in uncompressed storage costs its bytes plus the Vec<String>
+            // header (pointer + len + capacity), which is how an in-memory row store
+            // or column store would hold it.
+            ColumnData::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+}
+
+/// An uncompressed column: typed payload plus an optional validity bitmap.
+///
+/// `validity[i] == false` means row `i` is NULL; the payload slot of a NULL row holds
+/// an arbitrary default and must not be interpreted. A column without a bitmap has no
+/// NULLs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// The typed values.
+    pub data: ColumnData,
+    /// Optional validity bitmap (true = value present).
+    pub validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// A new, empty, non-nullable column.
+    pub fn new(ty: DataType) -> Column {
+        Column { data: ColumnData::new(ty), validity: None }
+    }
+
+    /// Wrap fully-valid data.
+    pub fn from_data(data: ColumnData) -> Column {
+        Column { data, validity: None }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The logical type.
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    /// Is row `row` NULL?
+    pub fn is_null(&self, row: usize) -> bool {
+        self.validity.as_ref().map(|v| !v[row]).unwrap_or(false)
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.validity.as_ref().map(|v| v.iter().filter(|&&b| !b).count()).unwrap_or(0)
+    }
+
+    /// Read row `row`, honouring NULLs.
+    pub fn get(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            Value::Null
+        } else {
+            self.data.get(row)
+        }
+    }
+
+    /// Append a value (NULL allocates a validity bitmap on first use).
+    pub fn push(&mut self, value: Value) {
+        match value {
+            Value::Null => {
+                let len = self.len();
+                let validity = self.validity.get_or_insert_with(|| vec![true; len]);
+                validity.push(false);
+                self.data.push_default();
+            }
+            v => {
+                if let Some(validity) = &mut self.validity {
+                    validity.push(true);
+                }
+                self.data.push(v);
+            }
+        }
+    }
+
+    /// Heap size in bytes, including the validity bitmap if present.
+    pub fn byte_size(&self) -> usize {
+        self.data.byte_size() + self.validity.as_ref().map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_data_push_and_get() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::Int(1));
+        c.push(Value::Int(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Value::Int(2));
+        assert_eq!(c.as_int().unwrap(), &[1, 2]);
+        assert!(c.as_str().is_none());
+    }
+
+    #[test]
+    fn int_widens_into_double_column() {
+        let mut c = ColumnData::new(DataType::Double);
+        c.push(Value::Int(3));
+        c.push(Value::Double(1.5));
+        assert_eq!(c.as_double().unwrap(), &[3.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut c = ColumnData::new(DataType::Int);
+        c.push(Value::from("nope"));
+    }
+
+    #[test]
+    fn column_null_handling() {
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(10));
+        c.push(Value::Null);
+        c.push(Value::Int(30));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert!(c.is_null(1));
+        assert!(!c.is_null(0));
+        assert_eq!(c.get(0), Value::Int(10));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(30));
+    }
+
+    #[test]
+    fn column_without_nulls_has_no_bitmap() {
+        let mut c = Column::new(DataType::Str);
+        c.push(Value::from("a"));
+        c.push(Value::from("b"));
+        assert!(c.validity.is_none());
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn byte_size_accounting() {
+        let c = Column::from_data(ColumnData::Int(vec![1, 2, 3, 4]));
+        assert_eq!(c.byte_size(), 32);
+        let s = Column::from_data(ColumnData::Str(vec!["ab".into(), "cdef".into()]));
+        assert_eq!(s.byte_size(), 2 + 4 + 2 * 24);
+    }
+
+    #[test]
+    fn with_capacity_preserves_type() {
+        let c = ColumnData::with_capacity(DataType::Str, 100);
+        assert_eq!(c.data_type(), DataType::Str);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Positional Small Materialized Aggregates (PSMA) — the light-weight lookup-table
+//! index of Section 3.2 / Appendix B.
+//!
+//! A PSMA maps a probe value to a *range of positions* inside the Data Block where
+//! that value may appear, narrowing the scan even when the block as a whole cannot be
+//! skipped. The table has `2^8` slots per byte of the indexed delta domain: the slot
+//! of a value `v` is computed from `Δ = v − min` as
+//!
+//! ```text
+//! r = index of the most significant non-zero byte of Δ   (0 for Δ < 256)
+//! slot = (Δ >> 8·r) + 256·r
+//! ```
+//!
+//! so deltas that fit in one byte get exclusive slots, 2-byte deltas share a slot with
+//! up to 2^8 other values, and so on — the table is deliberately more precise near the
+//! block minimum. Each slot stores a half-open position range `[begin, end)` that is
+//! widened as colliding values are inserted during the build scan.
+
+/// A half-open range of record positions `[begin, end)` within a Data Block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanRange {
+    /// First potentially matching position.
+    pub begin: u32,
+    /// One past the last potentially matching position.
+    pub end: u32,
+}
+
+impl ScanRange {
+    /// The canonical empty range.
+    pub const EMPTY: ScanRange = ScanRange { begin: 0, end: 0 };
+
+    /// A range covering `[0, n)`.
+    pub fn full(n: u32) -> ScanRange {
+        ScanRange { begin: 0, end: n }
+    }
+
+    /// True if the range contains no positions.
+    pub fn is_empty(&self) -> bool {
+        self.begin >= self.end
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.begin)
+    }
+
+    /// Smallest range containing both (used when unioning slot ranges for range
+    /// predicates — empty ranges are identities).
+    pub fn union(&self, other: &ScanRange) -> ScanRange {
+        if self.is_empty() {
+            *other
+        } else if other.is_empty() {
+            *self
+        } else {
+            ScanRange { begin: self.begin.min(other.begin), end: self.end.max(other.end) }
+        }
+    }
+
+    /// Intersection (used to combine ranges from PSMAs on different attributes).
+    pub fn intersect(&self, other: &ScanRange) -> ScanRange {
+        let begin = self.begin.max(other.begin);
+        let end = self.end.min(other.end);
+        if begin >= end {
+            ScanRange::EMPTY
+        } else {
+            ScanRange { begin, end }
+        }
+    }
+}
+
+/// Compute the PSMA slot of a delta value (Appendix B's `getPSMASlot`).
+#[inline]
+pub fn psma_slot(delta: u64) -> usize {
+    // r = index of the most significant non-zero byte (0 for values < 256).
+    let r = if delta == 0 { 0 } else { 7 - (delta.leading_zeros() as usize >> 3) };
+    let msb = (delta >> (r << 3)) as usize;
+    msb + (r << 8)
+}
+
+/// Number of lookup-table slots needed to index deltas up to `max_delta`.
+///
+/// The table always has a multiple of 256 slots — one group of 256 per byte of the
+/// maximum delta (2 KB for 1-byte deltas, 4 KB for 2-byte, 8 KB for 4-byte, as the
+/// paper reports; each slot is two `u32`s).
+pub fn psma_slots_for(max_delta: u64) -> usize {
+    let bytes = if max_delta == 0 { 1 } else { 8 - (max_delta.leading_zeros() as usize >> 3) };
+    bytes * 256
+}
+
+/// The Positional SMA lookup table for one attribute of one Data Block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psma {
+    slots: Vec<ScanRange>,
+    /// The attribute minimum the deltas are relative to.
+    min: i64,
+    /// The attribute maximum (probes outside `[min, max]` return the empty range).
+    max: i64,
+}
+
+impl Psma {
+    /// Build a PSMA over the integer key space `keys` (attribute values, dictionary
+    /// codes, or biased doubles — anything totally ordered and convertible to `i64`).
+    ///
+    /// `keys[i]` is the key of the record at position `i`; the build is a single O(n)
+    /// scan (Appendix B).
+    pub fn build(keys: &[i64]) -> Option<Psma> {
+        let min = *keys.iter().min()?;
+        let max = *keys.iter().max()?;
+        let max_delta = (max - min) as u64;
+        let mut slots = vec![ScanRange::EMPTY; psma_slots_for(max_delta)];
+        for (tid, &key) in keys.iter().enumerate() {
+            let slot = psma_slot((key - min) as u64);
+            let entry = &mut slots[slot];
+            if entry.is_empty() {
+                *entry = ScanRange { begin: tid as u32, end: tid as u32 + 1 };
+            } else {
+                entry.end = tid as u32 + 1;
+            }
+        }
+        Some(Psma { slots, min, max })
+    }
+
+    /// The minimum key the table was built over.
+    pub fn min(&self) -> i64 {
+        self.min
+    }
+
+    /// The maximum key the table was built over.
+    pub fn max(&self) -> i64 {
+        self.max
+    }
+
+    /// Number of slots in the lookup table.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Size of the lookup table in bytes (each slot is a `[begin, end)` pair of
+    /// 4-byte unsigned integers).
+    pub fn byte_size(&self) -> usize {
+        self.slots.len() * 8
+    }
+
+    /// Scan range for an equality probe `key = value` — a single table lookup.
+    pub fn probe_eq(&self, value: i64) -> ScanRange {
+        if value < self.min || value > self.max {
+            return ScanRange::EMPTY;
+        }
+        self.slots[psma_slot((value - self.min) as u64)]
+    }
+
+    /// Scan range for a range probe `lo <= key <= hi`: the union of all non-empty slot
+    /// ranges between the slots of `lo` and `hi` (clamped to the block domain).
+    pub fn probe_range(&self, lo: i64, hi: i64) -> ScanRange {
+        let lo = lo.max(self.min);
+        let hi = hi.min(self.max);
+        if lo > hi {
+            return ScanRange::EMPTY;
+        }
+        let slot_lo = psma_slot((lo - self.min) as u64);
+        let slot_hi = psma_slot((hi - self.min) as u64);
+        let mut range = ScanRange::EMPTY;
+        for slot in slot_lo..=slot_hi {
+            range = range.union(&self.slots[slot]);
+        }
+        range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_of_small_deltas_is_identity() {
+        for d in 0..256u64 {
+            assert_eq!(psma_slot(d), d as usize);
+        }
+    }
+
+    #[test]
+    fn slot_of_wider_deltas_uses_leading_byte() {
+        // paper example: probe 998 with min 2 → delta 996 = 0x03E4 → second byte 0x03,
+        // one remaining byte → slot 3 + 256 = 259
+        assert_eq!(psma_slot(996), 259);
+        // delta 0x0100 → msb 1, r = 1 → 257
+        assert_eq!(psma_slot(256), 257);
+        // delta 0x01_0000 → msb 1, r = 2 → 513
+        assert_eq!(psma_slot(1 << 16), 513);
+        // delta with the top byte set
+        assert_eq!(psma_slot(0xFF00_0000_0000_0000), 255 + 7 * 256);
+    }
+
+    #[test]
+    fn slots_for_domain_sizes() {
+        assert_eq!(psma_slots_for(0), 256);
+        assert_eq!(psma_slots_for(255), 256);
+        assert_eq!(psma_slots_for(256), 512);
+        assert_eq!(psma_slots_for(65_535), 512);
+        assert_eq!(psma_slots_for(65_536), 768);
+        assert_eq!(psma_slots_for(u32::MAX as u64), 1024);
+    }
+
+    #[test]
+    fn typical_byte_sizes_match_paper() {
+        // 1-, 2- and 4-byte delta domains → 2 KB, 4 KB and 8 KB lookup tables.
+        let one_byte = Psma::build(&(0..=255i64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(one_byte.byte_size(), 2 * 1024);
+        let two_byte = Psma::build(&[0, 65_535]).unwrap();
+        assert_eq!(two_byte.byte_size(), 4 * 1024);
+        let four_byte = Psma::build(&[0, u32::MAX as i64]).unwrap();
+        assert_eq!(four_byte.byte_size(), 8 * 1024);
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // data = (7, 2, 6, 42, 128, 7, 998, 2, 42, 5), min = 2
+        let data = [7i64, 2, 6, 42, 128, 7, 998, 2, 42, 5];
+        let psma = Psma::build(&data).unwrap();
+        assert_eq!(psma.min(), 2);
+        assert_eq!(psma.max(), 998);
+        // probe 7 → delta 5 → slot 5 → range [0, 6): positions 0 and 5 hold value 7,
+        // and the slot was widened by every other delta-5 insertion in between.
+        assert_eq!(psma.probe_eq(7), ScanRange { begin: 0, end: 6 });
+        // probe 998 → delta 996 → slot 259 → only position 6
+        assert_eq!(psma.probe_eq(998), ScanRange { begin: 6, end: 7 });
+        // probe 2 (the minimum itself) → delta 0 → slot 0 → positions 1..8
+        assert_eq!(psma.probe_eq(2), ScanRange { begin: 1, end: 8 });
+        // value outside the domain
+        assert_eq!(psma.probe_eq(1), ScanRange::EMPTY);
+        assert_eq!(psma.probe_eq(1_000), ScanRange::EMPTY);
+    }
+
+    #[test]
+    fn probe_eq_ranges_always_cover_value_positions() {
+        // deterministic pseudo-random data: every occurrence of a probed value must be
+        // inside the returned range
+        let mut x = 12345u64;
+        let keys: Vec<i64> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 10_000) as i64
+            })
+            .collect();
+        let psma = Psma::build(&keys).unwrap();
+        for probe in [0i64, 1, 17, 500, 5_000, 9_999] {
+            let range = psma.probe_eq(probe);
+            for (pos, &k) in keys.iter().enumerate() {
+                if k == probe {
+                    assert!(
+                        (pos as u32) >= range.begin && (pos as u32) < range.end,
+                        "position {pos} of value {probe} outside range {range:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_range_covers_all_matching_positions() {
+        let keys: Vec<i64> = (0..1000).map(|i| (i * 37) % 1000).collect();
+        let psma = Psma::build(&keys).unwrap();
+        let (lo, hi) = (100, 300);
+        let range = psma.probe_range(lo, hi);
+        for (pos, &k) in keys.iter().enumerate() {
+            if k >= lo && k <= hi {
+                assert!((pos as u32) >= range.begin && (pos as u32) < range.end);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_range_outside_domain_is_empty() {
+        let psma = Psma::build(&[10, 20, 30]).unwrap();
+        assert!(psma.probe_range(40, 100).is_empty());
+        assert!(psma.probe_range(0, 9).is_empty());
+        assert!(!psma.probe_range(0, 15).is_empty());
+    }
+
+    #[test]
+    fn sorted_data_gives_tight_ranges() {
+        // On data sorted by the key, PSMA ranges should be narrow for small deltas.
+        let keys: Vec<i64> = (0..256).flat_map(|v| std::iter::repeat(v).take(4)).collect();
+        let psma = Psma::build(&keys).unwrap();
+        let r = psma.probe_eq(100);
+        assert_eq!(r, ScanRange { begin: 400, end: 404 });
+    }
+
+    #[test]
+    fn build_on_empty_input_returns_none() {
+        assert!(Psma::build(&[]).is_none());
+    }
+
+    #[test]
+    fn scan_range_set_operations() {
+        let a = ScanRange { begin: 10, end: 20 };
+        let b = ScanRange { begin: 15, end: 30 };
+        assert_eq!(a.union(&b), ScanRange { begin: 10, end: 30 });
+        assert_eq!(a.intersect(&b), ScanRange { begin: 15, end: 20 });
+        assert_eq!(a.union(&ScanRange::EMPTY), a);
+        assert_eq!(ScanRange::EMPTY.union(&b), b);
+        assert!(a.intersect(&ScanRange { begin: 30, end: 40 }).is_empty());
+        assert_eq!(ScanRange::full(5), ScanRange { begin: 0, end: 5 });
+        assert_eq!(a.len(), 10);
+        assert_eq!(ScanRange::EMPTY.len(), 0);
+    }
+
+    #[test]
+    fn negative_keys_are_supported() {
+        let keys = [-100i64, -50, 0, 50, 100];
+        let psma = Psma::build(&keys).unwrap();
+        assert_eq!(psma.min(), -100);
+        let r = psma.probe_eq(-50);
+        assert!(r.begin <= 1 && r.end > 1);
+        assert!(psma.probe_eq(-101).is_empty());
+    }
+}

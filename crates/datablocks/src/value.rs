@@ -1,0 +1,266 @@
+//! Logical value model shared by hot (uncompressed) chunks and frozen Data Blocks.
+//!
+//! The logical type system is intentionally small — 64-bit integers (which also carry
+//! dates as day numbers and `char(1)` as code points, as the paper does), 64-bit
+//! floating point, and variable-length strings. What varies per block is not the
+//! *logical* type but the *physical* compression chosen for the value distribution of
+//! that attribute in that block.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical data type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer. Also used for dates (days since 1970-01-01), decimals
+    /// scaled to integers (e.g. cents), and `char(1)` code points.
+    Int,
+    /// 64-bit IEEE-754 floating point. Never truncated (Sec. 3.3).
+    Double,
+    /// Variable-length UTF-8 string. Always dictionary-compressed to integer codes in
+    /// Data Blocks.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Double => write!(f, "double"),
+            DataType::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// A single attribute value (owned). Used for point accesses, predicate constants and
+/// row-wise OLTP operations; bulk operations use the typed columnar representations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// An [`DataType::Int`] value.
+    Int(i64),
+    /// A [`DataType::Double`] value.
+    Double(f64),
+    /// A [`DataType::Str`] value.
+    Str(String),
+}
+
+impl Value {
+    /// The logical type of the value, or `None` for NULL (NULL is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer, if the value is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a double, if the value is one (integers widen losslessly where exact).
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL-style comparison: NULL compares as unknown (`None`); values of different
+    /// types do not compare.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Double(a), Value::Double(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Double(b)) => (*a as f64).partial_cmp(b),
+            (Value::Double(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order used for sorting (NULLs first, then by type, then by value).
+    /// Doubles use IEEE total ordering so the function is a valid `Ord`-style key.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Double(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Convert a calendar date to the day number used for `Int` date columns.
+///
+/// Implements the proleptic-Gregorian civil-day algorithm (Howard Hinnant's
+/// `days_from_civil`), so workload generators and queries agree on date arithmetic
+/// without any external dependency.
+pub fn date_to_days(year: i32, month: u32, day: u32) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = month as i64;
+    let d = day as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`date_to_days`]: day number back to `(year, month, day)`.
+pub fn days_to_date(days: i64) -> (i32, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_type_and_accessors() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Double(1.5).data_type(), Some(DataType::Double));
+        assert_eq!(Value::from("x").data_type(), Some(DataType::Str));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_double(), Some(7.0));
+        assert_eq!(Value::from("abc").as_str(), Some("abc"));
+        assert_eq!(Value::Double(2.0).as_int(), None);
+    }
+
+    #[test]
+    fn sql_cmp_with_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_mixed_numeric() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Double(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn sql_cmp_incompatible_types() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::from("1")), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        let mut v = vec![Value::Int(5), Value::Null, Value::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Value::Null);
+        assert_eq!(v[1], Value::Int(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(DataType::Str.to_string(), "string");
+    }
+
+    #[test]
+    fn date_roundtrip_epoch_and_known_dates() {
+        assert_eq!(date_to_days(1970, 1, 1), 0);
+        assert_eq!(date_to_days(1970, 1, 2), 1);
+        assert_eq!(date_to_days(1969, 12, 31), -1);
+        // TPC-H date domain endpoints
+        assert_eq!(days_to_date(date_to_days(1992, 1, 1)), (1992, 1, 1));
+        assert_eq!(days_to_date(date_to_days(1998, 12, 31)), (1998, 12, 31));
+        // leap day
+        assert_eq!(days_to_date(date_to_days(2000, 2, 29)), (2000, 2, 29));
+    }
+
+    #[test]
+    fn date_ordering_is_monotonic() {
+        let mut prev = date_to_days(1987, 10, 1);
+        for m in 1..=12u32 {
+            let d = date_to_days(1988, m, 15);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+}

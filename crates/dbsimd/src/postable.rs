@@ -1,0 +1,212 @@
+//! Pre-computed movemask → match-positions tables.
+//!
+//! A SIMD comparison yields a bit-mask with one bit per processed lane. Converting
+//! that mask into the *positions* of the matching lanes with a loop or a tree
+//! reduction costs O(n) or O(log n) per mask; the paper instead uses a pre-computed
+//! table so the conversion is a single constant-time lookup (Section 4.2, Figure 7).
+//!
+//! The table is limited to 2^8 entries (one per possible 8-bit mask). Wider masks —
+//! e.g. the 32-bit mask produced by a 32-way 8-bit comparison in an AVX2 register —
+//! are processed one byte at a time with multiple lookups, exactly as the paper's
+//! Appendix C does. The whole table is 256 × (8 × 4 B + 4 B) = 9 KB and fits in L1.
+
+/// One entry of the positions table: the lane indexes of the set bits of an 8-bit
+/// mask, plus how many bits were set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PosEntry {
+    /// Number of set bits in the mask (0..=8).
+    pub count: u8,
+    /// Lane indexes of the set bits, in ascending order. Slots past `count` are 0 and
+    /// must be ignored (they are "don't care" values overwritten by the next store,
+    /// mirroring the paper's Figure 7(b)).
+    pub pos: [u8; 8],
+}
+
+impl PosEntry {
+    /// The matching lane indexes as a slice.
+    pub fn positions(&self) -> &[u8] {
+        &self.pos[..self.count as usize]
+    }
+}
+
+const fn build_table() -> [PosEntry; 256] {
+    let mut table = [PosEntry { count: 0, pos: [0u8; 8] }; 256];
+    let mut mask = 0usize;
+    while mask < 256 {
+        let mut count = 0u8;
+        let mut bit = 0u8;
+        while bit < 8 {
+            if (mask >> bit) & 1 == 1 {
+                table[mask].pos[count as usize] = bit;
+                count += 1;
+            }
+            bit += 1;
+        }
+        table[mask].count = count;
+        mask += 1;
+    }
+    table
+}
+
+/// The 256-entry positions table for 8-bit masks.
+pub static POSITIONS_8: [PosEntry; 256] = build_table();
+
+/// Positions table pre-widened to `i32` lanes, laid out so an AVX2 kernel can load a
+/// full entry with a single 256-bit load and add the scan position vector to it
+/// (mirrors the `matchTable` of the paper's Appendix C, minus the count packed into
+/// the low bits — the count lives in [`COUNTS_8`] instead, which avoids the extra
+/// shift in the hot loop).
+pub static POSITIONS_8_I32: [[i32; 8]; 256] = build_table_i32();
+
+/// Number of set bits for every 8-bit mask (companion to [`POSITIONS_8_I32`]).
+pub static COUNTS_8: [u8; 256] = build_counts();
+
+const fn build_table_i32() -> [[i32; 8]; 256] {
+    let mut table = [[0i32; 8]; 256];
+    let mut mask = 0usize;
+    while mask < 256 {
+        let mut count = 0usize;
+        let mut bit = 0;
+        while bit < 8 {
+            if (mask >> bit) & 1 == 1 {
+                table[mask][count] = bit as i32;
+                count += 1;
+            }
+            bit += 1;
+        }
+        mask += 1;
+    }
+    table
+}
+
+const fn build_counts() -> [u8; 256] {
+    let mut counts = [0u8; 256];
+    let mut mask = 0usize;
+    while mask < 256 {
+        counts[mask] = (mask as u32).count_ones() as u8;
+        mask += 1;
+    }
+    counts
+}
+
+/// Positions table for 4-bit masks (used by the 4-lane 64-bit kernels, where
+/// `movemask_pd` yields only four bits). Each entry holds at most 4 positions.
+pub static POSITIONS_4_I32: [[i32; 4]; 16] = build_table_4();
+
+/// Number of set bits for every 4-bit mask (companion to [`POSITIONS_4_I32`]).
+pub static COUNTS_4: [u8; 16] = build_counts_4();
+
+const fn build_table_4() -> [[i32; 4]; 16] {
+    let mut table = [[0i32; 4]; 16];
+    let mut mask = 0usize;
+    while mask < 16 {
+        let mut count = 0usize;
+        let mut bit = 0;
+        while bit < 4 {
+            if (mask >> bit) & 1 == 1 {
+                table[mask][count] = bit as i32;
+                count += 1;
+            }
+            bit += 1;
+        }
+        mask += 1;
+    }
+    table
+}
+
+const fn build_counts_4() -> [u8; 16] {
+    let mut counts = [0u8; 16];
+    let mut mask = 0usize;
+    while mask < 16 {
+        counts[mask] = (mask as u32).count_ones() as u8;
+        mask += 1;
+    }
+    counts
+}
+
+/// Expand an 8-bit mask into the positions of its set bits using the table.
+///
+/// This is the scalar-visible interface used by tests and by the bit-packing
+/// baseline's "robust" variant (Section 5.4 applies the same table to make
+/// bit-packing insensitive to selectivity).
+#[inline]
+pub fn expand_mask8(mask: u8, base: u32, out: &mut Vec<u32>) -> usize {
+    let entry = &POSITIONS_8[mask as usize];
+    for &p in entry.positions() {
+        out.push(base + p as u32);
+    }
+    entry.count as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_zero_is_empty() {
+        assert_eq!(POSITIONS_8[0].count, 0);
+        assert!(POSITIONS_8[0].positions().is_empty());
+    }
+
+    #[test]
+    fn entry_all_ones() {
+        let e = &POSITIONS_8[0xFF];
+        assert_eq!(e.count, 8);
+        assert_eq!(e.positions(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn paper_example_mask_154() {
+        // Figure 7(a): movemask 0b10011010 = 154 decodes to lanes {1, 3, 4, 7}
+        // (bit order: LSB = lane 0). The figure counts lanes from the left, the code
+        // counts from bit 0; either way the set-bit positions are what matters.
+        let e = &POSITIONS_8[0b1001_1010];
+        assert_eq!(e.positions(), &[1, 3, 4, 7]);
+    }
+
+    #[test]
+    fn counts_match_popcount() {
+        for mask in 0..=255u32 {
+            assert_eq!(POSITIONS_8[mask as usize].count as u32, mask.count_ones());
+            assert_eq!(COUNTS_8[mask as usize] as u32, mask.count_ones());
+        }
+    }
+
+    #[test]
+    fn i32_table_matches_u8_table() {
+        for mask in 0..256usize {
+            let e = &POSITIONS_8[mask];
+            for i in 0..e.count as usize {
+                assert_eq!(POSITIONS_8_I32[mask][i], e.pos[i] as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_matches_low_bits_of_table8() {
+        for mask in 0..16usize {
+            assert_eq!(COUNTS_4[mask], COUNTS_8[mask]);
+            for i in 0..COUNTS_4[mask] as usize {
+                assert_eq!(POSITIONS_4_I32[mask][i], POSITIONS_8_I32[mask][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_are_strictly_increasing() {
+        for mask in 0..256usize {
+            let e = &POSITIONS_8[mask];
+            for w in e.positions().windows(2) {
+                assert!(w[0] < w[1], "mask {mask:#010b}");
+            }
+        }
+    }
+
+    #[test]
+    fn expand_mask8_appends_with_base() {
+        let mut out = vec![99];
+        let n = expand_mask8(0b0000_0101, 10, &mut out);
+        assert_eq!(n, 2);
+        assert_eq!(out, vec![99, 10, 12]);
+    }
+}

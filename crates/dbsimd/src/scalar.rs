@@ -1,0 +1,142 @@
+//! Portable branch-free scalar kernels.
+//!
+//! These are the "x86" baselines of the paper's Figures 8 and 9: plain scalar code
+//! that writes the candidate position unconditionally and advances the write cursor
+//! by the boolean outcome of the comparison, so the hot loop contains no
+//! data-dependent branches regardless of selectivity.
+
+use crate::predicate::{CodeWord, RangePredicate};
+
+/// Find all matches of `pred` in `data`, appending `base + index` for every match.
+///
+/// Returns the number of matches appended to `out`.
+pub fn find_matches_scalar<T: CodeWord>(
+    data: &[T],
+    pred: &RangePredicate<T>,
+    base: u32,
+    out: &mut Vec<u32>,
+) -> usize {
+    if pred.is_empty() {
+        return 0;
+    }
+    let start = out.len();
+    out.reserve(data.len());
+    // Branch-free selection: write the position unconditionally, advance the write
+    // cursor only when the predicate holds. The unsafe block writes only into memory
+    // reserved above and the final set_len never exceeds `start + data.len()`.
+    unsafe {
+        let ptr = out.as_mut_ptr().add(start);
+        let mut w = 0usize;
+        for (i, &v) in data.iter().enumerate() {
+            *ptr.add(w) = base + i as u32;
+            w += pred.contains(v) as usize;
+        }
+        out.set_len(start + w);
+        w
+    }
+}
+
+/// Reduce an existing match vector by an additional conjunctive predicate.
+///
+/// Positions in `matches` refer to `data[(p - base) as usize]`. Returns the number of
+/// surviving matches.
+pub fn reduce_matches_scalar<T: CodeWord>(
+    data: &[T],
+    pred: &RangePredicate<T>,
+    base: u32,
+    matches: &mut Vec<u32>,
+) -> usize {
+    if pred.is_empty() {
+        matches.clear();
+        return 0;
+    }
+    let mut w = 0usize;
+    for r in 0..matches.len() {
+        let pos = matches[r];
+        let idx = (pos - base) as usize;
+        let v = data[idx];
+        matches[w] = pos;
+        w += pred.contains(v) as usize;
+    }
+    matches.truncate(w);
+    w
+}
+
+/// Count matches without materialising positions (used by SMA-only scans and by the
+/// unit tests as an independent oracle).
+pub fn count_matches_scalar<T: CodeWord>(data: &[T], pred: &RangePredicate<T>) -> usize {
+    data.iter().filter(|&&v| pred.contains(v)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_all_and_none() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut out = Vec::new();
+        let n = find_matches_scalar(&data, &RangePredicate::all(), 0, &mut out);
+        assert_eq!(n, 256);
+        assert_eq!(out.len(), 256);
+        out.clear();
+        let n = find_matches_scalar(&data, &RangePredicate::empty(), 0, &mut out);
+        assert_eq!(n, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn find_respects_base_offset() {
+        let data: Vec<u16> = vec![5, 10, 15, 20];
+        let mut out = Vec::new();
+        find_matches_scalar(&data, &RangePredicate::between(10, 15), 1000, &mut out);
+        assert_eq!(out, vec![1001, 1002]);
+    }
+
+    #[test]
+    fn find_appends_after_existing_content() {
+        let data: Vec<u32> = vec![1, 2, 3];
+        let mut out = vec![7, 8];
+        find_matches_scalar(&data, &RangePredicate::at_least(2), 0, &mut out);
+        assert_eq!(out, vec![7, 8, 1, 2]);
+    }
+
+    #[test]
+    fn reduce_keeps_order_and_filters() {
+        let data: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let mut matches: Vec<u32> = (0..100).collect();
+        let n = reduce_matches_scalar(&data, &RangePredicate::between(30, 60), 0, &mut matches);
+        // values 30..=60 that are multiples of 3: 30,33,...,60 → indices 10..=20
+        assert_eq!(n, 11);
+        assert_eq!(matches, (10..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn reduce_with_base() {
+        let data: Vec<u64> = vec![100, 200, 300];
+        let mut matches = vec![50, 51, 52];
+        reduce_matches_scalar(&data, &RangePredicate::at_most(200), 50, &mut matches);
+        assert_eq!(matches, vec![50, 51]);
+    }
+
+    #[test]
+    fn reduce_empty_predicate_clears() {
+        let data: Vec<u8> = vec![1, 2, 3];
+        let mut matches = vec![0, 1, 2];
+        let n = reduce_matches_scalar(&data, &RangePredicate::empty(), 0, &mut matches);
+        assert_eq!(n, 0);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn count_is_consistent_with_find() {
+        let data: Vec<u16> = (0..10_000).map(|i| (i * 17 % 1024) as u16).collect();
+        let pred = RangePredicate::between(100u16, 300);
+        let mut out = Vec::new();
+        let found = find_matches_scalar(&data, &pred, 0, &mut out);
+        assert_eq!(found, count_matches_scalar(&data, &pred));
+        for &p in &out {
+            assert!(pred.contains(data[p as usize]));
+        }
+    }
+}

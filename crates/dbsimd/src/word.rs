@@ -1,0 +1,161 @@
+//! Per-width dispatch between the scalar, SSE and AVX2 kernels.
+
+use crate::predicate::{CodeWord, RangePredicate};
+use crate::scalar;
+use crate::IsaLevel;
+
+/// The code-word widths supported by the SIMD kernels (1-, 2-, 4- and 8-byte unsigned
+/// integers — exactly the widths Data Blocks compress attributes into).
+///
+/// The trait is sealed: the kernels are hand-written per width and the set of widths
+/// is fixed by the storage format.
+pub trait ScanWord: CodeWord + sealed::Sealed {
+    /// Dispatch a find-matches call to the kernel for the requested ISA level.
+    fn find(
+        isa: IsaLevel,
+        data: &[Self],
+        pred: &RangePredicate<Self>,
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> usize;
+
+    /// Dispatch a reduce-matches call to the kernel for the requested ISA level.
+    fn reduce(
+        isa: IsaLevel,
+        data: &[Self],
+        pred: &RangePredicate<Self>,
+        base: u32,
+        matches: &mut Vec<u32>,
+    ) -> usize;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+}
+
+macro_rules! impl_scan_word {
+    ($t:ty, $find_sse:path, $find_avx2:path, $reduce_avx2:expr) => {
+        impl ScanWord for $t {
+            fn find(
+                isa: IsaLevel,
+                data: &[Self],
+                pred: &RangePredicate<Self>,
+                base: u32,
+                out: &mut Vec<u32>,
+            ) -> usize {
+                match isa {
+                    IsaLevel::Scalar => scalar::find_matches_scalar(data, pred, base, out),
+                    #[cfg(target_arch = "x86_64")]
+                    IsaLevel::Sse => unsafe { $find_sse(data, pred, base, out) },
+                    #[cfg(target_arch = "x86_64")]
+                    IsaLevel::Avx2 => unsafe { $find_avx2(data, pred, base, out) },
+                    #[cfg(not(target_arch = "x86_64"))]
+                    _ => scalar::find_matches_scalar(data, pred, base, out),
+                }
+            }
+
+            fn reduce(
+                isa: IsaLevel,
+                data: &[Self],
+                pred: &RangePredicate<Self>,
+                base: u32,
+                matches: &mut Vec<u32>,
+            ) -> usize {
+                match isa {
+                    #[cfg(target_arch = "x86_64")]
+                    IsaLevel::Avx2 => {
+                        let f: Option<
+                            unsafe fn(&[Self], &RangePredicate<Self>, u32, &mut Vec<u32>) -> usize,
+                        > = $reduce_avx2;
+                        match f {
+                            Some(kernel) => unsafe { kernel(data, pred, base, matches) },
+                            None => scalar::reduce_matches_scalar(data, pred, base, matches),
+                        }
+                    }
+                    _ => scalar::reduce_matches_scalar(data, pred, base, matches),
+                }
+            }
+        }
+    };
+}
+
+// 8- and 16-bit reduce kernels fall back to scalar: AVX2 has no 8/16-bit gathers, and
+// the paper notes the emulated gathers bring no benefit for those widths.
+impl_scan_word!(u8, crate::sse::find_matches_u8, crate::avx2::find_matches_u8, None);
+impl_scan_word!(u16, crate::sse::find_matches_u16, crate::avx2::find_matches_u16, None);
+impl_scan_word!(
+    u32,
+    crate::sse::find_matches_u32,
+    crate::avx2::find_matches_u32,
+    Some(crate::avx2::reduce_matches_u32)
+);
+
+// SSE u64 find is a plain (safe) scalar delegate, so wrap it to match the unsafe ABI
+// expected by the macro.
+#[cfg(target_arch = "x86_64")]
+unsafe fn sse_find_u64(
+    data: &[u64],
+    pred: &RangePredicate<u64>,
+    base: u32,
+    out: &mut Vec<u32>,
+) -> usize {
+    crate::sse::find_matches_u64(data, pred, base, out)
+}
+
+impl_scan_word!(
+    u64,
+    sse_find_u64,
+    crate::avx2::find_matches_u64,
+    Some(crate::avx2::reduce_matches_u64)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{find_matches, reduce_matches};
+
+    fn gen_u32(n: usize, modulus: u32) -> Vec<u32> {
+        let mut x = 0xACE1u32;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x % modulus
+            })
+            .collect()
+    }
+
+    fn check_all_isas<T: ScanWord>(data: &[T], pred: RangePredicate<T>) {
+        let mut expected = Vec::new();
+        scalar::find_matches_scalar(data, &pred, 0, &mut expected);
+        for isa in IsaLevel::available() {
+            let mut got = Vec::new();
+            find_matches(isa, data, &pred, 0, &mut got);
+            assert_eq!(got, expected, "find isa={isa:?}");
+
+            let mut all: Vec<u32> = (0..data.len() as u32).collect();
+            let mut all_expected = all.clone();
+            scalar::reduce_matches_scalar(data, &pred, 0, &mut all_expected);
+            reduce_matches(isa, data, &pred, 0, &mut all);
+            assert_eq!(all, all_expected, "reduce isa={isa:?}");
+        }
+    }
+
+    #[test]
+    fn all_widths_all_isas_agree() {
+        let raw = gen_u32(3_333, 60_000);
+        let d8: Vec<u8> = raw.iter().map(|&v| (v % 256) as u8).collect();
+        check_all_isas::<u8>(&d8, RangePredicate::between(40, 200));
+        let d16: Vec<u16> = raw.iter().map(|&v| v as u16).collect();
+        check_all_isas::<u16>(&d16, RangePredicate::between(5_000, 30_000));
+        let d32: Vec<u32> = raw.iter().map(|&v| v * 7).collect();
+        check_all_isas::<u32>(&d32, RangePredicate::between(10_000, 200_000));
+        let d64: Vec<u64> = d32.iter().map(|&v| v as u64 * 1_000_003).collect();
+        check_all_isas::<u64>(&d64, RangePredicate::at_least(50_000_000));
+    }
+}

@@ -1,0 +1,176 @@
+//! Tuple batches — the unit of data flowing between the vectorized scan subsystem and
+//! the relational operators above it.
+//!
+//! A batch holds up to one vector's worth of records (8192 by default) in columnar
+//! form. The scan materialises requested attributes of matching records into a batch;
+//! operators then either process the batch column-wise (vectorized) or iterate its
+//! rows tuple at a time (the JIT-compiled pipeline of the paper pushes single tuples —
+//! our pipeline reads rows out of the batch, which preserves the same dataflow while
+//! staying interpretable).
+
+use datablocks::{Column, DataType, Value};
+
+/// A columnar batch of tuples.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    columns: Vec<Column>,
+}
+
+impl Batch {
+    /// An empty batch with the given column types.
+    pub fn new(types: &[DataType]) -> Batch {
+        Batch { columns: types.iter().map(|&t| Column::new(t)).collect() }
+    }
+
+    /// Wrap existing columns (all must have equal length).
+    pub fn from_columns(columns: Vec<Column>) -> Batch {
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "all batch columns must have the same length"
+            );
+        }
+        Batch { columns }
+    }
+
+    /// Build a batch from rows (mostly used in tests and by pipeline breakers).
+    pub fn from_rows(types: &[DataType], rows: &[Vec<Value>]) -> Batch {
+        let mut batch = Batch::new(types);
+        for row in rows {
+            batch.push_row(row.clone());
+        }
+        batch
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// True if the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Borrow all columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Mutably borrow all columns (used by the scan when unpacking directly into the
+    /// batch).
+    pub fn columns_mut(&mut self) -> &mut [Column] {
+        &mut self.columns
+    }
+
+    /// Read a single value.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Read a whole tuple.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Append a tuple.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity must match the batch");
+        for (column, value) in self.columns.iter_mut().zip(row) {
+            column.push(value);
+        }
+    }
+
+    /// Append every tuple of `other` (schemas must match positionally).
+    pub fn append(&mut self, other: &Batch) {
+        assert_eq!(self.column_count(), other.column_count());
+        for row in 0..other.len() {
+            self.push_row(other.row(row));
+        }
+    }
+
+    /// Keep only the rows at the given indexes (in the given order).
+    pub fn take(&self, rows: &[usize]) -> Batch {
+        let mut out = Batch::new(&self.types());
+        for &row in rows {
+            out.push_row(self.row(row));
+        }
+        out
+    }
+
+    /// The column types of the batch.
+    pub fn types(&self) -> Vec<DataType> {
+        self.columns.iter().map(|c| c.data_type()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            &[DataType::Int, DataType::Str],
+            &[
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b".into())],
+                vec![Value::Int(3), Value::Str("c".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let b = batch();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.column_count(), 2);
+        assert_eq!(b.value(1, 0), Value::Int(2));
+        assert_eq!(b.row(2), vec![Value::Int(3), Value::Str("c".into())]);
+        assert_eq!(b.types(), vec![DataType::Int, DataType::Str]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn push_and_append() {
+        let mut b = batch();
+        b.push_row(vec![Value::Int(4), Value::Str("d".into())]);
+        assert_eq!(b.len(), 4);
+        let other = batch();
+        b.append(&other);
+        assert_eq!(b.len(), 7);
+    }
+
+    #[test]
+    fn take_selects_rows_in_order() {
+        let b = batch();
+        let t = b.take(&[2, 0]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(0, 0), Value::Int(3));
+        assert_eq!(t.value(1, 0), Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        batch().push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_columns_rejected() {
+        Batch::from_columns(vec![
+            Column::from_data(datablocks::ColumnData::Int(vec![1, 2])),
+            Column::from_data(datablocks::ColumnData::Int(vec![1])),
+        ]);
+    }
+}

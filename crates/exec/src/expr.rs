@@ -1,0 +1,282 @@
+//! Scalar expressions evaluated inside query pipelines (projections, aggregate
+//! inputs, residual predicates).
+//!
+//! The expression language is deliberately small — column references, constants,
+//! arithmetic, and comparisons/boolean connectives — which is all the reproduced
+//! queries need. SARGable base-table restrictions do **not** go through this module;
+//! they are pushed into the scan as [`datablocks::Restriction`]s where they can be
+//! evaluated on compressed data with SIMD.
+
+use datablocks::scan::CmpOpOrderingExt;
+use datablocks::{CmpOp, Value};
+
+use crate::batch::Batch;
+
+/// An arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (NULL on division by zero, like SQL).
+    Div,
+}
+
+/// A scalar expression over the columns of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to column `n` of the input batch.
+    Col(usize),
+    /// A literal constant.
+    Const(Value),
+    /// Arithmetic between two sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Comparison between two sub-expressions (yields `Int(1)` / `Int(0)` / NULL).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND of two boolean sub-expressions.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR of two boolean sub-expressions.
+    Or(Box<Expr>, Box<Expr>),
+    /// `CASE WHEN cond THEN a ELSE b END`.
+    Case(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(idx: usize) -> Expr {
+        Expr::Col(idx)
+    }
+
+    /// Literal constant.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Const(value.into())
+    }
+
+    /// `self + other`
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// `self / other`
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Div, Box::new(self), Box::new(other))
+    }
+
+    /// `self <op> other` as a boolean (0/1) expression.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// Logical AND.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Logical OR.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate the expression for one tuple of a batch.
+    pub fn eval(&self, batch: &Batch, row: usize) -> Value {
+        match self {
+            Expr::Col(idx) => batch.value(row, *idx),
+            Expr::Const(v) => v.clone(),
+            Expr::Arith(op, lhs, rhs) => {
+                arith(*op, &lhs.eval(batch, row), &rhs.eval(batch, row))
+            }
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = lhs.eval(batch, row);
+                let r = rhs.eval(batch, row);
+                match l.sql_cmp(&r) {
+                    Some(ord) => Value::Int(op.eval_ordering(ord) as i64),
+                    None => Value::Null,
+                }
+            }
+            Expr::And(lhs, rhs) => {
+                match (truthy(&lhs.eval(batch, row)), truthy(&rhs.eval(batch, row))) {
+                    (Some(false), _) | (_, Some(false)) => Value::Int(0),
+                    (Some(true), Some(true)) => Value::Int(1),
+                    _ => Value::Null,
+                }
+            }
+            Expr::Or(lhs, rhs) => {
+                match (truthy(&lhs.eval(batch, row)), truthy(&rhs.eval(batch, row))) {
+                    (Some(true), _) | (_, Some(true)) => Value::Int(1),
+                    (Some(false), Some(false)) => Value::Int(0),
+                    _ => Value::Null,
+                }
+            }
+            Expr::Case(cond, then, otherwise) => {
+                if truthy(&cond.eval(batch, row)).unwrap_or(false) {
+                    then.eval(batch, row)
+                } else {
+                    otherwise.eval(batch, row)
+                }
+            }
+        }
+    }
+
+    /// Evaluate the expression as a boolean filter for one tuple (NULL → false).
+    pub fn eval_bool(&self, batch: &Batch, row: usize) -> bool {
+        truthy(&self.eval(batch, row)).unwrap_or(false)
+    }
+}
+
+/// SQL-ish truthiness: integers/doubles are true when non-zero, NULL is unknown.
+fn truthy(value: &Value) -> Option<bool> {
+    match value {
+        Value::Null => None,
+        Value::Int(v) => Some(*v != 0),
+        Value::Double(v) => Some(*v != 0.0),
+        Value::Str(s) => Some(!s.is_empty()),
+    }
+}
+
+/// Numeric arithmetic with SQL NULL propagation. Integer op integer stays integer
+/// (except division, which widens to double to avoid silent truncation); any double
+/// operand widens the result to double.
+pub fn arith(op: ArithOp, lhs: &Value, rhs: &Value) -> Value {
+    match (lhs, rhs) {
+        (Value::Null, _) | (_, Value::Null) => Value::Null,
+        (Value::Int(a), Value::Int(b)) => match op {
+            ArithOp::Add => Value::Int(a + b),
+            ArithOp::Sub => Value::Int(a - b),
+            ArithOp::Mul => Value::Int(a * b),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(*a as f64 / *b as f64)
+                }
+            }
+        },
+        _ => {
+            let a = lhs.as_double();
+            let b = rhs.as_double();
+            match (a, b) {
+                (Some(a), Some(b)) => match op {
+                    ArithOp::Add => Value::Double(a + b),
+                    ArithOp::Sub => Value::Double(a - b),
+                    ArithOp::Mul => Value::Double(a * b),
+                    ArithOp::Div => {
+                        if b == 0.0 {
+                            Value::Null
+                        } else {
+                            Value::Double(a / b)
+                        }
+                    }
+                },
+                _ => Value::Null,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datablocks::DataType;
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            &[DataType::Int, DataType::Double, DataType::Str],
+            &[
+                vec![Value::Int(10), Value::Double(0.5), Value::Str("x".into())],
+                vec![Value::Int(20), Value::Double(0.25), Value::Str("".into())],
+                vec![Value::Null, Value::Double(1.0), Value::Str("z".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn column_and_const() {
+        let b = batch();
+        assert_eq!(Expr::col(0).eval(&b, 1), Value::Int(20));
+        assert_eq!(Expr::lit(7i64).eval(&b, 0), Value::Int(7));
+    }
+
+    #[test]
+    fn arithmetic_int_and_double() {
+        let b = batch();
+        // price * (1 - discount), the Q1/Q6 shape
+        let e = Expr::col(0).mul(Expr::lit(1.0).sub(Expr::col(1)));
+        assert_eq!(e.eval(&b, 0), Value::Double(5.0));
+        assert_eq!(e.eval(&b, 1), Value::Double(15.0));
+        // integer arithmetic stays integral
+        assert_eq!(Expr::col(0).add(Expr::lit(5i64)).eval(&b, 0), Value::Int(15));
+        assert_eq!(Expr::col(0).sub(Expr::lit(5i64)).eval(&b, 1), Value::Int(15));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let b = batch();
+        assert_eq!(Expr::col(0).div(Expr::lit(0i64)).eval(&b, 0), Value::Null);
+        assert_eq!(Expr::col(1).div(Expr::lit(0.0)).eval(&b, 0), Value::Null);
+        assert_eq!(Expr::col(0).div(Expr::lit(4i64)).eval(&b, 0), Value::Double(2.5));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let b = batch();
+        assert_eq!(Expr::col(0).add(Expr::lit(1i64)).eval(&b, 2), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        let b = batch();
+        let gt = Expr::col(0).cmp(CmpOp::Gt, Expr::lit(15i64));
+        assert_eq!(gt.eval(&b, 0), Value::Int(0));
+        assert_eq!(gt.eval(&b, 1), Value::Int(1));
+        assert_eq!(gt.eval(&b, 2), Value::Null);
+        assert!(!gt.eval_bool(&b, 2), "NULL comparison filters out the row");
+
+        let and = Expr::col(0)
+            .cmp(CmpOp::Ge, Expr::lit(10i64))
+            .and(Expr::col(1).cmp(CmpOp::Lt, Expr::lit(0.4)));
+        assert!(!and.eval_bool(&b, 0));
+        assert!(and.eval_bool(&b, 1));
+
+        let or = Expr::col(0)
+            .cmp(CmpOp::Eq, Expr::lit(10i64))
+            .or(Expr::col(2).cmp(CmpOp::Eq, Expr::lit("z")));
+        assert!(or.eval_bool(&b, 0));
+        assert!(or.eval_bool(&b, 2));
+        assert!(!or.eval_bool(&b, 1));
+    }
+
+    #[test]
+    fn case_expression() {
+        let b = batch();
+        let e = Expr::Case(
+            Box::new(Expr::col(0).cmp(CmpOp::Ge, Expr::lit(15i64))),
+            Box::new(Expr::lit("big")),
+            Box::new(Expr::lit("small")),
+        );
+        assert_eq!(e.eval(&b, 0), Value::Str("small".into()));
+        assert_eq!(e.eval(&b, 1), Value::Str("big".into()));
+        // NULL condition falls through to the ELSE branch
+        assert_eq!(e.eval(&b, 2), Value::Str("small".into()));
+    }
+
+    #[test]
+    fn string_truthiness_in_boolean_context() {
+        let b = batch();
+        let e = Expr::col(2).and(Expr::lit(1i64));
+        assert!(e.eval_bool(&b, 0));
+        assert!(!e.eval_bool(&b, 1), "empty string is falsy");
+    }
+}

@@ -1,0 +1,74 @@
+//! # exec — vectorized scans feeding (simulated) JIT query pipelines
+//!
+//! This crate implements the query-processing half of the paper: an **interpreted
+//! vectorized scan subsystem** that works over both hot uncompressed chunks and cold
+//! compressed Data Blocks behind a single interface (Figure 6), the **relational
+//! operators** consuming those batches, and a **compile-time model** quantifying why
+//! a tuple-at-a-time JIT engine cannot simply unroll one code path per storage-layout
+//! combination (Figure 5).
+//!
+//! ```
+//! use exec::prelude::*;
+//! use datablocks::{DataType, Value};
+//! use storage::{ColumnDef, Relation, Schema};
+//!
+//! // A small relation, fully frozen into Data Blocks.
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("id", DataType::Int),
+//!     ColumnDef::new("qty", DataType::Int),
+//! ]);
+//! let mut rel = Relation::with_chunk_capacity("t", schema, 1024);
+//! for i in 0..5_000 {
+//!     rel.insert(vec![Value::Int(i), Value::Int(i % 100)]);
+//! }
+//! rel.freeze_all();
+//!
+//! // select count(*), sum(qty) from t where qty between 10 and 19
+//! let scan = RelationScanner::new(
+//!     &rel,
+//!     vec![1],
+//!     vec![Restriction::between(1, 10i64, 19i64)],
+//!     ScanConfig::default(),
+//! );
+//! let mut agg = HashAggregateOp::new(
+//!     Box::new(ScanOp::new(scan)),
+//!     vec![],
+//!     vec![],
+//!     vec![
+//!         AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+//!         AggSpec::new(AggFunc::Sum, Expr::col(0), DataType::Int),
+//!     ],
+//! );
+//! let result = agg.collect_all();
+//! assert_eq!(result.value(0, 0), Value::Int(500));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod expr;
+pub mod jit;
+pub mod ops;
+pub mod scan;
+
+pub use batch::Batch;
+pub use expr::{arith, ArithOp, Expr};
+pub use jit::{JitCostModel, ScanCodegen};
+pub use ops::{
+    collect_operator, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp, HashJoinOp,
+    JoinType, Operator, ProjectOp, ScanOp, SortKey, SortOp, ValuesOp,
+};
+pub use scan::{RelationScanner, ScanConfig, ScanMode, ScanStats};
+
+/// Commonly used items for building queries by hand.
+pub mod prelude {
+    pub use crate::batch::Batch;
+    pub use crate::expr::{ArithOp, Expr};
+    pub use crate::ops::{
+        collect_operator, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp, HashJoinOp,
+        JoinType, Operator, ProjectOp, ScanOp, SortKey, SortOp, ValuesOp,
+    };
+    pub use crate::scan::{RelationScanner, ScanConfig, ScanMode, ScanStats};
+    pub use datablocks::scan::Restriction;
+    pub use datablocks::{CmpOp, IsaLevel, ScanOptions};
+}

@@ -1,0 +1,784 @@
+//! Relational operators above the scan: filter, project, hash join, hash aggregation,
+//! sort and limit.
+//!
+//! HyPer fuses the operators of a pipeline into generated machine code; this
+//! reproduction keeps the same *pipeline structure* (scans feed non-materialising
+//! operators which feed pipeline breakers like hash tables and sorts) but executes it
+//! as an interpreted vector-at-a-time pull model. The relative behaviour the paper
+//! evaluates — how scan flavour, compression, SMAs and PSMAs change query runtime —
+//! is dominated by the scan work that happens below this module.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use datablocks::{DataType, Value};
+
+use crate::batch::Batch;
+use crate::expr::{arith, ArithOp, Expr};
+use crate::scan::RelationScanner;
+
+/// A pull-based operator producing batches of tuples.
+pub trait Operator {
+    /// Produce the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Option<Batch>;
+
+    /// The column types of produced batches.
+    fn output_types(&self) -> Vec<DataType>;
+
+    /// Drain the operator into one batch (convenience for pipeline breakers, tests
+    /// and result collection).
+    fn collect_all(&mut self) -> Batch
+    where
+        Self: Sized,
+    {
+        let mut out = Batch::new(&self.output_types());
+        while let Some(batch) = self.next_batch() {
+            out.append(&batch);
+        }
+        out
+    }
+}
+
+/// Boxed operator used to compose plans dynamically.
+pub type BoxedOperator<'a> = Box<dyn Operator + 'a>;
+
+/// Drain a boxed operator into a single batch.
+pub fn collect_operator(op: &mut dyn Operator) -> Batch {
+    let mut out = Batch::new(&op.output_types());
+    while let Some(batch) = op.next_batch() {
+        out.append(&batch);
+    }
+    out
+}
+
+// ----------------------------------------------------------------------------- scan
+
+/// Leaf operator: a relation scan (see [`crate::scan`]).
+pub struct ScanOp<'a> {
+    scanner: RelationScanner<'a>,
+}
+
+impl<'a> ScanOp<'a> {
+    /// Wrap a relation scanner.
+    pub fn new(scanner: RelationScanner<'a>) -> Self {
+        ScanOp { scanner }
+    }
+
+    /// Scan statistics gathered so far.
+    pub fn stats(&self) -> crate::scan::ScanStats {
+        self.scanner.stats()
+    }
+}
+
+impl<'a> Operator for ScanOp<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        self.scanner.next_batch()
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        self.scanner.output_types()
+    }
+}
+
+// --------------------------------------------------------------------------- filter
+
+/// Residual (non-SARGable) predicate evaluation, tuple at a time.
+pub struct FilterOp<'a> {
+    input: BoxedOperator<'a>,
+    predicate: Expr,
+}
+
+impl<'a> FilterOp<'a> {
+    /// Keep only tuples for which `predicate` evaluates to true.
+    pub fn new(input: BoxedOperator<'a>, predicate: Expr) -> Self {
+        FilterOp { input, predicate }
+    }
+}
+
+impl<'a> Operator for FilterOp<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let batch = self.input.next_batch()?;
+        let keep: Vec<usize> =
+            (0..batch.len()).filter(|&row| self.predicate.eval_bool(&batch, row)).collect();
+        Some(batch.take(&keep))
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        self.input.output_types()
+    }
+}
+
+// -------------------------------------------------------------------------- project
+
+/// Compute a new set of columns from expressions over the input.
+pub struct ProjectOp<'a> {
+    input: BoxedOperator<'a>,
+    exprs: Vec<Expr>,
+    types: Vec<DataType>,
+}
+
+impl<'a> ProjectOp<'a> {
+    /// Project `exprs`; `types` declares the output column types.
+    pub fn new(input: BoxedOperator<'a>, exprs: Vec<Expr>, types: Vec<DataType>) -> Self {
+        assert_eq!(exprs.len(), types.len());
+        ProjectOp { input, exprs, types }
+    }
+}
+
+impl<'a> Operator for ProjectOp<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let batch = self.input.next_batch()?;
+        let mut out = Batch::new(&self.types);
+        for row in 0..batch.len() {
+            out.push_row(self.exprs.iter().map(|e| e.eval(&batch, row)).collect());
+        }
+        Some(out)
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+}
+
+// ------------------------------------------------------------------------ aggregate
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the expression (NULLs ignored).
+    Sum,
+    /// Count of non-NULL expression values.
+    Count,
+    /// Count of all tuples (`count(*)`).
+    CountStar,
+    /// Arithmetic mean of non-NULL values.
+    Avg,
+    /// Minimum non-NULL value.
+    Min,
+    /// Maximum non-NULL value.
+    Max,
+}
+
+/// One aggregate to compute: the function, its input expression and the declared
+/// output type.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The aggregated expression (ignored for `CountStar`).
+    pub expr: Expr,
+    /// Declared output type of the aggregate column.
+    pub output: DataType,
+}
+
+impl AggSpec {
+    /// Convenience constructor.
+    pub fn new(func: AggFunc, expr: Expr, output: DataType) -> AggSpec {
+        AggSpec { func, expr, output }
+    }
+}
+
+/// Hashable wrapper for group-by keys (treats NULLs as equal to each other and hashes
+/// doubles by their bit pattern, which is what grouping semantics need).
+#[derive(Debug, Clone, PartialEq)]
+struct GroupKey(Vec<Value>);
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for value in &self.0 {
+            match value {
+                Value::Null => 0u8.hash(state),
+                Value::Int(v) => {
+                    1u8.hash(state);
+                    v.hash(state);
+                }
+                Value::Double(v) => {
+                    2u8.hash(state);
+                    v.to_bits().hash(state);
+                }
+                Value::Str(s) => {
+                    3u8.hash(state);
+                    s.hash(state);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AggState {
+    sum: Value,
+    count: i64,
+    min: Value,
+    max: Value,
+}
+
+impl AggState {
+    fn new() -> AggState {
+        AggState { sum: Value::Null, count: 0, min: Value::Null, max: Value::Null }
+    }
+
+    fn update(&mut self, value: &Value, count_star: bool) {
+        if count_star {
+            self.count += 1;
+            return;
+        }
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        self.sum = if self.sum.is_null() {
+            value.clone()
+        } else {
+            arith(ArithOp::Add, &self.sum, value)
+        };
+        if self.min.is_null() || matches!(value.sql_cmp(&self.min), Some(std::cmp::Ordering::Less)) {
+            self.min = value.clone();
+        }
+        if self.max.is_null() || matches!(value.sql_cmp(&self.max), Some(std::cmp::Ordering::Greater))
+        {
+            self.max = value.clone();
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Sum => self.sum.clone(),
+            AggFunc::Count | AggFunc::CountStar => Value::Int(self.count),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    arith(ArithOp::Div, &self.sum, &Value::Int(self.count))
+                }
+            }
+            AggFunc::Min => self.min.clone(),
+            AggFunc::Max => self.max.clone(),
+        }
+    }
+}
+
+/// Hash aggregation (a pipeline breaker): consumes its whole input, then emits one
+/// tuple per group: the group-key expressions followed by the aggregates.
+pub struct HashAggregateOp<'a> {
+    input: BoxedOperator<'a>,
+    group_exprs: Vec<Expr>,
+    group_types: Vec<DataType>,
+    aggregates: Vec<AggSpec>,
+    done: bool,
+}
+
+impl<'a> HashAggregateOp<'a> {
+    /// Create a hash aggregation. `group_types` declares the types of the group-key
+    /// output columns (one per group expression).
+    pub fn new(
+        input: BoxedOperator<'a>,
+        group_exprs: Vec<Expr>,
+        group_types: Vec<DataType>,
+        aggregates: Vec<AggSpec>,
+    ) -> Self {
+        assert_eq!(group_exprs.len(), group_types.len());
+        HashAggregateOp { input, group_exprs, group_types, aggregates, done: false }
+    }
+}
+
+impl<'a> Operator for HashAggregateOp<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+        while let Some(batch) = self.input.next_batch() {
+            for row in 0..batch.len() {
+                let key =
+                    GroupKey(self.group_exprs.iter().map(|e| e.eval(&batch, row)).collect());
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| vec![AggState::new(); self.aggregates.len()]);
+                for (state, spec) in states.iter_mut().zip(&self.aggregates) {
+                    if spec.func == AggFunc::CountStar {
+                        state.update(&Value::Null, true);
+                    } else {
+                        state.update(&spec.expr.eval(&batch, row), false);
+                    }
+                }
+            }
+        }
+        let mut out = Batch::new(&self.output_types());
+        // Deterministic output order: sort groups by key.
+        let mut entries: Vec<(GroupKey, Vec<AggState>)> = groups.into_iter().collect();
+        entries.sort_by(|a, b| {
+            for (x, y) in a.0 .0.iter().zip(&b.0 .0) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        for (key, states) in entries {
+            let mut row = key.0;
+            for (state, spec) in states.iter().zip(&self.aggregates) {
+                row.push(state.finish(spec.func));
+            }
+            out.push_row(row);
+        }
+        Some(out)
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        let mut types = self.group_types.clone();
+        types.extend(self.aggregates.iter().map(|a| a.output));
+        types
+    }
+}
+
+// ----------------------------------------------------------------------------- join
+
+/// Join variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equi-join; output = build columns ++ probe columns.
+    Inner,
+    /// Left-semi join on the probe side: emit probe tuples that have at least one
+    /// build match (used for EXISTS-style subqueries); output = probe columns.
+    ProbeSemi,
+}
+
+/// Hash equi-join. The build side is materialised into a hash table (the pipeline
+/// breaker); the probe side streams through. Optionally an *early-probe* filter —
+/// a compact tag bitmap derived from the key hashes, standing in for the tagged
+/// hash-table pointers of Appendix E — rejects probe tuples before the full hash
+/// lookup.
+pub struct HashJoinOp<'a> {
+    build: BoxedOperator<'a>,
+    probe: BoxedOperator<'a>,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    join_type: JoinType,
+    early_probe: bool,
+    table: Option<HashMap<GroupKey, Vec<Vec<Value>>>>,
+    tags: Vec<u64>,
+    build_types: Vec<DataType>,
+}
+
+impl<'a> HashJoinOp<'a> {
+    /// Create a hash join of `build` and `probe` on the given key columns.
+    pub fn new(
+        build: BoxedOperator<'a>,
+        probe: BoxedOperator<'a>,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        join_type: JoinType,
+    ) -> Self {
+        assert_eq!(build_keys.len(), probe_keys.len());
+        let build_types = build.output_types();
+        HashJoinOp {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            join_type,
+            early_probe: false,
+            table: None,
+            tags: Vec::new(),
+            build_types,
+        }
+    }
+
+    /// Enable the Appendix-E style early probe (tag bitmap checked before the hash
+    /// table lookup).
+    pub fn with_early_probe(mut self, enabled: bool) -> Self {
+        self.early_probe = enabled;
+        self
+    }
+
+    fn build_table(&mut self) {
+        if self.table.is_some() {
+            return;
+        }
+        let mut table: HashMap<GroupKey, Vec<Vec<Value>>> = HashMap::new();
+        // 16 KiB of tag bits (2^17 bits): small enough for L1/L2, large enough to be
+        // selective for the build sizes used here.
+        let mut tags = vec![0u64; 2048];
+        while let Some(batch) = self.build.next_batch() {
+            for row in 0..batch.len() {
+                let key = GroupKey(self.build_keys.iter().map(|&k| batch.value(row, k)).collect());
+                let slot = tag_slot(&key, tags.len());
+                tags[slot.0] |= 1 << slot.1;
+                table.entry(key).or_default().push(batch.row(row));
+            }
+        }
+        self.table = Some(table);
+        self.tags = tags;
+    }
+}
+
+fn tag_slot(key: &GroupKey, words: usize) -> (usize, u32) {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    let h = hasher.finish();
+    ((h as usize) % words, (h >> 32) as u32 % 64)
+}
+
+impl<'a> Operator for HashJoinOp<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        self.build_table();
+        let table = self.table.as_ref().expect("built above");
+        let batch = self.probe.next_batch()?;
+        let mut out = Batch::new(&self.output_types());
+        for row in 0..batch.len() {
+            let key = GroupKey(self.probe_keys.iter().map(|&k| batch.value(row, k)).collect());
+            if key.0.iter().any(|v| v.is_null()) {
+                continue; // NULL keys never join
+            }
+            if self.early_probe {
+                let slot = tag_slot(&key, self.tags.len());
+                if self.tags[slot.0] & (1 << slot.1) == 0 {
+                    continue;
+                }
+            }
+            match table.get(&key) {
+                Some(build_rows) => match self.join_type {
+                    JoinType::Inner => {
+                        for build_row in build_rows {
+                            let mut row_values = build_row.clone();
+                            row_values.extend(batch.row(row));
+                            out.push_row(row_values);
+                        }
+                    }
+                    JoinType::ProbeSemi => out.push_row(batch.row(row)),
+                },
+                None => {}
+            }
+        }
+        Some(out)
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        match self.join_type {
+            JoinType::Inner => {
+                let mut types = self.build_types.clone();
+                types.extend(self.probe.output_types());
+                types
+            }
+            JoinType::ProbeSemi => self.probe.output_types(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------------- sort
+
+/// Sort key: column index and direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column to sort by.
+    pub column: usize,
+    /// Sort descending instead of ascending.
+    pub descending: bool,
+}
+
+impl SortKey {
+    /// Ascending sort on a column.
+    pub fn asc(column: usize) -> SortKey {
+        SortKey { column, descending: false }
+    }
+
+    /// Descending sort on a column.
+    pub fn desc(column: usize) -> SortKey {
+        SortKey { column, descending: true }
+    }
+}
+
+/// Sort (and optionally limit) the full input — a pipeline breaker.
+pub struct SortOp<'a> {
+    input: BoxedOperator<'a>,
+    keys: Vec<SortKey>,
+    limit: Option<usize>,
+    done: bool,
+}
+
+impl<'a> SortOp<'a> {
+    /// Sort by `keys`, optionally keeping only the first `limit` tuples.
+    pub fn new(input: BoxedOperator<'a>, keys: Vec<SortKey>, limit: Option<usize>) -> Self {
+        SortOp { input, keys, limit, done: false }
+    }
+}
+
+impl<'a> Operator for SortOp<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let types = self.input.output_types();
+        while let Some(batch) = self.input.next_batch() {
+            for row in 0..batch.len() {
+                rows.push(batch.row(row));
+            }
+        }
+        rows.sort_by(|a, b| {
+            for key in &self.keys {
+                let ord = a[key.column].total_cmp(&b[key.column]);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(limit) = self.limit {
+            rows.truncate(limit);
+        }
+        Some(Batch::from_rows(&types, &rows))
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        self.input.output_types()
+    }
+}
+
+/// A fixed, already-materialised input (useful for tests and for feeding the build
+/// side of joins from intermediate results).
+pub struct ValuesOp {
+    batch: Option<Batch>,
+    types: Vec<DataType>,
+}
+
+impl ValuesOp {
+    /// Wrap a batch as an operator.
+    pub fn new(batch: Batch) -> ValuesOp {
+        let types = batch.types();
+        ValuesOp { batch: Some(batch), types }
+    }
+}
+
+impl Operator for ValuesOp {
+    fn next_batch(&mut self) -> Option<Batch> {
+        self.batch.take()
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        self.types.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datablocks::CmpOp;
+
+    fn numbers(n: i64) -> Batch {
+        Batch::from_rows(
+            &[DataType::Int, DataType::Int, DataType::Str],
+            &(0..n)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 10), Value::Str(format!("g{}", i % 3))])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn values_op(n: i64) -> BoxedOperator<'static> {
+        Box::new(ValuesOp::new(numbers(n)))
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let mut filter = FilterOp::new(values_op(100), Expr::col(1).cmp(CmpOp::Eq, Expr::lit(3i64)));
+        let result = filter.collect_all();
+        assert_eq!(result.len(), 10);
+        assert!((0..result.len()).all(|r| result.value(r, 1) == Value::Int(3)));
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let mut project = ProjectOp::new(
+            values_op(5),
+            vec![Expr::col(0).mul(Expr::lit(2i64)), Expr::lit("x")],
+            vec![DataType::Int, DataType::Str],
+        );
+        let result = project.collect_all();
+        assert_eq!(result.len(), 5);
+        assert_eq!(result.value(3, 0), Value::Int(6));
+        assert_eq!(result.value(0, 1), Value::Str("x".into()));
+        assert_eq!(result.types(), vec![DataType::Int, DataType::Str]);
+    }
+
+    #[test]
+    fn aggregate_grouped_sums_and_counts() {
+        let mut agg = HashAggregateOp::new(
+            values_op(30),
+            vec![Expr::col(2)],
+            vec![DataType::Str],
+            vec![
+                AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+                AggSpec::new(AggFunc::Sum, Expr::col(0), DataType::Int),
+                AggSpec::new(AggFunc::Avg, Expr::col(0), DataType::Double),
+                AggSpec::new(AggFunc::Min, Expr::col(0), DataType::Int),
+                AggSpec::new(AggFunc::Max, Expr::col(0), DataType::Int),
+            ],
+        );
+        let result = agg.collect_all();
+        assert_eq!(result.len(), 3);
+        // groups come out sorted: g0, g1, g2
+        assert_eq!(result.value(0, 0), Value::Str("g0".into()));
+        assert_eq!(result.value(0, 1), Value::Int(10)); // 30 rows / 3 groups
+        // group g0 holds 0,3,6,...,27 → sum 135
+        assert_eq!(result.value(0, 2), Value::Int(135));
+        assert_eq!(result.value(0, 3), Value::Double(13.5));
+        assert_eq!(result.value(0, 4), Value::Int(0));
+        assert_eq!(result.value(0, 5), Value::Int(27));
+    }
+
+    #[test]
+    fn aggregate_without_groups_produces_single_row() {
+        let mut agg = HashAggregateOp::new(
+            values_op(100),
+            vec![],
+            vec![],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col(0), DataType::Int)],
+        );
+        let result = agg.collect_all();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.value(0, 0), Value::Int(4950));
+    }
+
+    #[test]
+    fn aggregate_ignores_nulls_in_avg_and_count() {
+        let batch = Batch::from_rows(
+            &[DataType::Int],
+            &[vec![Value::Int(10)], vec![Value::Null], vec![Value::Int(20)]],
+        );
+        let mut agg = HashAggregateOp::new(
+            Box::new(ValuesOp::new(batch)),
+            vec![],
+            vec![],
+            vec![
+                AggSpec::new(AggFunc::Count, Expr::col(0), DataType::Int),
+                AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+                AggSpec::new(AggFunc::Avg, Expr::col(0), DataType::Double),
+            ],
+        );
+        let result = agg.collect_all();
+        assert_eq!(result.value(0, 0), Value::Int(2));
+        assert_eq!(result.value(0, 1), Value::Int(3));
+        assert_eq!(result.value(0, 2), Value::Double(15.0));
+    }
+
+    #[test]
+    fn inner_hash_join_matches_keys() {
+        // build: (key, name) for keys 0..5 ; probe: numbers with col1 in 0..10
+        let build = Batch::from_rows(
+            &[DataType::Int, DataType::Str],
+            &(0..5).map(|i| vec![Value::Int(i), Value::Str(format!("n{i}"))]).collect::<Vec<_>>(),
+        );
+        let mut join = HashJoinOp::new(
+            Box::new(ValuesOp::new(build)),
+            values_op(100),
+            vec![0],
+            vec![1],
+            JoinType::Inner,
+        );
+        let result = join.collect_all();
+        // probe rows with col1 in 0..5 match: 10 rows per value of col1 → 50
+        assert_eq!(result.len(), 50);
+        assert_eq!(result.column_count(), 2 + 3);
+        for row in 0..result.len() {
+            assert_eq!(result.value(row, 0), result.value(row, 3), "join keys equal");
+        }
+    }
+
+    #[test]
+    fn semi_join_emits_probe_rows_once() {
+        let build = Batch::from_rows(
+            &[DataType::Int],
+            &[vec![Value::Int(2)], vec![Value::Int(2)], vec![Value::Int(4)]],
+        );
+        let mut join = HashJoinOp::new(
+            Box::new(ValuesOp::new(build)),
+            values_op(20),
+            vec![0],
+            vec![1],
+            JoinType::ProbeSemi,
+        );
+        let result = join.collect_all();
+        // col1 values 2 and 4 each appear twice in 0..20
+        assert_eq!(result.len(), 4);
+        assert_eq!(result.column_count(), 3);
+    }
+
+    #[test]
+    fn early_probe_does_not_change_results() {
+        let build = Batch::from_rows(
+            &[DataType::Int],
+            &(0..3).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+        );
+        let plain = HashJoinOp::new(
+            Box::new(ValuesOp::new(build.clone())),
+            values_op(50),
+            vec![0],
+            vec![1],
+            JoinType::Inner,
+        )
+        .collect_all_helper();
+        let early = HashJoinOp::new(
+            Box::new(ValuesOp::new(build)),
+            values_op(50),
+            vec![0],
+            vec![1],
+            JoinType::Inner,
+        )
+        .with_early_probe(true)
+        .collect_all_helper();
+        assert_eq!(plain.len(), early.len());
+    }
+
+    impl<'a> HashJoinOp<'a> {
+        fn collect_all_helper(mut self) -> Batch {
+            collect_operator(&mut self)
+        }
+    }
+
+    #[test]
+    fn join_skips_null_probe_keys() {
+        let build = Batch::from_rows(&[DataType::Int], &[vec![Value::Int(1)]]);
+        let probe = Batch::from_rows(
+            &[DataType::Int],
+            &[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(1)]],
+        );
+        let mut join = HashJoinOp::new(
+            Box::new(ValuesOp::new(build)),
+            Box::new(ValuesOp::new(probe)),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        );
+        assert_eq!(join.collect_all().len(), 2);
+    }
+
+    #[test]
+    fn sort_orders_and_limits() {
+        let mut sort = SortOp::new(values_op(20), vec![SortKey::desc(0)], Some(3));
+        let result = sort.collect_all();
+        assert_eq!(result.len(), 3);
+        assert_eq!(result.value(0, 0), Value::Int(19));
+        assert_eq!(result.value(2, 0), Value::Int(17));
+
+        let mut sort = SortOp::new(values_op(20), vec![SortKey::asc(1), SortKey::desc(0)], None);
+        let result = sort.collect_all();
+        assert_eq!(result.len(), 20);
+        assert_eq!(result.value(0, 1), Value::Int(0));
+        assert_eq!(result.value(0, 0), Value::Int(10), "ties broken by descending col0");
+    }
+
+    #[test]
+    fn values_op_emits_once() {
+        let mut op = ValuesOp::new(numbers(3));
+        assert_eq!(op.output_types().len(), 3);
+        assert!(op.next_batch().is_some());
+        assert!(op.next_batch().is_none());
+    }
+}

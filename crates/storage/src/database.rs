@@ -1,0 +1,132 @@
+//! A minimal catalog: a named collection of relations.
+
+use std::collections::BTreeMap;
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// An in-memory database: a set of named relations sharing no state beyond the
+/// catalog itself. This is the object the workload loaders populate and the query
+/// layer executes against.
+#[derive(Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a new empty relation and return a mutable reference to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation with the same name already exists.
+    pub fn create_relation(&mut self, name: &str, schema: Schema) -> &mut Relation {
+        assert!(
+            !self.relations.contains_key(name),
+            "relation {name:?} already exists"
+        );
+        self.relations.insert(name.to_string(), Relation::new(name, schema));
+        self.relations.get_mut(name).expect("just inserted")
+    }
+
+    /// Register an already-populated relation (used by bulk loaders).
+    pub fn add_relation(&mut self, relation: Relation) {
+        assert!(
+            !self.relations.contains_key(relation.name()),
+            "relation {:?} already exists",
+            relation.name()
+        );
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// Borrow a relation by name.
+    pub fn relation(&self, name: &str) -> &Relation {
+        self.relations.get(name).unwrap_or_else(|| panic!("unknown relation {name:?}"))
+    }
+
+    /// Borrow a relation mutably by name.
+    pub fn relation_mut(&mut self, name: &str) -> &mut Relation {
+        self.relations.get_mut(name).unwrap_or_else(|| panic!("unknown relation {name:?}"))
+    }
+
+    /// Does a relation with this name exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All relations.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Freeze every relation's cold data (all chunks) into Data Blocks.
+    pub fn freeze_all(&mut self) {
+        for relation in self.relations.values_mut() {
+            relation.freeze_all();
+        }
+    }
+
+    /// Total bytes used across all relations.
+    pub fn total_bytes(&self) -> usize {
+        self.relations.values().map(|r| r.storage_stats().total_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use datablocks::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("id", DataType::Int)]).with_primary_key("id")
+    }
+
+    #[test]
+    fn create_and_lookup_relations() {
+        let mut db = Database::new();
+        db.create_relation("a", schema());
+        db.create_relation("b", schema());
+        assert!(db.contains("a"));
+        assert!(!db.contains("c"));
+        assert_eq!(db.relation_names(), vec!["a", "b"]);
+        db.relation_mut("a").insert(vec![Value::Int(1)]);
+        assert_eq!(db.relation("a").row_count(), 1);
+        assert_eq!(db.relations().count(), 2);
+    }
+
+    #[test]
+    fn freeze_all_relations() {
+        let mut db = Database::new();
+        db.create_relation("a", schema());
+        for i in 0..100 {
+            db.relation_mut("a").insert(vec![Value::Int(i)]);
+        }
+        db.freeze_all();
+        assert_eq!(db.relation("a").cold_blocks().len(), 1);
+        assert!(db.total_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.create_relation("a", schema());
+        db.create_relation("a", schema());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_relation_panics() {
+        Database::new().relation("ghost");
+    }
+}

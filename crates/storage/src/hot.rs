@@ -1,0 +1,428 @@
+//! Hot, uncompressed chunks — the write-optimised tail of every relation.
+//!
+//! Hot chunks keep plain columnar vectors with no SMAs, PSMAs or compression:
+//! maintaining those under OLTP updates would cost more than it saves (Section 3).
+//! OLTP inserts append here; scans over hot chunks evaluate SARGable predicates with
+//! branch-free vector-at-a-time code and copy matching attributes into temporary
+//! vectors, exactly like the "interpreted vectorized scan on uncompressed chunk" box
+//! of Figure 6.
+
+use datablocks::scan::Restriction;
+use datablocks::{Column, Value};
+
+use crate::schema::Schema;
+
+/// Default number of records per hot chunk (matches the Data Block capacity so a full
+/// hot chunk freezes into exactly one block).
+pub const DEFAULT_CHUNK_CAPACITY: usize = datablocks::DEFAULT_BLOCK_CAPACITY;
+
+/// A mutable, uncompressed chunk of a relation.
+#[derive(Debug, Clone)]
+pub struct HotChunk {
+    columns: Vec<Column>,
+    deleted: Vec<bool>,
+    deleted_count: usize,
+    capacity: usize,
+}
+
+impl HotChunk {
+    /// An empty chunk for the given schema.
+    pub fn new(schema: &Schema, capacity: usize) -> HotChunk {
+        HotChunk {
+            columns: schema.columns().iter().map(|c| Column::new(c.data_type)).collect(),
+            deleted: Vec::new(),
+            deleted_count: 0,
+            capacity,
+        }
+    }
+
+    /// Number of records (including deleted ones).
+    pub fn len(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// True if the chunk holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records not marked deleted.
+    pub fn live_len(&self) -> usize {
+        self.len() - self.deleted_count
+    }
+
+    /// Is the chunk at its capacity (and therefore a candidate for freezing)?
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// The chunk's columns (used when freezing into a Data Block).
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Append a record. Returns its row index within the chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count (a schema violation).
+    pub fn insert(&mut self, values: Vec<Value>) -> usize {
+        assert_eq!(values.len(), self.columns.len(), "value count must match the schema");
+        for (column, value) in self.columns.iter_mut().zip(values) {
+            column.push(value);
+        }
+        self.deleted.push(false);
+        self.deleted.len() - 1
+    }
+
+    /// Read attribute `col` of record `row`.
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].get(row)
+    }
+
+    /// Read a whole record.
+    pub fn get_row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Is record `row` deleted?
+    pub fn is_deleted(&self, row: usize) -> bool {
+        self.deleted[row]
+    }
+
+    /// Mark record `row` deleted; returns `false` if it already was.
+    pub fn delete(&mut self, row: usize) -> bool {
+        if self.deleted[row] {
+            false
+        } else {
+            self.deleted[row] = true;
+            self.deleted_count += 1;
+            true
+        }
+    }
+
+    /// Overwrite attribute `col` of record `row` in place (hot data is mutable; only
+    /// frozen data forces the delete + re-insert path).
+    pub fn update_in_place(&mut self, row: usize, col: usize, value: Value) {
+        // Columns do not support random-position writes for strings cheaply, so
+        // rebuild the affected column slot via a small typed match.
+        match (&mut self.columns[col].data, &value) {
+            (datablocks::ColumnData::Int(v), Value::Int(x)) => v[row] = *x,
+            (datablocks::ColumnData::Double(v), Value::Double(x)) => v[row] = *x,
+            (datablocks::ColumnData::Double(v), Value::Int(x)) => v[row] = *x as f64,
+            (datablocks::ColumnData::Str(v), Value::Str(x)) => v[row] = x.clone(),
+            (_, Value::Null) => {
+                let len = self.columns[col].len();
+                let validity =
+                    self.columns[col].validity.get_or_insert_with(|| vec![true; len]);
+                validity[row] = false;
+                return;
+            }
+            (col_data, value) => panic!(
+                "type mismatch updating a {:?} column with {value:?}",
+                col_data.data_type()
+            ),
+        }
+        if let Some(validity) = &mut self.columns[col].validity {
+            validity[row] = true;
+        }
+    }
+
+    /// Uncompressed in-memory size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum::<usize>() + self.deleted.len()
+    }
+
+    /// Evaluate `restrictions` over the window `[from, to)` and append the matching
+    /// row indexes to `matches`. Branch-free where possible, one restriction at a
+    /// time (find, then reduce), skipping deleted rows.
+    pub fn find_matches(
+        &self,
+        restrictions: &[Restriction],
+        from: usize,
+        to: usize,
+        matches: &mut Vec<u32>,
+    ) -> usize {
+        debug_assert!(to <= self.len());
+        let start = matches.len();
+        match restrictions.split_first() {
+            None => matches.extend(from as u32..to as u32),
+            Some((first, rest)) => {
+                self.find_initial(first, from, to, matches);
+                for restriction in rest {
+                    if matches.len() == start {
+                        break;
+                    }
+                    self.reduce(restriction, start, matches);
+                }
+            }
+        }
+        if self.deleted_count > 0 {
+            let deleted = &self.deleted;
+            let mut w = start;
+            for r in start..matches.len() {
+                let pos = matches[r];
+                matches[w] = pos;
+                w += (!deleted[pos as usize]) as usize;
+            }
+            matches.truncate(w);
+        }
+        matches.len() - start
+    }
+
+    fn find_initial(&self, restriction: &Restriction, from: usize, to: usize, out: &mut Vec<u32>) {
+        let column = &self.columns[restriction.column()];
+        // Branch-free find over the typed payload where the restriction permits it.
+        match (&column.data, restriction) {
+            (datablocks::ColumnData::Int(values), _) if column.validity.is_none() => {
+                if let Some((lo, hi)) = int_range(restriction) {
+                    out.reserve(to - from);
+                    for (i, &v) in values[from..to].iter().enumerate() {
+                        if v >= lo && v <= hi {
+                            out.push((from + i) as u32);
+                        }
+                    }
+                    return;
+                }
+                self.find_generic(restriction, from, to, out);
+            }
+            (datablocks::ColumnData::Double(values), _) if column.validity.is_none() => {
+                if let Some((lo, hi)) = double_range(restriction) {
+                    for (i, &v) in values[from..to].iter().enumerate() {
+                        if v >= lo && v <= hi {
+                            out.push((from + i) as u32);
+                        }
+                    }
+                    return;
+                }
+                self.find_generic(restriction, from, to, out);
+            }
+            _ => self.find_generic(restriction, from, to, out),
+        }
+    }
+
+    fn find_generic(&self, restriction: &Restriction, from: usize, to: usize, out: &mut Vec<u32>) {
+        let column = &self.columns[restriction.column()];
+        for row in from..to {
+            if restriction.matches_value(&column.get(row)) {
+                out.push(row as u32);
+            }
+        }
+    }
+
+    fn reduce(&self, restriction: &Restriction, start: usize, matches: &mut Vec<u32>) {
+        let column = &self.columns[restriction.column()];
+        let mut w = start;
+        for r in start..matches.len() {
+            let pos = matches[r];
+            matches[w] = pos;
+            w += restriction.matches_value(&column.get(pos as usize)) as usize;
+        }
+        matches.truncate(w);
+    }
+
+    /// Copy the values of attribute `col` at `rows` into `out` (the "copying of
+    /// matches" step of the vectorized scan on uncompressed chunks).
+    pub fn gather(&self, col: usize, rows: &[u32], out: &mut Column) {
+        let column = &self.columns[col];
+        match (&column.data, &mut out.data, &column.validity) {
+            (datablocks::ColumnData::Int(src), datablocks::ColumnData::Int(dst), None) => {
+                dst.extend(rows.iter().map(|&r| src[r as usize]));
+                if let Some(validity) = &mut out.validity {
+                    validity.extend(std::iter::repeat(true).take(rows.len()));
+                }
+            }
+            (datablocks::ColumnData::Double(src), datablocks::ColumnData::Double(dst), None) => {
+                dst.extend(rows.iter().map(|&r| src[r as usize]));
+                if let Some(validity) = &mut out.validity {
+                    validity.extend(std::iter::repeat(true).take(rows.len()));
+                }
+            }
+            (datablocks::ColumnData::Str(src), datablocks::ColumnData::Str(dst), None) => {
+                dst.extend(rows.iter().map(|&r| src[r as usize].clone()));
+                if let Some(validity) = &mut out.validity {
+                    validity.extend(std::iter::repeat(true).take(rows.len()));
+                }
+            }
+            _ => {
+                for &row in rows {
+                    out.push(column.get(row as usize));
+                }
+            }
+        }
+    }
+}
+
+/// Inclusive integer bounds of a restriction, when expressible.
+fn int_range(restriction: &Restriction) -> Option<(i64, i64)> {
+    use dbsimd::CmpOp;
+    match restriction {
+        Restriction::Cmp { op, value, .. } => {
+            let v = value.as_int()?;
+            Some(match op {
+                CmpOp::Eq => (v, v),
+                CmpOp::Lt => (i64::MIN, v.checked_sub(1)?),
+                CmpOp::Le => (i64::MIN, v),
+                CmpOp::Gt => (v.checked_add(1)?, i64::MAX),
+                CmpOp::Ge => (v, i64::MAX),
+                CmpOp::Ne => return None,
+            })
+        }
+        Restriction::Between { lo, hi, .. } => Some((lo.as_int()?, hi.as_int()?)),
+        _ => None,
+    }
+}
+
+/// Inclusive double bounds of a restriction, when expressible (strict bounds handled
+/// by nudging to the adjacent representable value).
+fn double_range(restriction: &Restriction) -> Option<(f64, f64)> {
+    use dbsimd::CmpOp;
+    fn next(v: f64) -> f64 {
+        f64::from_bits(if v >= 0.0 { v.to_bits() + 1 } else { v.to_bits() - 1 })
+    }
+    match restriction {
+        Restriction::Cmp { op, value, .. } => {
+            let v = value.as_double()?;
+            Some(match op {
+                CmpOp::Eq => (v, v),
+                CmpOp::Lt => (f64::NEG_INFINITY, -next(-v)),
+                CmpOp::Le => (f64::NEG_INFINITY, v),
+                CmpOp::Gt => (next(v), f64::INFINITY),
+                CmpOp::Ge => (v, f64::INFINITY),
+                CmpOp::Ne => return None,
+            })
+        }
+        Restriction::Between { lo, hi, .. } => Some((lo.as_double()?, hi.as_double()?)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use datablocks::DataType;
+    use dbsimd::CmpOp;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("k", DataType::Int),
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("weight", DataType::Double),
+        ])
+    }
+
+    fn filled_chunk(n: usize) -> HotChunk {
+        let schema = schema();
+        let mut chunk = HotChunk::new(&schema, DEFAULT_CHUNK_CAPACITY);
+        for i in 0..n as i64 {
+            chunk.insert(vec![
+                Value::Int(i),
+                Value::Str(format!("n{}", i % 10)),
+                Value::Double(i as f64 * 0.5),
+            ]);
+        }
+        chunk
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let chunk = filled_chunk(100);
+        assert_eq!(chunk.len(), 100);
+        assert_eq!(chunk.get(42, 0), Value::Int(42));
+        assert_eq!(chunk.get(42, 1), Value::Str("n2".into()));
+        assert_eq!(chunk.get_row(3), vec![Value::Int(3), Value::Str("n3".into()), Value::Double(1.5)]);
+    }
+
+    #[test]
+    fn delete_and_live_count() {
+        let mut chunk = filled_chunk(10);
+        assert!(chunk.delete(5));
+        assert!(!chunk.delete(5));
+        assert!(chunk.is_deleted(5));
+        assert_eq!(chunk.live_len(), 9);
+    }
+
+    #[test]
+    fn update_in_place_changes_values_and_nulls() {
+        let mut chunk = filled_chunk(5);
+        chunk.update_in_place(2, 0, Value::Int(999));
+        assert_eq!(chunk.get(2, 0), Value::Int(999));
+        chunk.update_in_place(2, 1, Value::Str("renamed".into()));
+        assert_eq!(chunk.get(2, 1), Value::Str("renamed".into()));
+        chunk.update_in_place(3, 0, Value::Null);
+        assert_eq!(chunk.get(3, 0), Value::Null);
+        // writing a value again clears the NULL
+        chunk.update_in_place(3, 0, Value::Int(7));
+        assert_eq!(chunk.get(3, 0), Value::Int(7));
+    }
+
+    #[test]
+    fn find_matches_int_and_string() {
+        let chunk = filled_chunk(1000);
+        let mut matches = Vec::new();
+        chunk.find_matches(&[Restriction::between(0, 100i64, 199i64)], 0, 1000, &mut matches);
+        assert_eq!(matches.len(), 100);
+        matches.clear();
+        chunk.find_matches(
+            &[Restriction::between(0, 100i64, 199i64), Restriction::eq(1, "n5")],
+            0,
+            1000,
+            &mut matches,
+        );
+        assert_eq!(matches.len(), 10);
+        assert!(matches.iter().all(|&m| m % 10 == 5));
+    }
+
+    #[test]
+    fn find_matches_skips_deleted() {
+        let mut chunk = filled_chunk(50);
+        chunk.delete(10);
+        let mut matches = Vec::new();
+        chunk.find_matches(&[], 0, 50, &mut matches);
+        assert_eq!(matches.len(), 49);
+        assert!(!matches.contains(&10));
+    }
+
+    #[test]
+    fn find_matches_double_and_ne() {
+        let chunk = filled_chunk(100);
+        let mut matches = Vec::new();
+        chunk.find_matches(&[Restriction::cmp(2, CmpOp::Lt, 5.0)], 0, 100, &mut matches);
+        assert_eq!(matches.len(), 10);
+        matches.clear();
+        chunk.find_matches(&[Restriction::cmp(0, CmpOp::Ne, 7i64)], 0, 100, &mut matches);
+        assert_eq!(matches.len(), 99);
+    }
+
+    #[test]
+    fn find_matches_respects_window() {
+        let chunk = filled_chunk(100);
+        let mut matches = Vec::new();
+        chunk.find_matches(&[], 20, 30, &mut matches);
+        assert_eq!(matches, (20u32..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_copies_requested_rows() {
+        let chunk = filled_chunk(20);
+        let mut out = Column::new(DataType::Int);
+        chunk.gather(0, &[1, 3, 5], &mut out);
+        assert_eq!(out.data.as_int().unwrap(), &[1, 3, 5]);
+        let mut names = Column::new(DataType::Str);
+        chunk.gather(1, &[0, 19], &mut names);
+        assert_eq!(names.data.as_str().unwrap(), &["n0".to_string(), "n9".to_string()]);
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let schema = schema();
+        let mut chunk = HotChunk::new(&schema, 4);
+        assert!(chunk.is_empty());
+        for i in 0..4 {
+            chunk.insert(vec![Value::Int(i), Value::Str("x".into()), Value::Double(0.0)]);
+        }
+        assert!(chunk.is_full());
+        assert!(chunk.byte_size() > 0);
+    }
+}

@@ -1,0 +1,557 @@
+//! Relations: chunked hybrid storage with hot uncompressed chunks and cold frozen
+//! Data Blocks, plus the OLTP surface (insert / point lookup / delete / update).
+//!
+//! A relation is divided into fixed-size chunks. New records go to the hot tail
+//! chunk; chunks identified as cold are *frozen* into immutable Data Blocks with the
+//! per-column-optimal compression (Section 3). Updates to frozen records are
+//! internally translated into a delete (flag on the block) followed by an insert into
+//! the hot tail. An optional primary-key hash index maps key values to record
+//! locations for OLTP point accesses.
+
+use std::collections::HashMap;
+
+use datablocks::builder::{freeze, freeze_sorted};
+use datablocks::scan::Restriction;
+use datablocks::{DataBlock, Value};
+
+use crate::hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
+use crate::schema::Schema;
+
+/// Which storage class a record currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Cold, frozen Data Block number `n`.
+    Cold(usize),
+    /// Hot, uncompressed chunk number `n`.
+    Hot(usize),
+}
+
+/// Stable identifier of a record: its segment and row index within that segment.
+///
+/// Freezing preserves row order, so identifiers remain valid when a hot chunk becomes
+/// a cold block (hot chunk `i` becomes cold block `cold_count + i` only at freeze
+/// time, and the relation rewrites the mapping for its index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowId {
+    /// The segment holding the record.
+    pub segment: Segment,
+    /// Row index within the segment.
+    pub row: u32,
+}
+
+/// Statistics about a relation's storage (reported by Table 1 / Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Number of cold (frozen) Data Blocks.
+    pub cold_blocks: usize,
+    /// Number of hot uncompressed chunks.
+    pub hot_chunks: usize,
+    /// Records in cold blocks (including deleted).
+    pub cold_rows: usize,
+    /// Records in hot chunks (including deleted).
+    pub hot_rows: usize,
+    /// Bytes used by cold blocks (compressed, including SMAs/PSMAs).
+    pub cold_bytes: usize,
+    /// Bytes used by hot chunks (uncompressed).
+    pub hot_bytes: usize,
+    /// Bytes the cold rows would occupy uncompressed.
+    pub cold_bytes_uncompressed: usize,
+}
+
+impl StorageStats {
+    /// Total bytes currently used.
+    pub fn total_bytes(&self) -> usize {
+        self.cold_bytes + self.hot_bytes
+    }
+
+    /// Compression ratio achieved on the cold part (uncompressed ÷ compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.cold_bytes == 0 {
+            1.0
+        } else {
+            self.cold_bytes_uncompressed as f64 / self.cold_bytes as f64
+        }
+    }
+}
+
+/// A chunked relation with hot and cold storage.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    cold: Vec<DataBlock>,
+    cold_uncompressed_bytes: usize,
+    hot: Vec<HotChunk>,
+    chunk_capacity: usize,
+    pk_index: Option<HashMap<i64, RowId>>,
+}
+
+impl Relation {
+    /// Create an empty relation. A primary-key index is allocated automatically when
+    /// the schema declares a primary key.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Relation {
+        Relation::with_chunk_capacity(name, schema, DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// Create an empty relation with a specific chunk capacity (the number of records
+    /// per chunk and therefore per Data Block).
+    pub fn with_chunk_capacity(
+        name: impl Into<String>,
+        schema: Schema,
+        chunk_capacity: usize,
+    ) -> Relation {
+        assert!(chunk_capacity > 0);
+        let pk_index = schema.primary_key().map(|_| HashMap::new());
+        Relation {
+            name: name.into(),
+            schema,
+            cold: Vec::new(),
+            cold_uncompressed_bytes: 0,
+            hot: Vec::new(),
+            chunk_capacity,
+            pk_index,
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records per chunk / Data Block.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_capacity
+    }
+
+    /// Drop the primary-key index (Table 3 measures point lookups with and without
+    /// one). The schema still remembers which attribute is the key.
+    pub fn drop_pk_index(&mut self) {
+        self.pk_index = None;
+    }
+
+    /// (Re-)build the primary-key index over all live records.
+    pub fn build_pk_index(&mut self) {
+        let Some(pk_col) = self.schema.primary_key() else { return };
+        let mut index = HashMap::new();
+        for (block_idx, block) in self.cold.iter().enumerate() {
+            for row in 0..block.tuple_count() as usize {
+                if block.is_deleted(row) {
+                    continue;
+                }
+                if let Value::Int(key) = block.get(row, pk_col) {
+                    index.insert(key, RowId { segment: Segment::Cold(block_idx), row: row as u32 });
+                }
+            }
+        }
+        for (chunk_idx, chunk) in self.hot.iter().enumerate() {
+            for row in 0..chunk.len() {
+                if chunk.is_deleted(row) {
+                    continue;
+                }
+                if let Value::Int(key) = chunk.get(row, pk_col) {
+                    index.insert(key, RowId { segment: Segment::Hot(chunk_idx), row: row as u32 });
+                }
+            }
+        }
+        self.pk_index = Some(index);
+    }
+
+    /// Does the relation currently maintain a primary-key index?
+    pub fn has_pk_index(&self) -> bool {
+        self.pk_index.is_some()
+    }
+
+    // ----------------------------------------------------------------- OLTP surface
+
+    /// Insert a record (one value per attribute). Returns its location.
+    pub fn insert(&mut self, values: Vec<Value>) -> RowId {
+        assert_eq!(values.len(), self.schema.column_count(), "value count must match the schema");
+        let pk_value = self.schema.primary_key().map(|col| values[col].clone());
+        if self.hot.last().map(|c| c.is_full()).unwrap_or(true) {
+            let chunk = HotChunk::new(&self.schema, self.chunk_capacity);
+            self.hot.push(chunk);
+        }
+        let chunk_idx = self.hot.len() - 1;
+        let row = self.hot[chunk_idx].insert(values);
+        let row_id = RowId { segment: Segment::Hot(chunk_idx), row: row as u32 };
+        if let (Some(index), Some(Value::Int(key))) = (&mut self.pk_index, pk_value) {
+            index.insert(key, row_id);
+        }
+        row_id
+    }
+
+    /// Read one attribute of a record.
+    pub fn get(&self, id: RowId, col: usize) -> Value {
+        match id.segment {
+            Segment::Cold(b) => self.cold[b].get(id.row as usize, col),
+            Segment::Hot(c) => self.hot[c].get(id.row as usize, col),
+        }
+    }
+
+    /// Read a whole record.
+    pub fn get_row(&self, id: RowId) -> Vec<Value> {
+        (0..self.schema.column_count()).map(|col| self.get(id, col)).collect()
+    }
+
+    /// Is the record marked deleted?
+    pub fn is_deleted(&self, id: RowId) -> bool {
+        match id.segment {
+            Segment::Cold(b) => self.cold[b].is_deleted(id.row as usize),
+            Segment::Hot(c) => self.hot[c].is_deleted(id.row as usize),
+        }
+    }
+
+    /// Delete a record (tombstone in hot chunks, delete flag in frozen blocks).
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let deleted = match id.segment {
+            Segment::Cold(b) => self.cold[b].delete(id.row as usize),
+            Segment::Hot(c) => self.hot[c].delete(id.row as usize),
+        };
+        if deleted {
+            if let (Some(index), Some(pk_col)) = (&mut self.pk_index, self.schema.primary_key()) {
+                let key = match id.segment {
+                    Segment::Cold(b) => self.cold[b].get(id.row as usize, pk_col),
+                    Segment::Hot(c) => self.hot[c].get(id.row as usize, pk_col),
+                };
+                if let Value::Int(key) = key {
+                    index.remove(&key);
+                }
+            }
+        }
+        deleted
+    }
+
+    /// Update a record with new values.
+    ///
+    /// Hot records are updated in place; frozen records are invalidated (delete flag)
+    /// and the new version is re-inserted into the hot tail — exactly the paper's
+    /// "update = delete followed by insert" rule for cold data. Returns the location
+    /// of the current version.
+    pub fn update(&mut self, id: RowId, values: Vec<Value>) -> RowId {
+        assert_eq!(values.len(), self.schema.column_count(), "value count must match the schema");
+        match id.segment {
+            Segment::Hot(c) => {
+                let pk_col = self.schema.primary_key();
+                let old_key = pk_col.map(|col| self.hot[c].get(id.row as usize, col));
+                for (col, value) in values.iter().enumerate() {
+                    self.hot[c].update_in_place(id.row as usize, col, value.clone());
+                }
+                if let (Some(index), Some(col)) = (&mut self.pk_index, pk_col) {
+                    if let Some(Value::Int(old)) = old_key {
+                        index.remove(&old);
+                    }
+                    if let Value::Int(new) = values[col] {
+                        index.insert(new, id);
+                    }
+                }
+                id
+            }
+            Segment::Cold(_) => {
+                self.delete(id);
+                self.insert(values)
+            }
+        }
+    }
+
+    /// Point lookup via the primary-key index, if one exists.
+    pub fn lookup_pk(&self, key: i64) -> Option<RowId> {
+        let id = *self.pk_index.as_ref()?.get(&key)?;
+        if self.is_deleted(id) {
+            None
+        } else {
+            Some(id)
+        }
+    }
+
+    /// Point lookup without an index: a scan over all segments restricted on the
+    /// primary-key attribute (SMAs/PSMAs on frozen blocks narrow this scan; on hot
+    /// chunks it is a plain scan). Returns the first live match.
+    pub fn lookup_pk_scan(
+        &self,
+        key: i64,
+        options: datablocks::ScanOptions,
+    ) -> Option<RowId> {
+        let pk_col = self.schema.primary_key()?;
+        let restriction = [Restriction::eq(pk_col, key)];
+        for (block_idx, block) in self.cold.iter().enumerate() {
+            let matches = datablocks::scan_collect(block, &restriction, options);
+            if let Some(&row) = matches.first() {
+                return Some(RowId { segment: Segment::Cold(block_idx), row });
+            }
+        }
+        let mut matches = Vec::new();
+        for (chunk_idx, chunk) in self.hot.iter().enumerate() {
+            matches.clear();
+            chunk.find_matches(&restriction, 0, chunk.len(), &mut matches);
+            if let Some(&row) = matches.first() {
+                return Some(RowId { segment: Segment::Hot(chunk_idx), row });
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------- freezing
+
+    /// Freeze every *full* hot chunk into a Data Block, leaving the (possibly
+    /// partially filled) tail chunk hot. This is the steady-state behaviour of the
+    /// system: cold data migrates to compressed blocks, the hot tail stays mutable.
+    pub fn freeze_full_chunks(&mut self) {
+        self.freeze_internal(false, None)
+    }
+
+    /// Freeze **all** hot chunks (including the tail). Used when bulk-loading a
+    /// relation that is known to be cold, e.g. the OLAP experiments.
+    pub fn freeze_all(&mut self) {
+        self.freeze_internal(true, None)
+    }
+
+    /// Freeze all hot chunks, re-ordering the records of each chunk by the given
+    /// attribute before compression (the Section 3.2 clustering used by Figure 11).
+    pub fn freeze_all_sorted_by(&mut self, column: usize) {
+        self.freeze_internal(true, Some(column))
+    }
+
+    fn freeze_internal(&mut self, include_partial: bool, sort_by: Option<usize>) {
+        let mut remaining = Vec::new();
+        let hot = std::mem::take(&mut self.hot);
+        for chunk in hot {
+            if chunk.is_empty() || (!include_partial && !chunk.is_full()) {
+                remaining.push(chunk);
+                continue;
+            }
+            self.cold_uncompressed_bytes += chunk.byte_size();
+            let block = match sort_by {
+                Some(col) => freeze_sorted(chunk.columns(), col),
+                None => freeze(chunk.columns()),
+            };
+            // Carry over tombstones: records deleted while hot stay deleted when
+            // frozen (their positions are preserved by an unsorted freeze; a sorted
+            // freeze of a chunk with deletions is rejected to keep ids meaningful).
+            let mut block = block;
+            let had_deletions = (0..chunk.len()).any(|r| chunk.is_deleted(r));
+            if had_deletions {
+                assert!(
+                    sort_by.is_none(),
+                    "cannot sort-freeze a chunk that already has deletions"
+                );
+                for row in 0..chunk.len() {
+                    if chunk.is_deleted(row) {
+                        block.delete(row);
+                    }
+                }
+            }
+            self.cold.push(block);
+        }
+        self.hot = remaining;
+        // Record locations changed (hot chunk index -> cold block index), so rebuild
+        // the PK index if one exists.
+        if self.pk_index.is_some() {
+            self.build_pk_index();
+        }
+    }
+
+    // ------------------------------------------------------------------ inspection
+
+    /// The frozen Data Blocks.
+    pub fn cold_blocks(&self) -> &[DataBlock] {
+        &self.cold
+    }
+
+    /// The hot chunks.
+    pub fn hot_chunks(&self) -> &[HotChunk] {
+        &self.hot
+    }
+
+    /// Total number of records (live and deleted) across all segments.
+    pub fn row_count(&self) -> usize {
+        self.cold.iter().map(|b| b.tuple_count() as usize).sum::<usize>()
+            + self.hot.iter().map(|c| c.len()).sum::<usize>()
+    }
+
+    /// Number of live (not deleted) records.
+    pub fn live_row_count(&self) -> usize {
+        self.cold.iter().map(|b| b.live_tuple_count() as usize).sum::<usize>()
+            + self.hot.iter().map(|c| c.live_len()).sum::<usize>()
+    }
+
+    /// Distinct storage-layout combinations across the frozen blocks (each one would
+    /// be a separate code path for a JIT-compiled scan — Figure 5).
+    pub fn layout_combinations(&self) -> usize {
+        let mut layouts: Vec<_> = self.cold.iter().map(|b| b.layout_combination()).collect();
+        layouts.sort();
+        layouts.dedup();
+        layouts.len()
+    }
+
+    /// Storage statistics for size/compression reporting.
+    pub fn storage_stats(&self) -> StorageStats {
+        StorageStats {
+            cold_blocks: self.cold.len(),
+            hot_chunks: self.hot.len(),
+            cold_rows: self.cold.iter().map(|b| b.tuple_count() as usize).sum(),
+            hot_rows: self.hot.iter().map(|c| c.len()).sum(),
+            cold_bytes: self.cold.iter().map(|b| b.byte_size()).sum(),
+            hot_bytes: self.hot.iter().map(|c| c.byte_size()).sum(),
+            cold_bytes_uncompressed: self.cold_uncompressed_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use datablocks::{DataType, ScanOptions};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("grp", DataType::Str),
+            ColumnDef::new("amount", DataType::Int),
+        ])
+        .with_primary_key("id")
+    }
+
+    fn filled_relation(rows: i64, chunk_capacity: usize) -> Relation {
+        let mut rel = Relation::with_chunk_capacity("t", schema(), chunk_capacity);
+        for i in 0..rows {
+            rel.insert(vec![Value::Int(i), Value::Str(format!("g{}", i % 4)), Value::Int(i * 10)]);
+        }
+        rel
+    }
+
+    #[test]
+    fn insert_and_point_lookup_hot() {
+        let rel = filled_relation(100, 1000);
+        let id = rel.lookup_pk(42).expect("indexed lookup");
+        assert_eq!(rel.get(id, 2), Value::Int(420));
+        assert_eq!(rel.get_row(id)[1], Value::Str("g2".into()));
+        assert_eq!(rel.row_count(), 100);
+    }
+
+    #[test]
+    fn freeze_moves_rows_to_cold_and_lookups_still_work() {
+        let mut rel = filled_relation(2_500, 1000);
+        assert_eq!(rel.hot_chunks().len(), 3);
+        rel.freeze_full_chunks();
+        assert_eq!(rel.cold_blocks().len(), 2);
+        assert_eq!(rel.hot_chunks().len(), 1);
+        // indexed lookup finds rows in both cold and hot segments
+        let cold_id = rel.lookup_pk(500).unwrap();
+        assert!(matches!(cold_id.segment, Segment::Cold(_)));
+        assert_eq!(rel.get(cold_id, 2), Value::Int(5000));
+        let hot_id = rel.lookup_pk(2_400).unwrap();
+        assert!(matches!(hot_id.segment, Segment::Hot(_)));
+        // non-indexed scan lookup agrees
+        let scanned = rel.lookup_pk_scan(500, ScanOptions::default()).unwrap();
+        assert_eq!(rel.get(scanned, 0), Value::Int(500));
+    }
+
+    #[test]
+    fn freeze_all_includes_partial_tail() {
+        let mut rel = filled_relation(1_500, 1000);
+        rel.freeze_all();
+        assert_eq!(rel.cold_blocks().len(), 2);
+        assert!(rel.hot_chunks().is_empty());
+        assert_eq!(rel.live_row_count(), 1_500);
+    }
+
+    #[test]
+    fn delete_hides_record_from_lookup() {
+        let mut rel = filled_relation(100, 50);
+        rel.freeze_all();
+        let id = rel.lookup_pk(10).unwrap();
+        assert!(rel.delete(id));
+        assert!(rel.is_deleted(id));
+        assert!(rel.lookup_pk(10).is_none());
+        assert!(rel.lookup_pk_scan(10, ScanOptions::default()).is_none());
+        assert_eq!(rel.live_row_count(), 99);
+    }
+
+    #[test]
+    fn update_cold_record_becomes_delete_plus_insert() {
+        let mut rel = filled_relation(100, 50);
+        rel.freeze_all();
+        let old_id = rel.lookup_pk(7).unwrap();
+        assert!(matches!(old_id.segment, Segment::Cold(_)));
+        let new_id =
+            rel.update(old_id, vec![Value::Int(7), Value::Str("updated".into()), Value::Int(777)]);
+        assert!(matches!(new_id.segment, Segment::Hot(_)));
+        assert!(rel.is_deleted(old_id));
+        let found = rel.lookup_pk(7).unwrap();
+        assert_eq!(found, new_id);
+        assert_eq!(rel.get(found, 1), Value::Str("updated".into()));
+        assert_eq!(rel.get(found, 2), Value::Int(777));
+    }
+
+    #[test]
+    fn update_hot_record_in_place() {
+        let mut rel = filled_relation(10, 100);
+        let id = rel.lookup_pk(3).unwrap();
+        let same = rel.update(id, vec![Value::Int(3), Value::Str("x".into()), Value::Int(-1)]);
+        assert_eq!(id, same);
+        assert_eq!(rel.get(id, 2), Value::Int(-1));
+    }
+
+    #[test]
+    fn pk_index_can_be_dropped_and_rebuilt() {
+        let mut rel = filled_relation(200, 64);
+        rel.freeze_all();
+        assert!(rel.has_pk_index());
+        rel.drop_pk_index();
+        assert!(!rel.has_pk_index());
+        assert!(rel.lookup_pk(5).is_none());
+        assert!(rel.lookup_pk_scan(5, ScanOptions::default()).is_some());
+        rel.build_pk_index();
+        assert!(rel.lookup_pk(5).is_some());
+    }
+
+    #[test]
+    fn storage_stats_report_compression() {
+        let mut rel = filled_relation(5_000, 1000);
+        rel.freeze_all();
+        let stats = rel.storage_stats();
+        assert_eq!(stats.cold_blocks, 5);
+        assert_eq!(stats.cold_rows, 5_000);
+        assert_eq!(stats.hot_rows, 0);
+        assert!(stats.compression_ratio() > 1.5, "ratio {}", stats.compression_ratio());
+        assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn layout_combinations_counted() {
+        let mut rel = filled_relation(3_000, 1000);
+        rel.freeze_all();
+        assert!(rel.layout_combinations() >= 1);
+    }
+
+    #[test]
+    fn tombstones_survive_freezing() {
+        let mut rel = filled_relation(100, 100);
+        let id = rel.lookup_pk(55).unwrap();
+        rel.delete(id);
+        rel.freeze_all();
+        assert!(rel.lookup_pk(55).is_none());
+        assert_eq!(rel.live_row_count(), 99);
+    }
+
+    #[test]
+    fn sorted_freeze_orders_block_contents() {
+        let mut rel = Relation::with_chunk_capacity("t", schema(), 1000);
+        for i in (0..1000i64).rev() {
+            rel.insert(vec![Value::Int(i), Value::Str("g".into()), Value::Int(i)]);
+        }
+        rel.freeze_all_sorted_by(0);
+        let block = &rel.cold_blocks()[0];
+        assert_eq!(block.get(0, 0), Value::Int(0));
+        assert_eq!(block.get(999, 0), Value::Int(999));
+        // index still finds the right record after the permutation
+        let id = rel.lookup_pk(123).unwrap();
+        assert_eq!(rel.get(id, 2), Value::Int(123));
+    }
+}

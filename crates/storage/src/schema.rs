@@ -1,0 +1,151 @@
+//! Relation schemas.
+//!
+//! Data Blocks themselves store no schema information (replicating it in every block
+//! would waste space — Section 3); the schema lives here, at the relation level.
+
+use datablocks::DataType;
+
+/// Definition of one attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Attribute name (unique within the relation).
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// May the attribute hold NULLs?
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable attribute.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), data_type, nullable: false }
+    }
+
+    /// A nullable attribute.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), data_type, nullable: true }
+    }
+}
+
+/// The schema of a relation: an ordered list of attribute definitions plus an
+/// optional primary-key attribute (single-column integer keys, which is what the
+/// OLTP workloads of the evaluation use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    primary_key: Option<usize>,
+}
+
+impl Schema {
+    /// Build a schema from attribute definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name (schemas are built by hand in code; a
+    /// duplicate is a programming error).
+    pub fn new(columns: Vec<ColumnDef>) -> Schema {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        Schema { columns, primary_key: None }
+    }
+
+    /// Declare attribute `name` as the primary key (must be an integer attribute).
+    pub fn with_primary_key(mut self, name: &str) -> Schema {
+        let idx = self.index_of(name).unwrap_or_else(|| panic!("unknown attribute {name:?}"));
+        assert_eq!(
+            self.columns[idx].data_type,
+            DataType::Int,
+            "primary keys must be integer attributes"
+        );
+        self.primary_key = Some(idx);
+        self
+    }
+
+    /// Number of attributes.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All attribute definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// The definition of attribute `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Find an attribute index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Attribute index by name, panicking with a readable message when absent (for
+    /// hand-written queries and tests).
+    pub fn idx(&self, name: &str) -> usize {
+        self.index_of(name).unwrap_or_else(|| panic!("relation has no attribute {name:?}"))
+    }
+
+    /// The primary-key attribute index, if one was declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::nullable("score", DataType::Double),
+        ])
+        .with_primary_key("id")
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.column_count(), 3);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.idx("score"), 2);
+        assert_eq!(s.primary_key(), Some(0));
+        assert!(s.column(2).nullable);
+        assert!(!s.column(0).nullable);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            ColumnDef::new("x", DataType::Int),
+            ColumnDef::new("x", DataType::Int),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attribute")]
+    fn unknown_primary_key_rejected() {
+        Schema::new(vec![ColumnDef::new("x", DataType::Int)]).with_primary_key("y");
+    }
+
+    #[test]
+    #[should_panic(expected = "integer attributes")]
+    fn non_integer_primary_key_rejected() {
+        Schema::new(vec![ColumnDef::new("x", DataType::Str)]).with_primary_key("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute")]
+    fn idx_panics_with_message() {
+        schema().idx("nope");
+    }
+}

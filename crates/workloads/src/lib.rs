@@ -1,0 +1,25 @@
+//! # workloads — data generators and reference queries for the evaluation
+//!
+//! Every data set and query workload the paper's evaluation uses, rebuilt as
+//! deterministic generators:
+//!
+//! * [`tpch`] — a dbgen-equivalent TPC-H generator (continuous scale factor, scaled
+//!   integer decimals) plus the reproduced query subset (Q1, Q3, Q6, Q12, Q14).
+//! * [`tpcc`] — a TPC-C style OLTP workload (new-order, order-status, stock-level)
+//!   for the Section 5.3 throughput experiments.
+//! * [`imdb`] — a synthetic stand-in for the IMDB `cast_info` relation.
+//! * [`flights`] — a synthetic US on-time-performance data set, naturally ordered by
+//!   date, plus the Appendix D query.
+//!
+//! All generators take explicit sizes/scale factors and fixed seeds, so experiments
+//! are reproducible run to run.
+
+#![warn(missing_docs)]
+
+pub mod flights;
+pub mod imdb;
+pub mod tpcc;
+pub mod tpch;
+
+pub use tpcc::TpccDb;
+pub use tpch::TpchDb;

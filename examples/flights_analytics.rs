@@ -1,0 +1,43 @@
+//! Analytical workload on the flights data set (the paper's Section 5.2 / Appendix D
+//! scenario): the relation is naturally ordered by date, so SMAs skip most Data
+//! Blocks for the year restriction and PSMAs narrow the rest.
+//!
+//! Run with: `cargo run --release --example flights_analytics`
+
+use data_blocks::exec::ScanConfig;
+use data_blocks::workloads::flights;
+use std::time::Instant;
+
+fn main() {
+    let rows = 300_000;
+    println!("generating {rows} synthetic flight records (1987-10 .. 2008-04)...");
+    let mut relation = flights::generate(rows, data_blocks::datablocks::DEFAULT_BLOCK_CAPACITY);
+    relation.freeze_all();
+    let stats = relation.storage_stats();
+    println!(
+        "frozen into {} Data Blocks, {:.2}x compression",
+        stats.cold_blocks,
+        stats.compression_ratio()
+    );
+
+    for (label, config) in [
+        ("JIT-style tuple-at-a-time scan", ScanConfig::named("jit")),
+        ("Data Blocks + SARG/SMA + PSMA  ", ScanConfig::named("datablocks+psma")),
+    ] {
+        let start = Instant::now();
+        let (result, scan_stats) = flights::sfo_delay_query(&relation, config);
+        let elapsed = start.elapsed();
+        println!(
+            "\n{label}: {:?} ({} of {} blocks skipped, {} rows scanned)",
+            elapsed, scan_stats.blocks_skipped, scan_stats.blocks_total, scan_stats.rows_scanned
+        );
+        println!("carrier | avg arrival delay into SFO (1998-2008)");
+        for row in 0..result.len().min(5) {
+            println!(
+                "  {:>5} | {:+.1} min",
+                result.value(row, 0),
+                result.value(row, 1).as_double().unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # data-blocks — reproduction of "Data Blocks: Hybrid OLTP and OLAP on Compressed
+//! Storage using both Vectorization and Compilation" (SIGMOD 2016)
+//!
+//! This facade crate re-exports the workspace members so applications can depend on
+//! a single crate:
+//!
+//! * [`datablocks`] — the compressed, byte-addressable block format with SMA/PSMA
+//!   light-weight indexes (the paper's core contribution).
+//! * [`dbsimd`] — SSE/AVX2 predicate-evaluation kernels with precomputed positions
+//!   tables (find-matches / reduce-matches).
+//! * [`storage`] — chunked hybrid relations: hot uncompressed chunks, cold frozen
+//!   Data Blocks, primary-key index, delete/update semantics.
+//! * [`exec`] — the interpreted vectorized scan subsystem feeding (simulated)
+//!   JIT-compiled tuple-at-a-time query pipelines, plus relational operators.
+//! * [`bitpack`] — the horizontal bit-packing and heavy-compression baselines the
+//!   paper evaluates against.
+//! * [`workloads`] — TPC-H, TPC-C, IMDB cast_info and flights generators and the
+//!   reproduced query set.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use data_blocks::datablocks::builder::{freeze, int_column};
+//! use data_blocks::datablocks::{scan_collect, Restriction, ScanOptions};
+//!
+//! let block = freeze(&[int_column((0..10_000).collect())]);
+//! let hits = scan_collect(&block, &[Restriction::between(0, 100i64, 199i64)], ScanOptions::default());
+//! assert_eq!(hits.len(), 100);
+//! ```
+
+pub use bitpack;
+pub use datablocks;
+pub use dbsimd;
+pub use exec;
+pub use storage;
+pub use workloads;

@@ -1,0 +1,126 @@
+//! Integration tests spanning storage, datablocks and exec: the full hybrid
+//! OLTP + OLAP life cycle of a relation.
+
+use data_blocks::datablocks::{CmpOp, DataType, Restriction, ScanOptions, Value};
+use data_blocks::exec::prelude::*;
+use data_blocks::storage::{ColumnDef, Relation, Schema, Segment};
+
+fn orders_relation(rows: i64, chunk: usize) -> Relation {
+    let schema = Schema::new(vec![
+        ColumnDef::new("o_id", DataType::Int),
+        ColumnDef::new("o_region", DataType::Str),
+        ColumnDef::new("o_amount", DataType::Int),
+        ColumnDef::nullable("o_note", DataType::Str),
+    ])
+    .with_primary_key("o_id");
+    let mut rel = Relation::with_chunk_capacity("orders_it", schema, chunk);
+    for i in 0..rows {
+        rel.insert(vec![
+            Value::Int(i),
+            Value::Str(["north", "south", "east", "west"][(i % 4) as usize].to_string()),
+            Value::Int(100 + i % 1000),
+            if i % 10 == 0 { Value::Null } else { Value::Str(format!("note{}", i % 7)) },
+        ]);
+    }
+    rel
+}
+
+#[test]
+fn freeze_scan_update_delete_lifecycle() {
+    let mut rel = orders_relation(30_000, 8_192);
+    rel.freeze_full_chunks();
+    assert!(rel.cold_blocks().len() >= 3);
+    assert_eq!(rel.hot_chunks().len(), 1);
+
+    // OLAP: aggregate over hot + cold with SARG push-down.
+    let count_where = |rel: &Relation, lo: i64, hi: i64| -> i64 {
+        let s = rel.schema();
+        let scan = RelationScanner::new(
+            rel,
+            vec![s.idx("o_amount")],
+            vec![Restriction::between(s.idx("o_amount"), lo, hi)],
+            ScanConfig::default(),
+        );
+        let mut agg = HashAggregateOp::new(
+            Box::new(ScanOp::new(scan)),
+            vec![],
+            vec![],
+            vec![AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int)],
+        );
+        agg.collect_all().value(0, 0).as_int().unwrap()
+    };
+    let before = count_where(&rel, 100, 199);
+    assert_eq!(before, 3_000);
+
+    // OLTP: update a frozen record (delete + re-insert) and delete another.
+    let frozen_id = rel.lookup_pk(5).unwrap();
+    assert!(matches!(frozen_id.segment, Segment::Cold(_)));
+    rel.update(frozen_id, vec![Value::Int(5), Value::Str("north".into()), Value::Int(5_000), Value::Null]);
+    let deleted_id = rel.lookup_pk(6).unwrap();
+    rel.delete(deleted_id);
+
+    // Both changes are visible to subsequent scans (5 moved out of range, 6 gone).
+    let after = count_where(&rel, 100, 199);
+    assert_eq!(after, before - 2);
+
+    // Point lookups see the new version from the hot tail.
+    let new_id = rel.lookup_pk(5).unwrap();
+    assert!(matches!(new_id.segment, Segment::Hot(_)));
+    assert_eq!(rel.get(new_id, 2), Value::Int(5_000));
+    assert!(rel.lookup_pk(6).is_none());
+}
+
+#[test]
+fn scan_modes_and_isa_levels_agree_end_to_end() {
+    let mut rel = orders_relation(20_000, 4_096);
+    rel.freeze_full_chunks();
+    let s = rel.schema();
+    let restrictions = vec![
+        Restriction::between(s.idx("o_amount"), 300i64, 599i64),
+        Restriction::eq(s.idx("o_region"), "east"),
+        Restriction::IsNotNull { column: s.idx("o_note") },
+    ];
+    let mut counts = Vec::new();
+    for name in ["jit", "vectorized", "vectorized+sarg", "datablocks+sarg", "datablocks+psma"] {
+        let mut config = ScanConfig::named(name);
+        for isa in IsaLevel::available() {
+            config.options.isa = isa;
+            let mut scanner =
+                RelationScanner::new(&rel, vec![0, 2], restrictions.clone(), config);
+            counts.push(scanner.collect_all().len());
+        }
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    assert!(counts[0] > 0);
+}
+
+#[test]
+fn serialized_blocks_answer_the_same_queries() {
+    let mut rel = orders_relation(10_000, 2_048);
+    rel.freeze_all();
+    for block in rel.cold_blocks() {
+        let bytes = data_blocks::datablocks::layout::to_bytes(block);
+        let restored = data_blocks::datablocks::layout::from_bytes(&bytes).expect("roundtrip");
+        let restriction = [Restriction::cmp(2, CmpOp::Ge, 900i64)];
+        let a = data_blocks::datablocks::scan_collect(block, &restriction, ScanOptions::default());
+        let b = data_blocks::datablocks::scan_collect(&restored, &restriction, ScanOptions::default());
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn point_access_throughput_path_returns_correct_rows() {
+    let mut rel = orders_relation(50_000, 16_384);
+    rel.freeze_all();
+    // with index
+    for key in [0i64, 123, 49_999, 25_000] {
+        let id = rel.lookup_pk(key).unwrap();
+        assert_eq!(rel.get(id, 0), Value::Int(key));
+    }
+    // without index: SMA/PSMA narrowed scans find the same rows
+    rel.drop_pk_index();
+    for key in [0i64, 123, 49_999, 25_000] {
+        let id = rel.lookup_pk_scan(key, ScanOptions::default()).unwrap();
+        assert_eq!(rel.get(id, 0), Value::Int(key));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over the core data structures: compression
+//! roundtrips, PSMA coverage, SIMD kernel equivalence and scan correctness against a
+//! brute-force oracle.
+
+use data_blocks::datablocks::builder::freeze;
+use data_blocks::datablocks::{
+    scan_collect, CmpOp, Column, ColumnData, Psma, Restriction, ScanOptions, Value,
+};
+use data_blocks::dbsimd::{find_matches, reduce_matches, IsaLevel, RangePredicate};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Freezing and point access are lossless for arbitrary integer columns.
+    #[test]
+    fn compression_roundtrip_ints(values in prop::collection::vec(-1_000_000i64..1_000_000, 1..2_000)) {
+        let column = Column::from_data(ColumnData::Int(values.clone()));
+        let block = freeze(&[column]);
+        for (row, expected) in values.iter().enumerate() {
+            prop_assert_eq!(block.get(row, 0), Value::Int(*expected));
+        }
+    }
+
+    /// Freezing and point access are lossless for arbitrary string columns.
+    #[test]
+    fn compression_roundtrip_strings(values in prop::collection::vec("[a-z]{0,12}", 1..500)) {
+        let column = Column::from_data(ColumnData::Str(values.clone()));
+        let block = freeze(&[column]);
+        for (row, expected) in values.iter().enumerate() {
+            prop_assert_eq!(block.get(row, 0), Value::Str(expected.clone()));
+        }
+    }
+
+    /// The flat serialization is a faithful roundtrip.
+    #[test]
+    fn layout_roundtrip(values in prop::collection::vec(0i64..50_000, 1..1_500)) {
+        let block = freeze(&[Column::from_data(ColumnData::Int(values.clone()))]);
+        let restored = data_blocks::datablocks::layout::from_bytes(
+            &data_blocks::datablocks::layout::to_bytes(&block),
+        ).unwrap();
+        for row in 0..values.len() {
+            prop_assert_eq!(restored.get(row, 0), block.get(row, 0));
+        }
+    }
+
+    /// Every position of a probed value lies inside the PSMA range.
+    #[test]
+    fn psma_ranges_cover_all_occurrences(
+        keys in prop::collection::vec(0i64..10_000, 1..3_000),
+        probe in 0i64..10_000,
+    ) {
+        let psma = Psma::build(&keys).unwrap();
+        let range = psma.probe_eq(probe);
+        for (pos, &k) in keys.iter().enumerate() {
+            if k == probe {
+                prop_assert!((pos as u32) >= range.begin && (pos as u32) < range.end);
+            }
+        }
+    }
+
+    /// SIMD find/reduce kernels agree with the scalar kernels for every ISA level.
+    #[test]
+    fn simd_kernels_match_scalar(
+        data in prop::collection::vec(0u32..100_000, 0..3_000),
+        mut lo in 0u32..100_000,
+        mut hi in 0u32..100_000,
+    ) {
+        if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+        let pred = RangePredicate::between(lo, hi);
+        let mut expected = Vec::new();
+        find_matches(IsaLevel::Scalar, &data, &pred, 0, &mut expected);
+        for isa in IsaLevel::available() {
+            let mut got = Vec::new();
+            find_matches(isa, &data, &pred, 0, &mut got);
+            prop_assert_eq!(&got, &expected);
+
+            let mut all: Vec<u32> = (0..data.len() as u32).collect();
+            let mut all_expected = all.clone();
+            reduce_matches(IsaLevel::Scalar, &data, &pred, 0, &mut all_expected);
+            reduce_matches(isa, &data, &pred, 0, &mut all);
+            prop_assert_eq!(&all, &all_expected);
+        }
+    }
+
+    /// Block scans with arbitrary conjunctive restrictions match a brute-force oracle,
+    /// regardless of SMA/PSMA usage.
+    #[test]
+    fn block_scan_matches_oracle(
+        a in prop::collection::vec(0i64..500, 100..2_000),
+        lo in 0i64..500,
+        width in 0i64..200,
+        eq_choice in 0usize..4,
+    ) {
+        let n = a.len();
+        let b: Vec<String> = (0..n).map(|i| format!("s{}", i % 4)).collect();
+        let block = freeze(&[
+            Column::from_data(ColumnData::Int(a.clone())),
+            Column::from_data(ColumnData::Str(b.clone())),
+        ]);
+        let restrictions = vec![
+            Restriction::between(0, lo, lo + width),
+            Restriction::eq(1, format!("s{eq_choice}")),
+        ];
+        let expected: Vec<u32> = (0..n)
+            .filter(|&i| a[i] >= lo && a[i] <= lo + width && b[i] == format!("s{eq_choice}"))
+            .map(|i| i as u32)
+            .collect();
+        for options in [
+            ScanOptions::default(),
+            ScanOptions { use_sma: false, use_psma: false, ..ScanOptions::default() },
+            ScanOptions { vector_size: 64, ..ScanOptions::default() },
+        ] {
+            prop_assert_eq!(&scan_collect(&block, &restrictions, options), &expected);
+        }
+    }
+
+    /// Scans never return NULL rows for value predicates, and IS NULL / IS NOT NULL
+    /// partition the block.
+    #[test]
+    fn null_semantics_partition_rows(
+        raw in prop::collection::vec(prop::option::of(0i64..100), 50..1_000),
+    ) {
+        let mut column = Column::new(data_blocks::datablocks::DataType::Int);
+        for v in &raw {
+            column.push(match v { Some(x) => Value::Int(*x), None => Value::Null });
+        }
+        let block = freeze(&[column]);
+        let nulls = scan_collect(&block, &[Restriction::IsNull { column: 0 }], ScanOptions::default());
+        let not_nulls = scan_collect(&block, &[Restriction::IsNotNull { column: 0 }], ScanOptions::default());
+        prop_assert_eq!(nulls.len() + not_nulls.len(), raw.len());
+        let ge_zero = scan_collect(&block, &[Restriction::cmp(0, CmpOp::Ge, 0i64)], ScanOptions::default());
+        prop_assert_eq!(ge_zero.len(), not_nulls.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Integration tests for the TPC-H workload: results must be identical across every
+//! scan configuration and consistent with hand-computed expectations on the
+//! generated data.
+
+use data_blocks::exec::ScanConfig;
+use data_blocks::workloads::tpch::{self, TpchDb};
+
+fn db() -> TpchDb {
+    let mut db = TpchDb::generate_with_chunk(0.002, 2_048);
+    db.freeze();
+    db
+}
+
+#[test]
+fn all_queries_agree_across_all_scan_configurations() {
+    let db = db();
+    for query in tpch::QUERY_SUBSET {
+        let reference = tpch::run_query(&db, query, ScanConfig::named("jit")).batch;
+        for config in ["vectorized", "vectorized+sarg", "datablocks", "datablocks+sarg", "datablocks+psma"] {
+            let result = tpch::run_query(&db, query, ScanConfig::named(config)).batch;
+            assert_eq!(result.len(), reference.len(), "{query} under {config}");
+            for row in 0..reference.len() {
+                assert_eq!(result.row(row), reference.row(row), "{query} under {config}, row {row}");
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_aggregates_are_internally_consistent() {
+    let db = db();
+    let result = tpch::q1(&db, ScanConfig::default()).batch;
+    // count > 0 for every group, avg_qty = sum_qty / count
+    for row in 0..result.len() {
+        let sum_qty = result.value(row, 2).as_int().unwrap() as f64;
+        let avg_qty = result.value(row, 6).as_double().unwrap();
+        let count = result.value(row, 9).as_int().unwrap() as f64;
+        assert!(count > 0.0);
+        assert!((sum_qty / count - avg_qty).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn q6_revenue_matches_brute_force() {
+    let db = db();
+    // brute force over the frozen lineitem relation using point accesses
+    let lineitem = db.relation("lineitem");
+    let s = lineitem.schema();
+    let (ship, disc, qty, price) =
+        (s.idx("l_shipdate"), s.idx("l_discount"), s.idx("l_quantity"), s.idx("l_extendedprice"));
+    let lo = data_blocks::datablocks::date_to_days(1994, 1, 1);
+    let hi = data_blocks::datablocks::date_to_days(1995, 1, 1) - 1;
+    let mut expected = 0.0f64;
+    for block in lineitem.cold_blocks() {
+        for row in 0..block.tuple_count() as usize {
+            let d = block.get(row, ship).as_int().unwrap();
+            let discount = block.get(row, disc).as_int().unwrap();
+            let quantity = block.get(row, qty).as_int().unwrap();
+            if d >= lo && d <= hi && (5..=7).contains(&discount) && quantity < 24 {
+                expected += block.get(row, price).as_int().unwrap() as f64 * discount as f64 / 100.0;
+            }
+        }
+    }
+    let got = tpch::q6(&db, ScanConfig::default()).batch.value(0, 0).as_double().unwrap();
+    assert!((got - expected).abs() < 1e-6 * expected.max(1.0), "{got} vs {expected}");
+}
+
+#[test]
+fn compression_shrinks_tpch_and_layouts_are_diverse() {
+    let db = db();
+    let mut total_ratio = 0.0;
+    let mut layouts = 0;
+    for name in tpch::RELATIONS {
+        let stats = db.relation(name).storage_stats();
+        assert_eq!(stats.hot_rows, 0, "{name} should be fully frozen");
+        total_ratio += stats.compression_ratio();
+        layouts += db.relation(name).layout_combinations();
+    }
+    assert!(total_ratio / tpch::RELATIONS.len() as f64 > 1.3);
+    assert!(layouts >= tpch::RELATIONS.len());
+}
