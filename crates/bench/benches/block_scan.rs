@@ -1,12 +1,17 @@
-//! Criterion benchmark for Data Block scans: SARGable predicate evaluation on
-//! compressed data vs the bit-packed baseline, and point accesses (Table 3 flavour).
+//! Benchmark for Data Block scans: SARGable predicate evaluation on compressed data
+//! vs the bit-packed baseline, and point accesses (Table 3 flavour).
+//!
+//! Hand-rolled harness (`harness = false`): the build environment has no crates.io
+//! access, so Criterion is unavailable.
 
 use bitpack::BitPackedColumn;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use datablocks::builder::{freeze, int_column};
 use datablocks::{scan_collect, Restriction, ScanOptions};
+use db_bench::{
+    cycles_per_element, fmt_duration, print_table_header, print_table_row, time_median,
+};
 
-fn bench_scan(c: &mut Criterion) {
+fn main() {
     let n = 1usize << 16;
     let values: Vec<i64> = {
         let mut x = 7u64;
@@ -23,37 +28,72 @@ fn bench_scan(c: &mut Criterion) {
     let packed = BitPackedColumn::pack(&values.iter().map(|&v| v as u32).collect::<Vec<_>>(), 17);
     let hi = 65_537 / 4; // ~25% selectivity
 
-    let mut group = c.benchmark_group("sarg_scan_64k");
-    group.throughput(Throughput::Elements(n as u64));
-    group.sample_size(20);
-    group.bench_function("datablocks", |b| {
-        let options = ScanOptions { use_sma: false, use_psma: false, ..ScanOptions::default() };
-        b.iter(|| scan_collect(&block, &[Restriction::between(0, 0i64, hi)], options))
-    });
-    group.bench_function("bitpacked_robust", |b| {
-        let mut out = Vec::with_capacity(n);
-        b.iter(|| packed.scan_between_robust(0, hi as u32, &mut out))
-    });
-    group.finish();
+    let widths = [24usize, 12, 14];
+    let header = ["configuration", "median", "cycles/elem"];
 
-    let mut group = c.benchmark_group("point_access");
-    group.sample_size(20);
-    group.bench_function("datablock_get", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 7919) % n;
-            block.get(i, 0)
-        })
+    print_table_header("sarg_scan_64k", &header, &widths);
+    let options = ScanOptions {
+        use_sma: false,
+        use_psma: false,
+        ..ScanOptions::default()
+    };
+    let (_, elapsed) = time_median(20, || {
+        scan_collect(&block, &[Restriction::between(0, 0i64, hi)], options)
     });
-    group.bench_function("bitpacked_get", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
+    print_table_row(
+        &[
+            "datablocks".to_string(),
+            fmt_duration(elapsed),
+            format!("{:.2}", cycles_per_element(elapsed, n)),
+        ],
+        &widths,
+    );
+    let mut out = Vec::with_capacity(n);
+    let (_, elapsed) = time_median(20, || packed.scan_between_robust(0, hi as u32, &mut out));
+    print_table_row(
+        &[
+            "bitpacked_robust".to_string(),
+            fmt_duration(elapsed),
+            format!("{:.2}", cycles_per_element(elapsed, n)),
+        ],
+        &widths,
+    );
+
+    print_table_header("point_access (1M lookups)", &header, &widths);
+    let lookups = 1_000_000usize;
+    let mut i = 0usize;
+    let (_, elapsed) = time_median(5, || {
+        let mut sink = 0i64;
+        for _ in 0..lookups {
             i = (i + 7919) % n;
-            packed.get(i)
-        })
+            if let datablocks::Value::Int(v) = block.get(i, 0) {
+                sink ^= v;
+            }
+        }
+        sink
     });
-    group.finish();
+    print_table_row(
+        &[
+            "datablock_get".to_string(),
+            fmt_duration(elapsed),
+            format!("{:.2}", cycles_per_element(elapsed, lookups)),
+        ],
+        &widths,
+    );
+    let (_, elapsed) = time_median(5, || {
+        let mut sink = 0u32;
+        for _ in 0..lookups {
+            i = (i + 7919) % n;
+            sink ^= packed.get(i);
+        }
+        sink
+    });
+    print_table_row(
+        &[
+            "bitpacked_get".to_string(),
+            fmt_duration(elapsed),
+            format!("{:.2}", cycles_per_element(elapsed, lookups)),
+        ],
+        &widths,
+    );
 }
-
-criterion_group!(benches, bench_scan);
-criterion_main!(benches);

@@ -1,6 +1,12 @@
-//! Criterion micro-benchmarks for the SIMD find/reduce kernels (Figures 8 and 9).
+//! Micro-benchmarks for the SIMD find/reduce kernels (Figures 8 and 9).
+//!
+//! Hand-rolled harness (`harness = false`): the build environment has no crates.io
+//! access, so Criterion is unavailable. Each case runs a warm-up plus the median of
+//! several timed repetitions via [`db_bench::time_median`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use db_bench::{
+    cycles_per_element, fmt_duration, print_table_header, print_table_row, time_median,
+};
 use dbsimd::{find_matches, reduce_matches, IsaLevel, RangePredicate};
 
 fn data_u32(n: usize, modulus: u32) -> Vec<u32> {
@@ -15,46 +21,50 @@ fn data_u32(n: usize, modulus: u32) -> Vec<u32> {
         .collect()
 }
 
-fn bench_find(c: &mut Criterion) {
+fn main() {
     let n = 1 << 16;
     let data = data_u32(n, 1000);
-    let pred = RangePredicate::between(0u32, 199); // 20% selectivity
-    let mut group = c.benchmark_group("find_matches_u32");
-    group.throughput(Throughput::Elements(n as u64));
-    group.sample_size(20);
-    for isa in IsaLevel::available() {
-        group.bench_with_input(BenchmarkId::from_parameter(isa), &isa, |b, &isa| {
-            let mut out = Vec::with_capacity(n);
-            b.iter(|| {
-                out.clear();
-                find_matches(isa, &data, &pred, 0, &mut out)
-            });
-        });
-    }
-    group.finish();
-}
+    let widths = [24usize, 12, 14, 12];
+    let header = ["kernel / ISA", "median", "cycles/elem", "matches"];
 
-fn bench_reduce(c: &mut Criterion) {
-    let n = 1 << 16;
-    let data = data_u32(n, 1000);
+    print_table_header("find_matches_u32 (20% selectivity)", &header, &widths);
+    let pred = RangePredicate::between(0u32, 199);
+    for isa in IsaLevel::available() {
+        let mut out = Vec::with_capacity(n);
+        let (found, elapsed) = time_median(20, || {
+            out.clear();
+            find_matches(isa, &data, &pred, 0, &mut out)
+        });
+        print_table_row(
+            &[
+                format!("find/{isa}"),
+                fmt_duration(elapsed),
+                format!("{:.2}", cycles_per_element(elapsed, n)),
+                format!("{found}"),
+            ],
+            &widths,
+        );
+    }
+
+    print_table_header("reduce_matches_u32", &header, &widths);
     let first = RangePredicate::between(0u32, 499);
     let second = RangePredicate::between(200u32, 700);
     let mut initial = Vec::new();
     find_matches(IsaLevel::Scalar, &data, &first, 0, &mut initial);
-    let mut group = c.benchmark_group("reduce_matches_u32");
-    group.throughput(Throughput::Elements(initial.len() as u64));
-    group.sample_size(20);
     for isa in IsaLevel::available() {
-        group.bench_with_input(BenchmarkId::from_parameter(isa), &isa, |b, &isa| {
-            let mut work = Vec::with_capacity(initial.len());
-            b.iter(|| {
-                work.clone_from(&initial);
-                reduce_matches(isa, &data, &second, 0, &mut work)
-            });
+        let mut work = Vec::with_capacity(initial.len());
+        let (kept, elapsed) = time_median(20, || {
+            work.clone_from(&initial);
+            reduce_matches(isa, &data, &second, 0, &mut work)
         });
+        print_table_row(
+            &[
+                format!("reduce/{isa}"),
+                fmt_duration(elapsed),
+                format!("{:.2}", cycles_per_element(elapsed, initial.len())),
+                format!("{kept}"),
+            ],
+            &widths,
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_find, bench_reduce);
-criterion_main!(benches);

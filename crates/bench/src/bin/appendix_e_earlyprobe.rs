@@ -54,7 +54,11 @@ fn q3_like(db: &TpchDb, early_probe: bool) -> usize {
         Box::new(TakeBatches(&mut join)),
         vec![],
         vec![],
-        vec![AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int)],
+        vec![AggSpec::new(
+            AggFunc::CountStar,
+            Expr::lit(0i64),
+            DataType::Int,
+        )],
     );
     let out = agg.collect_all();
     out.value(0, 0).as_int().unwrap_or(0) as usize
@@ -83,7 +87,10 @@ fn main() {
     );
     for (label, early) in [("full hash probe", false), ("early tag probe", true)] {
         let (rows, elapsed) = time_median(3, || q3_like(&db, early));
-        print_table_row(&[label.to_string(), fmt_duration(elapsed), format!("{rows}")], &widths);
+        print_table_row(
+            &[label.to_string(), fmt_duration(elapsed), format!("{rows}")],
+            &widths,
+        );
     }
     println!("\nExpected shape (paper): early probing helps when the join is selective (here the");
     println!("BUILDING segment keeps ~20% of orders); results are identical either way.");

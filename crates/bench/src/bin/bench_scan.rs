@@ -1,0 +1,123 @@
+//! Parallel-scan throughput benchmark: rows/s of a Q6-shaped SARGable scan over a
+//! frozen TPC-H lineitem, serial vs morsel-driven parallel at 2/4/8 workers.
+//!
+//! Emits `BENCH_scan.json` (machine-readable, one entry per thread count) so the
+//! repository's perf trajectory can be tracked run over run. Knobs:
+//!
+//! * `TPCH_SF` — scale factor; the default 0.2 yields ≥ 1.2 M lineitem rows.
+//! * `--threads N` / `THREADS` — appends an extra thread count to the sweep.
+
+use std::io::Write as _;
+
+use db_bench::{fmt_duration, print_table_header, print_table_row, threads_arg, time_median};
+use exec::{RelationScanner, ScanConfig};
+use workloads::tpch::TpchDb;
+
+use datablocks::scan::Restriction;
+use datablocks::{date_to_days, CmpOp};
+
+fn main() {
+    let sf = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    println!("generating TPC-H scale factor {sf} ...");
+    let mut db = TpchDb::generate(sf);
+    db.freeze();
+    let lineitem = db.relation("lineitem");
+    let s = lineitem.schema();
+    let rows = lineitem.row_count();
+    println!(
+        "lineitem: {rows} rows, {} blocks",
+        lineitem.cold_blocks().len()
+    );
+
+    // Two scan shapes: the selective Q6 restrictions (SMA skipping + PSMA narrowing
+    // do most of the work) and an unselective discount scan (every block is touched,
+    // so thread scaling acts on real find/unpack work).
+    let q6 = vec![
+        Restriction::between(
+            s.idx("l_shipdate"),
+            date_to_days(1994, 1, 1),
+            date_to_days(1995, 1, 1) - 1,
+        ),
+        Restriction::between(s.idx("l_discount"), 5i64, 7i64),
+        Restriction::cmp(s.idx("l_quantity"), CmpOp::Lt, 24i64),
+    ];
+    let unselective = vec![Restriction::cmp(s.idx("l_discount"), CmpOp::Ge, 1i64)];
+    let scans: [(&str, &[Restriction]); 2] = [("tpch_q6", &q6), ("full_discount", &unselective)];
+    let projection = vec![s.idx("l_extendedprice"), s.idx("l_discount")];
+
+    // `0 = all hardware threads` is resolved before recording, so BENCH_scan.json
+    // always names the actual worker count.
+    let mut sweep = vec![1usize, 2, 4, 8];
+    let extra = exec::morsel::effective_threads(threads_arg());
+    if !sweep.contains(&extra) {
+        sweep.push(extra);
+    }
+
+    let widths = [16usize, 10, 12, 14, 10, 10];
+    print_table_header(
+        "Parallel lineitem scan",
+        &["scan", "threads", "median", "rows/s", "matched", "speedup"],
+        &widths,
+    );
+
+    let mut entries = Vec::new();
+    for (scan_name, restrictions) in scans {
+        let mut serial_secs = None;
+        for &threads in &sweep {
+            let config = ScanConfig::default().with_threads(threads);
+            let (matched, elapsed) = time_median(3, || {
+                let mut scanner = RelationScanner::new(
+                    lineitem,
+                    projection.clone(),
+                    restrictions.to_vec(),
+                    config,
+                );
+                let mut matched = 0usize;
+                while let Some(batch) = scanner.next_batch() {
+                    matched += batch.len();
+                }
+                matched
+            });
+            let secs = elapsed.as_secs_f64();
+            let rows_per_s = rows as f64 / secs;
+            let base = *serial_secs.get_or_insert(secs);
+            let speedup = base / secs;
+            print_table_row(
+                &[
+                    scan_name.to_string(),
+                    format!("{threads}"),
+                    fmt_duration(elapsed),
+                    format!("{:.2e}", rows_per_s),
+                    format!("{matched}"),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths,
+            );
+            entries.push(format!(
+                "    {{\"scan\": \"{scan_name}\", \"threads\": {threads}, \
+                 \"elapsed_ms\": {:.3}, \"rows_per_s\": {:.0}, \"rows_matched\": {matched}, \
+                 \"speedup_vs_serial\": {speedup:.3}}}",
+                secs * 1e3,
+                rows_per_s,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_scan\",\n  \"relation\": \"lineitem\",\n  \
+         \"scale_factor\": {sf},\n  \"rows\": {rows},\n  \"hardware_threads\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries.join(",\n"),
+    );
+    let path = "BENCH_scan.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_scan.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_scan.json");
+    println!("\nwrote {path}");
+}

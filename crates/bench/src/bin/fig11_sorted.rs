@@ -22,7 +22,11 @@ fn main() {
 
     let runs: Vec<(&str, &TpchDb, ScanConfig)> = vec![
         ("JIT (uncompressed)", &hot, ScanConfig::named("jit")),
-        ("Vectorized (uncompressed)", &hot, ScanConfig::named("vectorized+sarg")),
+        (
+            "Vectorized (uncompressed)",
+            &hot,
+            ScanConfig::named("vectorized+sarg"),
+        ),
         ("Data Blocks (+PSMA)", &unsorted, with_psma),
         ("+SORT (-PSMA)", &sorted, no_psma),
         ("+SORT (+PSMA)", &sorted, with_psma),

@@ -29,7 +29,11 @@ fn main() {
     let c = gen(3, (1 << 8) + 1);
 
     // Data Block over the three columns (forced to 4-, 4- and 2-byte codes).
-    let block = freeze(&[int_column(a.clone()), int_column(b.clone()), int_column(c.clone())]);
+    let block = freeze(&[
+        int_column(a.clone()),
+        int_column(b.clone()),
+        int_column(c.clone()),
+    ]);
     // Horizontal bit-packed columns at 17 / 17 / 9 bits.
     let pa = BitPackedColumn::pack(&a.iter().map(|&v| v as u32).collect::<Vec<_>>(), 17);
     let pb = BitPackedColumn::pack(&b.iter().map(|&v| v as u32).collect::<Vec<_>>(), 17);
@@ -38,19 +42,30 @@ fn main() {
     let widths = [12usize, 14, 16, 20];
     print_table_header(
         "Figure 12(a): predicate evaluation cost (cycles per tuple)",
-        &["selectivity", "Data Blocks", "bit-packed", "bit-packed+table"],
+        &[
+            "selectivity",
+            "Data Blocks",
+            "bit-packed",
+            "bit-packed+table",
+        ],
         &widths,
     );
     for sel in [0u64, 10, 25, 50, 75, 100] {
         let hi = ((1u64 << 16) * sel / 100) as i64;
         let restriction = [Restriction::between(0, 0i64, hi)];
-        let options = ScanOptions { use_psma: false, use_sma: false, ..ScanOptions::default() };
+        let options = ScanOptions {
+            use_psma: false,
+            use_sma: false,
+            ..ScanOptions::default()
+        };
         let (_, dur_db) = time_median(5, || scan_collect(&block, &restriction, options));
         let mut positions = Vec::new();
-        let (_, dur_branchy) =
-            time_median(5, || pa.scan_between_branchy(0, hi.max(0) as u32, &mut positions));
-        let (_, dur_robust) =
-            time_median(5, || pa.scan_between_robust(0, hi.max(0) as u32, &mut positions));
+        let (_, dur_branchy) = time_median(5, || {
+            pa.scan_between_branchy(0, hi.max(0) as u32, &mut positions)
+        });
+        let (_, dur_robust) = time_median(5, || {
+            pa.scan_between_robust(0, hi.max(0) as u32, &mut positions)
+        });
         print_table_row(
             &[
                 format!("{sel}%"),
@@ -64,13 +79,22 @@ fn main() {
 
     print_table_header(
         "Figure 12(b): unpacking cost for 3 attributes (cycles per matching tuple)",
-        &["selectivity", "Data Blocks", "bit-packed (pos)", "bit-packed (all)"],
+        &[
+            "selectivity",
+            "Data Blocks",
+            "bit-packed (pos)",
+            "bit-packed (all)",
+        ],
         &widths,
     );
     for sel in [1u64, 10, 25, 50, 75, 100] {
         let hi = ((1u64 << 16) * sel / 100) as i64;
         let restriction = [Restriction::between(0, 0i64, hi)];
-        let options = ScanOptions { use_psma: false, use_sma: false, ..ScanOptions::default() };
+        let options = ScanOptions {
+            use_psma: false,
+            use_sma: false,
+            ..ScanOptions::default()
+        };
         let matches = scan_collect(&block, &restriction, options);
         let count = matches.len().max(1);
 

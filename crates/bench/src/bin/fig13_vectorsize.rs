@@ -2,7 +2,10 @@
 //! geometric mean of the reproduced TPC-H query subset for vector sizes from 256 to
 //! 64K records, on uncompressed storage and on Data Blocks.
 
-use db_bench::{fmt_duration, geometric_mean, print_table_header, print_table_row, time_median, tpch_scale_factor};
+use db_bench::{
+    fmt_duration, geometric_mean, print_table_header, print_table_row, time_median,
+    tpch_scale_factor,
+};
 use exec::ScanConfig;
 use workloads::tpch::{run_query, TpchDb, QUERY_SUBSET};
 
@@ -32,7 +35,11 @@ fn main() {
         let uncompressed = geo_mean_for(&hot, ScanConfig::named("vectorized+sarg"), vector);
         let datablocks = geo_mean_for(&cold, ScanConfig::named("datablocks+psma"), vector);
         print_table_row(
-            &[format!("{vector}"), fmt_duration(uncompressed), fmt_duration(datablocks)],
+            &[
+                format!("{vector}"),
+                fmt_duration(uncompressed),
+                fmt_duration(datablocks),
+            ],
             &widths,
         );
     }

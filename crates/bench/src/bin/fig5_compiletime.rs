@@ -15,7 +15,12 @@ fn main() {
     let widths = [12usize, 16, 18, 20];
     print_table_header(
         "Figure 5: compile time vs storage layout combinations (8 attributes)",
-        &["layouts", "JIT (model)", "vectorized (model)", "path-gen (measured)"],
+        &[
+            "layouts",
+            "JIT (model)",
+            "vectorized (model)",
+            "path-gen (measured)",
+        ],
         &widths,
     );
     for exp in 0..=12u32 {

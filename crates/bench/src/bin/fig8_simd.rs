@@ -17,7 +17,12 @@ fn bench_width<T: dbsimd::ScanWord>(data: &[T], pred: RangePredicate<T>) -> Vec<
     out
 }
 
-fn print_speedups<T: dbsimd::ScanWord>(label: &str, data: &[T], pred: RangePredicate<T>, widths: &[usize]) {
+fn print_speedups<T: dbsimd::ScanWord>(
+    label: &str,
+    data: &[T],
+    pred: RangePredicate<T>,
+    widths: &[usize],
+) {
     let results = bench_width(data, pred);
     let scalar = results
         .iter()

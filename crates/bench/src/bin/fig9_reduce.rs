@@ -5,7 +5,12 @@
 use db_bench::{bench_rows, cycles_per_element, print_table_header, print_table_row, time_median};
 use dbsimd::{find_matches, reduce_matches, IsaLevel, RangePredicate};
 
-fn run_width<T: dbsimd::ScanWord + TryFrom<u64>>(label: &str, data: &[T], domain: u64, widths: &[usize]) {
+fn run_width<T: dbsimd::ScanWord + TryFrom<u64>>(
+    label: &str,
+    data: &[T],
+    domain: u64,
+    widths: &[usize],
+) {
     let to_t = |v: u64| T::try_from(v.min(domain - 1)).unwrap_or(T::MAX_VALUE);
     for first_sel in [1u64, 10, 25, 50, 75, 100] {
         // first predicate keeps `first_sel`% of the domain
@@ -22,7 +27,10 @@ fn run_width<T: dbsimd::ScanWord + TryFrom<u64>>(label: &str, data: &[T], domain
                     work.clone_from(&initial);
                     reduce_matches(isa, data, &second, 0, &mut work)
                 });
-                cells.push(format!("{:.2}", cycles_per_element(elapsed, initial.len().max(1))));
+                cells.push(format!(
+                    "{:.2}",
+                    cycles_per_element(elapsed, initial.len().max(1))
+                ));
             } else {
                 cells.push("n/a".to_string());
             }

@@ -2,26 +2,52 @@
 //! into SFO for 1998–2008 — comparing a JIT-style scan on uncompressed storage with
 //! Data Block scans using SMAs and PSMAs on the naturally date-ordered data set.
 
-use db_bench::{bench_rows, fmt_duration, print_table_header, print_table_row, time_median};
+use db_bench::{
+    bench_rows, fmt_duration, print_table_header, print_table_row, threads_arg, time_median,
+};
 use exec::ScanConfig;
 use workloads::flights;
 
 fn main() {
     let rows = bench_rows(500_000);
+    let threads = threads_arg();
+    println!("generating {rows} flight rows (scan threads: {threads}) ...");
     let hot = flights::generate(rows, datablocks::DEFAULT_BLOCK_CAPACITY);
     let mut cold = flights::generate(rows, datablocks::DEFAULT_BLOCK_CAPACITY);
     cold.freeze_all();
 
     let configs = [
-        ("JIT (uncompressed)", &hot, ScanConfig::named("jit")),
-        ("Vectorized +SARG (uncompressed)", &hot, ScanConfig::named("vectorized+sarg")),
-        ("Data Blocks +SARG/SMA", &cold, ScanConfig::named("datablocks+sarg")),
-        ("Data Blocks +PSMA", &cold, ScanConfig::named("datablocks+psma")),
+        (
+            "JIT (uncompressed)",
+            &hot,
+            ScanConfig::named("jit").with_threads(threads),
+        ),
+        (
+            "Vectorized +SARG (uncompressed)",
+            &hot,
+            ScanConfig::named("vectorized+sarg").with_threads(threads),
+        ),
+        (
+            "Data Blocks +SARG/SMA",
+            &cold,
+            ScanConfig::named("datablocks+sarg").with_threads(threads),
+        ),
+        (
+            "Data Blocks +PSMA",
+            &cold,
+            ScanConfig::named("datablocks+psma").with_threads(threads),
+        ),
     ];
     let widths = [32usize, 12, 10, 16, 14];
     print_table_header(
         "Flights query: avg arrival delay per carrier into SFO, 1998-2008",
-        &["configuration", "runtime", "speedup", "blocks skipped", "rows scanned"],
+        &[
+            "configuration",
+            "runtime",
+            "speedup",
+            "blocks skipped",
+            "rows scanned",
+        ],
         &widths,
     );
     let mut baseline = None;

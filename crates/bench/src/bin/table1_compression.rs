@@ -5,7 +5,7 @@
 use bitpack::HeavyColumn;
 use db_bench::{bench_rows, fmt_bytes, print_table_header, print_table_row, tpch_scale_factor};
 use storage::Relation;
-use workloads::{imdb, flights, TpchDb};
+use workloads::{flights, imdb, TpchDb};
 
 fn heavy_size(relation: &Relation) -> usize {
     // Whole-column heavy compression over each frozen block's logical columns.
@@ -38,8 +38,10 @@ fn heavy_size(relation: &Relation) -> usize {
 }
 
 fn report(name: &str, relations: Vec<&Relation>, widths: &[usize]) {
-    let uncompressed: usize =
-        relations.iter().map(|r| r.storage_stats().cold_bytes_uncompressed).sum();
+    let uncompressed: usize = relations
+        .iter()
+        .map(|r| r.storage_stats().cold_bytes_uncompressed)
+        .sum();
     let datablocks: usize = relations.iter().map(|r| r.storage_stats().cold_bytes).sum();
     let heavy: usize = relations.iter().map(|r| heavy_size(r)).sum();
     print_table_row(
@@ -59,7 +61,14 @@ fn main() {
     let widths = [14usize, 14, 14, 16, 12, 12];
     print_table_header(
         "Table 1: database sizes (uncompressed vs Data Blocks vs heavy/PFOR baseline)",
-        &["data set", "uncompressed", "Data Blocks", "heavy (PFOR)", "DB ratio", "heavy ratio"],
+        &[
+            "data set",
+            "uncompressed",
+            "Data Blocks",
+            "heavy (PFOR)",
+            "DB ratio",
+            "heavy ratio",
+        ],
         &widths,
     );
 
@@ -68,7 +77,10 @@ fn main() {
     tpch.freeze();
     report(
         &format!("TPC-H sf{sf}"),
-        workloads::tpch::RELATIONS.iter().map(|n| tpch.relation(n)).collect(),
+        workloads::tpch::RELATIONS
+            .iter()
+            .map(|n| tpch.relation(n))
+            .collect(),
         &widths,
     );
 

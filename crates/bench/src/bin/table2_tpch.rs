@@ -5,13 +5,17 @@
 //! The reproduced query subset is Q1, Q3, Q6, Q12 and Q14 (the scan-dominated
 //! queries the paper's storage comparison exercises most directly).
 
-use db_bench::{fmt_duration, geometric_mean, print_table_header, print_table_row, time_median, tpch_scale_factor};
+use db_bench::{
+    fmt_duration, geometric_mean, print_table_header, print_table_row, threads_arg, time_median,
+    tpch_scale_factor,
+};
 use exec::ScanConfig;
 use workloads::tpch::{run_query, TpchDb, QUERY_SUBSET};
 
 fn main() {
     let sf = tpch_scale_factor();
-    println!("generating TPC-H scale factor {sf} ...");
+    let threads = threads_arg();
+    println!("generating TPC-H scale factor {sf} (scan threads: {threads}) ...");
     // Uncompressed database: everything stays in hot chunks.
     let hot = TpchDb::generate(sf);
     // Compressed database: everything frozen into Data Blocks.
@@ -20,12 +24,36 @@ fn main() {
 
     // (label, database, scan configuration)
     let configs: Vec<(&str, &TpchDb, ScanConfig)> = vec![
-        ("JIT (uncompressed)", &hot, ScanConfig::named("jit")),
-        ("Vectorized (uncompressed)", &hot, ScanConfig::named("vectorized")),
-        ("+ SARG", &hot, ScanConfig::named("vectorized+sarg")),
-        ("Data Blocks (compressed)", &cold, ScanConfig::named("datablocks")),
-        ("+ SARG/SMA", &cold, ScanConfig::named("datablocks+sarg")),
-        ("+ PSMA", &cold, ScanConfig::named("datablocks+psma")),
+        (
+            "JIT (uncompressed)",
+            &hot,
+            ScanConfig::named("jit").with_threads(threads),
+        ),
+        (
+            "Vectorized (uncompressed)",
+            &hot,
+            ScanConfig::named("vectorized").with_threads(threads),
+        ),
+        (
+            "+ SARG",
+            &hot,
+            ScanConfig::named("vectorized+sarg").with_threads(threads),
+        ),
+        (
+            "Data Blocks (compressed)",
+            &cold,
+            ScanConfig::named("datablocks").with_threads(threads),
+        ),
+        (
+            "+ SARG/SMA",
+            &cold,
+            ScanConfig::named("datablocks+sarg").with_threads(threads),
+        ),
+        (
+            "+ PSMA",
+            &cold,
+            ScanConfig::named("datablocks+psma").with_threads(threads),
+        ),
     ];
 
     let widths = [28usize, 10, 10, 10, 10, 10, 12, 12];
@@ -33,7 +61,11 @@ fn main() {
     header.extend_from_slice(QUERY_SUBSET);
     header.push("geo. mean");
     header.push("sum");
-    print_table_header("Table 2 / Table 4: TPC-H query runtimes by scan type", &header, &widths);
+    print_table_header(
+        "Table 2 / Table 4: TPC-H query runtimes by scan type",
+        &header,
+        &widths,
+    );
 
     let mut baseline_geo = None;
     for (label, db, config) in configs {
@@ -57,7 +89,9 @@ fn main() {
         cells.push(fmt_duration(sum));
         print_table_row(&cells, &widths);
     }
-    println!("\nExpected shape (paper, SF 100, 64 threads): vectorized ~= JIT; Data Blocks ~= JIT;");
+    println!(
+        "\nExpected shape (paper, SF 100, 64 threads): vectorized ~= JIT; Data Blocks ~= JIT;"
+    );
     println!("+SARG/SMA ~1.26x faster in the geometric mean; +PSMA adds little on uniform TPC-H;");
     println!("Q6 improves the most (6.7x in the paper), Q1 regresses slightly.");
 }

@@ -3,10 +3,10 @@
 //! key index, on uncompressed storage (JIT / vectorized scan) and on Data Blocks
 //! (with and without PSMAs), for key-ordered and shuffled physical layouts.
 
+use datablocks::{ScanOptions, Value};
 use db_bench::{print_table_header, print_table_row, tpch_scale_factor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use datablocks::{ScanOptions, Value};
 use storage::Relation;
 use workloads::TpchDb;
 
@@ -20,14 +20,22 @@ fn shuffled_copy(customer: &Relation) -> Relation {
     }
     for block in customer.cold_blocks() {
         for row in 0..block.tuple_count() as usize {
-            rows.push((0..block.column_count()).map(|c| block.get(row, c)).collect());
+            rows.push(
+                (0..block.column_count())
+                    .map(|c| block.get(row, c))
+                    .collect(),
+            );
         }
     }
     let mut rng = StdRng::seed_from_u64(0x5817FF1E);
     for i in (1..rows.len()).rev() {
         rows.swap(i, rng.gen_range(0..=i));
     }
-    let mut out = Relation::with_chunk_capacity("customer_shuffled", customer.schema().clone(), customer.chunk_capacity());
+    let mut out = Relation::with_chunk_capacity(
+        "customer_shuffled",
+        customer.schema().clone(),
+        customer.chunk_capacity(),
+    );
     for row in rows {
         out.insert(row);
     }
@@ -65,7 +73,10 @@ fn main() {
     let customers = workloads::tpch::cardinality("customer", sf) as i64;
     println!("customer relation: {customers} records (TPC-H sf {sf})");
     let budget = std::time::Duration::from_millis(
-        std::env::var("OLTP_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300),
+        std::env::var("OLTP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
     );
 
     // ordered and shuffled variants
@@ -79,7 +90,10 @@ fn main() {
     shuffled_cold.freeze_all();
 
     let psma_on = ScanOptions::default();
-    let psma_off = ScanOptions { use_psma: false, ..ScanOptions::default() };
+    let psma_off = ScanOptions {
+        use_psma: false,
+        ..ScanOptions::default()
+    };
 
     let widths = [30usize, 10, 14, 14];
     print_table_header(
@@ -89,10 +103,28 @@ fn main() {
     );
     let rows: Vec<(&str, bool, &Relation, &Relation, ScanOptions)> = vec![
         ("uncompressed", true, ordered_hot, &shuffled_hot, psma_off),
-        ("uncompressed (scan)", false, ordered_hot, &shuffled_hot, psma_off),
+        (
+            "uncompressed (scan)",
+            false,
+            ordered_hot,
+            &shuffled_hot,
+            psma_off,
+        ),
         ("Data Blocks", true, ordered_cold, &shuffled_cold, psma_off),
-        ("Data Blocks (scan, -PSMA)", false, ordered_cold, &shuffled_cold, psma_off),
-        ("Data Blocks (scan, +PSMA)", false, ordered_cold, &shuffled_cold, psma_on),
+        (
+            "Data Blocks (scan, -PSMA)",
+            false,
+            ordered_cold,
+            &shuffled_cold,
+            psma_off,
+        ),
+        (
+            "Data Blocks (scan, +PSMA)",
+            false,
+            ordered_cold,
+            &shuffled_cold,
+            psma_on,
+        ),
     ];
     for (label, index, ordered, shuffled, options) in rows {
         let ordered_rate = lookups_per_second(ordered, customers, index, options, budget);

@@ -8,10 +8,14 @@ use db_bench::{print_table_header, print_table_row};
 use workloads::TpccDb;
 
 fn main() {
-    let warehouses: i64 =
-        std::env::var("TPCC_WAREHOUSES").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
-    let write_txns: usize =
-        std::env::var("TPCC_TXNS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let warehouses: i64 = std::env::var("TPCC_WAREHOUSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let write_txns: usize = std::env::var("TPCC_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
     let widths = [44usize, 18];
 
     // Experiment 1: new-order throughput, hot vs old-neworders-frozen.
@@ -26,7 +30,10 @@ fn main() {
         hot.new_order();
     }
     let hot_tps = write_txns as f64 / start.elapsed().as_secs_f64();
-    print_table_row(&["uncompressed".to_string(), format!("{hot_tps:.0}")], &widths);
+    print_table_row(
+        &["uncompressed".to_string(), format!("{hot_tps:.0}")],
+        &widths,
+    );
 
     let mut frozen = TpccDb::generate(warehouses);
     for _ in 0..write_txns {
@@ -39,7 +46,10 @@ fn main() {
     }
     let frozen_tps = write_txns as f64 / start.elapsed().as_secs_f64();
     print_table_row(
-        &["cold neworder records in Data Blocks".to_string(), format!("{frozen_tps:.0}")],
+        &[
+            "cold neworder records in Data Blocks".to_string(),
+            format!("{frozen_tps:.0}"),
+        ],
         &widths,
     );
 
@@ -62,11 +72,17 @@ fn main() {
         read_txns as f64 / start.elapsed().as_secs_f64()
     };
     let hot_read_tps = run_reads(&mut hot);
-    print_table_row(&["uncompressed".to_string(), format!("{hot_read_tps:.0}")], &widths);
+    print_table_row(
+        &["uncompressed".to_string(), format!("{hot_read_tps:.0}")],
+        &widths,
+    );
     frozen.freeze_everything();
     let frozen_read_tps = run_reads(&mut frozen);
     print_table_row(
-        &["entire database in Data Blocks".to_string(), format!("{frozen_read_tps:.0}")],
+        &[
+            "entire database in Data Blocks".to_string(),
+            format!("{frozen_read_tps:.0}"),
+        ],
         &widths,
     );
 

@@ -1,9 +1,11 @@
 //! # db-bench — harness regenerating every table and figure of the paper
 //!
 //! Each table and figure of the evaluation section has a dedicated binary in
-//! `src/bin/` (see DESIGN.md for the experiment index); Criterion micro-benchmarks
-//! for the SIMD kernels live in `benches/`. This library holds the shared plumbing:
-//! timing, cycle conversion, geometric means and table formatting.
+//! `src/bin/` (see DESIGN.md for the experiment index); micro-benchmarks for the
+//! SIMD kernels live in `benches/` as hand-rolled `harness = false` binaries (the
+//! build environment is offline, so Criterion is unavailable). This library holds
+//! the shared plumbing: timing, cycle conversion, geometric means and table
+//! formatting.
 //!
 //! All binaries honour two environment variables:
 //!
@@ -60,18 +62,60 @@ pub fn geometric_mean(durations: &[Duration]) -> Duration {
     if durations.is_empty() {
         return Duration::ZERO;
     }
-    let log_sum: f64 = durations.iter().map(|d| d.as_secs_f64().max(1e-12).ln()).sum();
+    let log_sum: f64 = durations
+        .iter()
+        .map(|d| d.as_secs_f64().max(1e-12).ln())
+        .sum();
     Duration::from_secs_f64((log_sum / durations.len() as f64).exp())
 }
 
 /// Scale factor for TPC-H experiments (`TPCH_SF`, default 0.01).
 pub fn tpch_scale_factor() -> f64 {
-    std::env::var("TPCH_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01)
+    std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01)
+}
+
+/// Scan worker threads for the parallel-scan benchmarks: the `--threads N` (or
+/// `--threads=N`) command-line argument, falling back to the `THREADS` environment
+/// variable, defaulting to 1 (serial). `0` means "all hardware threads".
+///
+/// An explicitly supplied `--threads` flag or `THREADS` variable with a missing or
+/// unparsable value aborts the benchmark: recording serial numbers under a misspelled
+/// thread count would poison the perf trajectory silently.
+pub fn threads_arg() -> usize {
+    fn parse_or_die(value: Option<String>) -> usize {
+        match value.as_deref().map(str::parse) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!(
+                    "error: --threads / THREADS requires a non-negative integer (got {value:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return parse_or_die(args.next());
+        } else if let Some(value) = arg.strip_prefix("--threads=") {
+            return parse_or_die(Some(value.to_string()));
+        }
+    }
+    match std::env::var("THREADS") {
+        Ok(value) => parse_or_die(Some(value)),
+        Err(_) => 1,
+    }
 }
 
 /// Row count for data-set experiments (`BENCH_ROWS`, with a per-binary default).
 pub fn bench_rows(default: usize) -> usize {
-    std::env::var("BENCH_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Format a duration in the most readable unit.
@@ -169,5 +213,8 @@ mod tests {
     fn env_defaults() {
         assert!(tpch_scale_factor() > 0.0);
         assert_eq!(bench_rows(123), 123);
+        // threads_arg() is deliberately not asserted here: it reads the ambient
+        // THREADS variable (and aborts the process on an unparsable value), so an
+        // in-process check would make the suite environment-sensitive.
     }
 }

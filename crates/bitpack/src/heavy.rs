@@ -44,7 +44,11 @@ impl HeavyColumn {
         sorted.sort_unstable();
         let p99 = sorted[(sorted.len() - 1) * 99 / 100];
         let bits = bits_for(p99).min(32);
-        let limit = if bits >= 32 { u32::MAX as u64 } else { (1u64 << bits) - 1 };
+        let limit = if bits >= 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << bits) - 1
+        };
 
         let mut exceptions = Vec::new();
         for (i, delta) in deltas.iter_mut().enumerate() {
@@ -54,7 +58,11 @@ impl HeavyColumn {
             }
         }
         let small: Vec<u32> = deltas.iter().map(|&d| d as u32).collect();
-        HeavyColumn::Pfor { reference, packed: BitPackedColumn::pack(&small, bits), exceptions }
+        HeavyColumn::Pfor {
+            reference,
+            packed: BitPackedColumn::pack(&small, bits),
+            exceptions,
+        }
     }
 
     /// Compress a string column with a dictionary and bit-packed codes.
@@ -68,7 +76,10 @@ impl HeavyColumn {
             .map(|v| dict.binary_search(v).expect("value in dict") as u32)
             .collect();
         let bits = bits_for(dict.len().saturating_sub(1) as u64).min(32);
-        HeavyColumn::Dict { dict, packed: BitPackedColumn::pack(&codes, bits) }
+        HeavyColumn::Dict {
+            dict,
+            packed: BitPackedColumn::pack(&codes, bits),
+        }
     }
 
     /// Number of rows.
@@ -86,9 +97,9 @@ impl HeavyColumn {
     /// Compressed size in bytes (packed payload + exceptions + dictionary).
     pub fn byte_size(&self) -> usize {
         match self {
-            HeavyColumn::Pfor { packed, exceptions, .. } => {
-                8 + packed.byte_size() + exceptions.len() * 12
-            }
+            HeavyColumn::Pfor {
+                packed, exceptions, ..
+            } => 8 + packed.byte_size() + exceptions.len() * 12,
             HeavyColumn::Dict { dict, packed } => {
                 dict.iter().map(|s| s.len() + 4).sum::<usize>() + packed.byte_size()
             }
@@ -99,7 +110,11 @@ impl HeavyColumn {
     /// wholesale — there is no early filtering).
     pub fn decompress_ints(&self) -> Vec<i64> {
         match self {
-            HeavyColumn::Pfor { reference, packed, exceptions } => {
+            HeavyColumn::Pfor {
+                reference,
+                packed,
+                exceptions,
+            } => {
                 let mut out: Vec<i64> = (0..packed.len())
                     .map(|i| reference + packed.get(i) as i64)
                     .collect();
@@ -115,9 +130,9 @@ impl HeavyColumn {
     /// Decompress the whole string column.
     pub fn decompress_strings(&self) -> Vec<String> {
         match self {
-            HeavyColumn::Dict { dict, packed } => {
-                (0..packed.len()).map(|i| dict[packed.get(i) as usize].clone()).collect()
-            }
+            HeavyColumn::Dict { dict, packed } => (0..packed.len())
+                .map(|i| dict[packed.get(i) as usize].clone())
+                .collect(),
             HeavyColumn::Pfor { .. } => panic!("decompress_strings called on an integer column"),
         }
     }
@@ -138,7 +153,11 @@ impl HeavyColumn {
     /// the exception list, for dictionaries it is a code lookup).
     pub fn get_int(&self, index: usize) -> i64 {
         match self {
-            HeavyColumn::Pfor { reference, packed, exceptions } => {
+            HeavyColumn::Pfor {
+                reference,
+                packed,
+                exceptions,
+            } => {
                 if let Ok(found) = exceptions.binary_search_by_key(&(index as u32), |&(p, _)| p) {
                     exceptions[found].1
                 } else {
@@ -156,7 +175,15 @@ mod tests {
 
     fn skewed_ints(n: usize) -> Vec<i64> {
         // mostly small values with a few huge outliers — the case PFOR patching targets
-        (0..n as i64).map(|i| if i % 1000 == 999 { 1_000_000_000 + i } else { 500 + i % 200 }).collect()
+        (0..n as i64)
+            .map(|i| {
+                if i % 1000 == 999 {
+                    1_000_000_000 + i
+                } else {
+                    500 + i % 200
+                }
+            })
+            .collect()
     }
 
     #[test]
@@ -165,9 +192,15 @@ mod tests {
         let compressed = HeavyColumn::compress_ints(&values);
         assert_eq!(compressed.decompress_ints(), values);
         match &compressed {
-            HeavyColumn::Pfor { exceptions, packed, .. } => {
+            HeavyColumn::Pfor {
+                exceptions, packed, ..
+            } => {
                 assert!(!exceptions.is_empty(), "outliers become patches");
-                assert!(packed.bits() <= 10, "common case packed narrowly, got {}", packed.bits());
+                assert!(
+                    packed.bits() <= 10,
+                    "common case packed narrowly, got {}",
+                    packed.bits()
+                );
             }
             _ => panic!("expected PFOR"),
         }

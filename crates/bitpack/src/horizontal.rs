@@ -26,7 +26,10 @@ impl BitPackedColumn {
     ///
     /// Panics if a value does not fit in `bits` bits or `bits` is not in `1..=32`.
     pub fn pack(values: &[u32], bits: u32) -> BitPackedColumn {
-        assert!((1..=32).contains(&bits), "bit width must be between 1 and 32");
+        assert!(
+            (1..=32).contains(&bits),
+            "bit width must be between 1 and 32"
+        );
         let total_bits = values.len() as u64 * bits as u64;
         let mut words = vec![0u64; total_bits.div_ceil(64) as usize + 1];
         for (i, &v) in values.iter().enumerate() {
@@ -42,7 +45,11 @@ impl BitPackedColumn {
                 words[word + 1] |= (v as u64) >> (64 - offset);
             }
         }
-        BitPackedColumn { bits, len: values.len(), words }
+        BitPackedColumn {
+            bits,
+            len: values.len(),
+            words,
+        }
     }
 
     /// Number of packed values.
@@ -73,7 +80,11 @@ impl BitPackedColumn {
         let bit_pos = index as u64 * self.bits as u64;
         let word = (bit_pos / 64) as usize;
         let offset = (bit_pos % 64) as u32;
-        let mask = if self.bits == 64 { u64::MAX } else { (1u64 << self.bits) - 1 };
+        let mask = if self.bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
         let mut v = self.words[word] >> offset;
         if offset + self.bits > 64 {
             v |= self.words[word + 1] << (64 - offset);
@@ -164,7 +175,12 @@ mod tests {
     #[test]
     fn pack_get_roundtrip_all_widths() {
         for bits in [1u32, 3, 7, 8, 9, 13, 17, 24, 31, 32] {
-            let modulus = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 }.max(1);
+            let modulus = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            }
+            .max(1);
             let values = sample(4_097, modulus);
             let packed = BitPackedColumn::pack(&values, bits);
             assert_eq!(packed.len(), values.len());
@@ -212,8 +228,14 @@ mod tests {
             .collect();
         let mut branchy = Vec::new();
         let mut robust = Vec::new();
-        assert_eq!(packed.scan_between_branchy(lo, hi, &mut branchy), expected.len());
-        assert_eq!(packed.scan_between_robust(lo, hi, &mut robust), expected.len());
+        assert_eq!(
+            packed.scan_between_branchy(lo, hi, &mut branchy),
+            expected.len()
+        );
+        assert_eq!(
+            packed.scan_between_robust(lo, hi, &mut robust),
+            expected.len()
+        );
         assert_eq!(branchy, expected);
         assert_eq!(robust, expected);
     }

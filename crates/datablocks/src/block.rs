@@ -77,7 +77,12 @@ impl DataBlock {
     /// Assemble a block from already-frozen columns. Used by the builder; all columns
     /// must describe the same number of records.
     pub(crate) fn from_parts(tuple_count: u32, columns: Vec<BlockColumn>) -> DataBlock {
-        DataBlock { tuple_count, columns, deleted: None, deleted_count: 0 }
+        DataBlock {
+            tuple_count,
+            columns,
+            deleted: None,
+            deleted_count: 0,
+        }
     }
 
     /// Number of records stored in the block (including deleted ones).
@@ -163,7 +168,11 @@ impl DataBlock {
     pub fn byte_size_without_psma(&self) -> usize {
         let header = 4 + self.columns.len() * 20;
         header
-            + self.columns.iter().map(|c| c.byte_size_without_psma()).sum::<usize>()
+            + self
+                .columns
+                .iter()
+                .map(|c| c.byte_size_without_psma())
+                .sum::<usize>()
             + self.deleted.as_ref().map(|d| d.len() / 8 + 1).unwrap_or(0)
     }
 }
@@ -179,7 +188,9 @@ mod tests {
         let b = Column::from_data(ColumnData::Str(
             (0..100).map(|i| format!("s{}", i % 5)).collect(),
         ));
-        let c = Column::from_data(ColumnData::Double((0..100).map(|i| i as f64 / 2.0).collect()));
+        let c = Column::from_data(ColumnData::Double(
+            (0..100).map(|i| i as f64 / 2.0).collect(),
+        ));
         freeze(&[a, b, c])
     }
 

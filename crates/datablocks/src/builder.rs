@@ -22,14 +22,20 @@ use crate::value::DataType;
 /// Panics if the columns have differing lengths or the chunk is empty — both are
 /// storage-layer invariants, not runtime conditions.
 pub fn freeze(columns: &[Column]) -> DataBlock {
-    assert!(!columns.is_empty(), "cannot freeze a chunk with no attributes");
+    assert!(
+        !columns.is_empty(),
+        "cannot freeze a chunk with no attributes"
+    );
     let rows = columns[0].len();
     assert!(rows > 0, "cannot freeze an empty chunk");
     assert!(
         columns.iter().all(|c| c.len() == rows),
         "all attributes of a chunk must have the same length"
     );
-    assert!(rows <= u32::MAX as usize, "a Data Block addresses records with 32-bit positions");
+    assert!(
+        rows <= u32::MAX as usize,
+        "a Data Block addresses records with 32-bit positions"
+    );
 
     let block_columns = columns.iter().map(freeze_column).collect();
     DataBlock::from_parts(rows as u32, block_columns)
@@ -45,7 +51,10 @@ pub fn freeze_sorted(columns: &[Column], sort_by: usize) -> DataBlock {
     let key = &columns[sort_by];
     permutation.sort_by(|&a, &b| key.get(a as usize).total_cmp(&key.get(b as usize)));
 
-    let reordered: Vec<Column> = columns.iter().map(|c| apply_permutation(c, &permutation)).collect();
+    let reordered: Vec<Column> = columns
+        .iter()
+        .map(|c| apply_permutation(c, &permutation))
+        .collect();
     freeze(&reordered)
 }
 
@@ -78,15 +87,28 @@ fn freeze_column(column: &Column) -> BlockColumn {
     // The PSMA indexes the compressed code words: for truncation the code *is* the
     // delta to the SMA minimum (exactly the paper's Δ(v)), for dictionaries the code
     // order mirrors the value order because the dictionaries are order-preserving.
-    let psma = compression
-        .codes()
-        .and_then(|codes| Psma::build(&(0..codes.len()).map(|i| codes.get(i) as i64).collect::<Vec<_>>()));
+    let psma = compression.codes().and_then(|codes| {
+        Psma::build(
+            &(0..codes.len())
+                .map(|i| codes.get(i) as i64)
+                .collect::<Vec<_>>(),
+        )
+    });
     // Keep the validity bitmap only if the column actually contains NULLs (and is not
     // the degenerate all-NULL single value, which needs no bitmap).
     let has_nulls = column.null_count() > 0;
     let all_null = column.null_count() == column.len();
-    let validity = if has_nulls && !all_null { column.validity.clone() } else { None };
-    BlockColumn { compression, sma, psma, validity }
+    let validity = if has_nulls && !all_null {
+        column.validity.clone()
+    } else {
+        None
+    };
+    BlockColumn {
+        compression,
+        sma,
+        psma,
+        validity,
+    }
 }
 
 /// Split a large chunk column-set into consecutive sub-chunks of at most
@@ -99,7 +121,10 @@ pub fn freeze_chunked(columns: &[Column], block_capacity: usize) -> Vec<DataBloc
     let mut start = 0usize;
     while start < rows {
         let end = (start + block_capacity).min(rows);
-        let slice: Vec<Column> = columns.iter().map(|c| slice_column(c, start, end)).collect();
+        let slice: Vec<Column> = columns
+            .iter()
+            .map(|c| slice_column(c, start, end))
+            .collect();
         blocks.push(freeze(&slice));
         start = end;
     }
@@ -180,12 +205,24 @@ mod tests {
     #[test]
     fn freeze_sorted_clusters_values() {
         let key = int_column(vec![5, 1, 9, 3, 7]);
-        let payload = str_column(vec!["e".into(), "a".into(), "i".into(), "c".into(), "g".into()]);
+        let payload = str_column(vec![
+            "e".into(),
+            "a".into(),
+            "i".into(),
+            "c".into(),
+            "g".into(),
+        ]);
         let block = freeze_sorted(&[key, payload], 0);
         let keys: Vec<Value> = (0..5).map(|r| block.get(r, 0)).collect();
         assert_eq!(
             keys,
-            vec![Value::Int(1), Value::Int(3), Value::Int(5), Value::Int(7), Value::Int(9)]
+            vec![
+                Value::Int(1),
+                Value::Int(3),
+                Value::Int(5),
+                Value::Int(7),
+                Value::Int(9)
+            ]
         );
         // The payload column is permuted consistently.
         assert_eq!(block.get(0, 1), Value::Str("a".into()));

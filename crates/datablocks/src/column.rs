@@ -144,12 +144,18 @@ pub struct Column {
 impl Column {
     /// A new, empty, non-nullable column.
     pub fn new(ty: DataType) -> Column {
-        Column { data: ColumnData::new(ty), validity: None }
+        Column {
+            data: ColumnData::new(ty),
+            validity: None,
+        }
     }
 
     /// Wrap fully-valid data.
     pub fn from_data(data: ColumnData) -> Column {
-        Column { data, validity: None }
+        Column {
+            data,
+            validity: None,
+        }
     }
 
     /// Number of rows.
@@ -174,7 +180,10 @@ impl Column {
 
     /// Number of NULL rows.
     pub fn null_count(&self) -> usize {
-        self.validity.as_ref().map(|v| v.iter().filter(|&&b| !b).count()).unwrap_or(0)
+        self.validity
+            .as_ref()
+            .map(|v| v.iter().filter(|&&b| !b).count())
+            .unwrap_or(0)
     }
 
     /// Read row `row`, honouring NULLs.

@@ -123,13 +123,7 @@ impl CodeVec {
 
     /// Reduce an existing match vector of block-relative positions by the inclusive
     /// code range `[lo, hi]`.
-    pub fn reduce_matches(
-        &self,
-        isa: IsaLevel,
-        lo: u64,
-        hi: u64,
-        matches: &mut Vec<u32>,
-    ) -> usize {
+    pub fn reduce_matches(&self, isa: IsaLevel, lo: u64, hi: u64, matches: &mut Vec<u32>) -> usize {
         match self {
             CodeVec::U8(v) => {
                 let pred = clamp_pred::<u8>(lo, hi);
@@ -233,11 +227,10 @@ impl ColumnCompression {
         let mut distinct: Vec<i64> = Vec::with_capacity(n);
         let mut min = i64::MAX;
         let mut max = i64::MIN;
-        for row in 0..n {
+        for (row, &v) in data.iter().enumerate().take(n) {
             if column.is_null(row) {
                 continue;
             }
-            let v = data[row];
             min = min.min(v);
             max = max.max(v);
             distinct.push(v);
@@ -269,10 +262,19 @@ impl ColumnCompression {
                 })
                 .collect();
             let codes = CodeVec::encode(&codes, distinct.len().saturating_sub(1) as u64);
-            ColumnCompression::DictInt { dict: distinct, codes }
+            ColumnCompression::DictInt {
+                dict: distinct,
+                codes,
+            }
         } else {
             let codes: Vec<u64> = (0..n)
-                .map(|row| if column.is_null(row) { 0 } else { (data[row] - min) as u64 })
+                .map(|row| {
+                    if column.is_null(row) {
+                        0
+                    } else {
+                        (data[row] - min) as u64
+                    }
+                })
                 .collect();
             let codes = CodeVec::encode(&codes, range);
             ColumnCompression::Truncated { min, codes }
@@ -302,12 +304,17 @@ impl ColumnCompression {
             })
             .collect();
         let codes = CodeVec::encode(&codes, distinct.len().saturating_sub(1) as u64);
-        ColumnCompression::DictStr { dict: distinct, codes }
+        ColumnCompression::DictStr {
+            dict: distinct,
+            codes,
+        }
     }
 
     fn compress_double(column: &Column, n: usize, null_count: usize) -> ColumnCompression {
         let data = column.data.as_double().expect("double column");
-        let first_valid = (0..n).find(|&row| !column.is_null(row)).expect("non-null value");
+        let first_valid = (0..n)
+            .find(|&row| !column.is_null(row))
+            .expect("non-null value");
         let constant = (0..n)
             .filter(|&row| !column.is_null(row))
             .all(|row| data[row].to_bits() == data[first_valid].to_bits());
@@ -351,9 +358,7 @@ impl ColumnCompression {
     pub fn get(&self, row: usize) -> Value {
         match self {
             ColumnCompression::SingleValue(v) => v.clone(),
-            ColumnCompression::Truncated { min, codes } => {
-                Value::Int(min + codes.get(row) as i64)
-            }
+            ColumnCompression::Truncated { min, codes } => Value::Int(min + codes.get(row) as i64),
             ColumnCompression::DictInt { dict, codes } => Value::Int(dict[codes.get(row) as usize]),
             ColumnCompression::DictStr { dict, codes } => {
                 Value::Str(dict[codes.get(row) as usize].clone())
@@ -448,9 +453,10 @@ impl ColumnCompression {
     /// in this block's dictionary (the block can be ruled out).
     pub fn translate_str_eq(&self, value: &str) -> Option<u64> {
         match self {
-            ColumnCompression::DictStr { dict, .. } => {
-                dict.binary_search_by(|d| d.as_str().cmp(value)).ok().map(|c| c as u64)
-            }
+            ColumnCompression::DictStr { dict, .. } => dict
+                .binary_search_by(|d| d.as_str().cmp(value))
+                .ok()
+                .map(|c| c as u64),
             _ => None,
         }
     }
@@ -515,7 +521,9 @@ mod tests {
     }
 
     fn str_col(values: &[&str]) -> Column {
-        Column::from_data(ColumnData::Str(values.iter().map(|s| s.to_string()).collect()))
+        Column::from_data(ColumnData::Str(
+            values.iter().map(|s| s.to_string()).collect(),
+        ))
     }
 
     #[test]
@@ -598,7 +606,9 @@ mod tests {
     fn dictionary_chosen_for_sparse_domains() {
         // Two distinct values far apart: truncation would need 4-byte codes, the
         // dictionary needs 1-byte codes plus a 16-byte dictionary.
-        let values: Vec<i64> = (0..1024).map(|i| if i % 2 == 0 { 5 } else { 5_000_000 }).collect();
+        let values: Vec<i64> = (0..1024)
+            .map(|i| if i % 2 == 0 { 5 } else { 5_000_000 })
+            .collect();
         let c = ColumnCompression::compress(&int_col(&values));
         match &c {
             ColumnCompression::DictInt { dict, codes } => {
@@ -637,9 +647,8 @@ mod tests {
         ])));
         assert_eq!(c.kind(), SchemeKind::Double);
         assert_eq!(c.get(2), Value::Double(3.0));
-        let constant = ColumnCompression::compress(&Column::from_data(ColumnData::Double(vec![
-            0.5, 0.5,
-        ])));
+        let constant =
+            ColumnCompression::compress(&Column::from_data(ColumnData::Double(vec![0.5, 0.5])));
         assert_eq!(constant, ColumnCompression::SingleValue(Value::Double(0.5)));
     }
 
@@ -658,7 +667,9 @@ mod tests {
 
     #[test]
     fn translate_int_range_dict() {
-        let values: Vec<i64> = (0..512).map(|i| if i % 2 == 0 { 10 } else { 1_000_000 }).collect();
+        let values: Vec<i64> = (0..512)
+            .map(|i| if i % 2 == 0 { 10 } else { 1_000_000 })
+            .collect();
         let c = ColumnCompression::compress(&int_col(&values));
         assert_eq!(c.translate_int_range(10, 10), Some((0, 0)));
         assert_eq!(c.translate_int_range(11, 999_999), None);
@@ -667,7 +678,8 @@ mod tests {
 
     #[test]
     fn translate_str_predicates() {
-        let c = ColumnCompression::compress(&str_col(&["BRASS", "COPPER", "NICKEL", "STEEL", "TIN"]));
+        let c =
+            ColumnCompression::compress(&str_col(&["BRASS", "COPPER", "NICKEL", "STEEL", "TIN"]));
         assert_eq!(c.translate_str_eq("NICKEL"), Some(2));
         assert_eq!(c.translate_str_eq("GOLD"), None);
         assert_eq!(c.translate_str_range("COPPER", "STEEL"), Some((1, 3)));

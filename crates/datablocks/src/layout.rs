@@ -106,13 +106,19 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, LayoutError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, LayoutError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn i64(&mut self) -> Result<i64, LayoutError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn f64(&mut self) -> Result<f64, LayoutError> {
         Ok(f64::from_bits(self.u64()?))
@@ -291,7 +297,7 @@ fn write_bitmap(w: &mut Writer, bits: &[bool]) {
             byte = 0;
         }
     }
-    if bits.len() % 8 != 0 {
+    if !bits.len().is_multiple_of(8) {
         w.u8(byte);
     }
 }
@@ -372,7 +378,11 @@ fn read_column(r: &mut Reader<'_>, rows: usize) -> Result<BlockColumn, LayoutErr
     let had_psma = r.u8()? == 1;
     let psma = if had_psma {
         compression.codes().and_then(|codes| {
-            Psma::build(&(0..codes.len()).map(|i| codes.get(i) as i64).collect::<Vec<_>>())
+            Psma::build(
+                &(0..codes.len())
+                    .map(|i| codes.get(i) as i64)
+                    .collect::<Vec<_>>(),
+            )
         })
     } else {
         None
@@ -386,15 +396,29 @@ fn read_column(r: &mut Reader<'_>, rows: usize) -> Result<BlockColumn, LayoutErr
     } else {
         None
     };
-    Ok(BlockColumn { compression, sma, psma, validity })
+    Ok(BlockColumn {
+        compression,
+        sma,
+        psma,
+        validity,
+    })
 }
 
 fn read_sma(r: &mut Reader<'_>) -> Result<Sma, LayoutError> {
     Ok(match r.u8()? {
         0 => Sma::AllNull,
-        1 => Sma::Int { min: r.i64()?, max: r.i64()? },
-        2 => Sma::Double { min: r.f64()?, max: r.f64()? },
-        3 => Sma::Str { min: r.str()?, max: r.str()? },
+        1 => Sma::Int {
+            min: r.i64()?,
+            max: r.i64()?,
+        },
+        2 => Sma::Double {
+            min: r.f64()?,
+            max: r.f64()?,
+        },
+        3 => Sma::Str {
+            min: r.str()?,
+            max: r.str()?,
+        },
         _ => return Err(LayoutError::Corrupt("unknown SMA tag")),
     })
 }
@@ -416,7 +440,11 @@ fn read_codes(r: &mut Reader<'_>) -> Result<CodeVec, LayoutError> {
         1 => CodeVec::U8(r.take(len)?.to_vec()),
         2 => {
             let raw = r.take(len * 2)?;
-            CodeVec::U16(raw.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect())
+            CodeVec::U16(
+                raw.chunks_exact(2)
+                    .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                    .collect(),
+            )
         }
         4 => {
             let raw = r.take(len * 4)?;
@@ -441,7 +469,9 @@ fn read_codes(r: &mut Reader<'_>) -> Result<CodeVec, LayoutError> {
 fn read_bitmap(r: &mut Reader<'_>) -> Result<Vec<bool>, LayoutError> {
     let len = r.u32()? as usize;
     let bytes = r.take(len.div_ceil(8))?;
-    Ok((0..len).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
+    Ok((0..len)
+        .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+        .collect())
 }
 
 #[cfg(test)]
@@ -453,7 +483,11 @@ mod tests {
 
     fn rich_block() -> DataBlock {
         let ints = int_column((0..5000).map(|i| 100 + i % 700).collect());
-        let sparse = int_column((0..5000).map(|i| if i % 2 == 0 { 3 } else { 9_000_000 }).collect());
+        let sparse = int_column(
+            (0..5000)
+                .map(|i| if i % 2 == 0 { 3 } else { 9_000_000 })
+                .collect(),
+        );
         let strings = str_column((0..5000).map(|i| format!("cat-{}", i % 11)).collect());
         let doubles = double_column((0..5000).map(|i| i as f64 * 0.125).collect());
         let constant = int_column(vec![77; 5000]);
@@ -477,7 +511,11 @@ mod tests {
         assert_eq!(restored.column_count(), block.column_count());
         for row in (0..block.tuple_count() as usize).step_by(97) {
             for col in 0..block.column_count() {
-                assert_eq!(restored.get(row, col), block.get(row, col), "row {row} col {col}");
+                assert_eq!(
+                    restored.get(row, col),
+                    block.get(row, col),
+                    "row {row} col {col}"
+                );
             }
         }
         assert_eq!(restored.layout_combination(), block.layout_combination());
@@ -521,7 +559,10 @@ mod tests {
         let block = rich_block();
         let bytes = to_bytes(&block);
         let err = from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
-        assert!(matches!(err, LayoutError::Truncated | LayoutError::Corrupt(_)));
+        assert!(matches!(
+            err,
+            LayoutError::Truncated | LayoutError::Corrupt(_)
+        ));
     }
 
     #[test]
@@ -548,6 +589,10 @@ mod tests {
         // else; the two size measures should be in the same ballpark.
         let lower = block.byte_size_without_psma() / 2;
         let upper = block.byte_size() * 2;
-        assert!(bytes.len() > lower && bytes.len() < upper, "{} not in ({lower}, {upper})", bytes.len());
+        assert!(
+            bytes.len() > lower && bytes.len() < upper,
+            "{} not in ({lower}, {upper})",
+            bytes.len()
+        );
     }
 }

@@ -62,7 +62,9 @@ pub use block::{BlockColumn, DataBlock, DEFAULT_BLOCK_CAPACITY};
 pub use column::{Column, ColumnData};
 pub use compression::{CodeVec, ColumnCompression, SchemeKind};
 pub use psma::{Psma, ScanRange};
-pub use scan::{plan_scan, scan_collect, BlockScan, Restriction, ScanOptions, ScanPlan};
+pub use scan::{
+    plan_scan, scan_collect, scan_collect_into, BlockScan, Restriction, ScanOptions, ScanPlan,
+};
 pub use sma::Sma;
 pub use value::{date_to_days, days_to_date, DataType, Value};
 

@@ -52,7 +52,10 @@ impl ScanRange {
         } else if other.is_empty() {
             *self
         } else {
-            ScanRange { begin: self.begin.min(other.begin), end: self.end.max(other.end) }
+            ScanRange {
+                begin: self.begin.min(other.begin),
+                end: self.end.max(other.end),
+            }
         }
     }
 
@@ -72,7 +75,11 @@ impl ScanRange {
 #[inline]
 pub fn psma_slot(delta: u64) -> usize {
     // r = index of the most significant non-zero byte (0 for values < 256).
-    let r = if delta == 0 { 0 } else { 7 - (delta.leading_zeros() as usize >> 3) };
+    let r = if delta == 0 {
+        0
+    } else {
+        7 - (delta.leading_zeros() as usize >> 3)
+    };
     let msb = (delta >> (r << 3)) as usize;
     msb + (r << 8)
 }
@@ -83,7 +90,11 @@ pub fn psma_slot(delta: u64) -> usize {
 /// maximum delta (2 KB for 1-byte deltas, 4 KB for 2-byte, 8 KB for 4-byte, as the
 /// paper reports; each slot is two `u32`s).
 pub fn psma_slots_for(max_delta: u64) -> usize {
-    let bytes = if max_delta == 0 { 1 } else { 8 - (max_delta.leading_zeros() as usize >> 3) };
+    let bytes = if max_delta == 0 {
+        1
+    } else {
+        8 - (max_delta.leading_zeros() as usize >> 3)
+    };
     bytes * 256
 }
 
@@ -112,7 +123,10 @@ impl Psma {
             let slot = psma_slot((key - min) as u64);
             let entry = &mut slots[slot];
             if entry.is_empty() {
-                *entry = ScanRange { begin: tid as u32, end: tid as u32 + 1 };
+                *entry = ScanRange {
+                    begin: tid as u32,
+                    end: tid as u32 + 1,
+                };
             } else {
                 entry.end = tid as u32 + 1;
             }
@@ -238,7 +252,9 @@ mod tests {
         let mut x = 12345u64;
         let keys: Vec<i64> = (0..4096)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 10_000) as i64
             })
             .collect();
@@ -280,10 +296,16 @@ mod tests {
     #[test]
     fn sorted_data_gives_tight_ranges() {
         // On data sorted by the key, PSMA ranges should be narrow for small deltas.
-        let keys: Vec<i64> = (0..256).flat_map(|v| std::iter::repeat(v).take(4)).collect();
+        let keys: Vec<i64> = (0..256).flat_map(|v| std::iter::repeat_n(v, 4)).collect();
         let psma = Psma::build(&keys).unwrap();
         let r = psma.probe_eq(100);
-        assert_eq!(r, ScanRange { begin: 400, end: 404 });
+        assert_eq!(
+            r,
+            ScanRange {
+                begin: 400,
+                end: 404
+            }
+        );
     }
 
     #[test]

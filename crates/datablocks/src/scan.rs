@@ -57,17 +57,29 @@ pub enum Restriction {
 impl Restriction {
     /// Convenience constructor for an equality restriction.
     pub fn eq(column: usize, value: impl Into<Value>) -> Restriction {
-        Restriction::Cmp { column, op: CmpOp::Eq, value: value.into() }
+        Restriction::Cmp {
+            column,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for a between restriction.
     pub fn between(column: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Restriction {
-        Restriction::Between { column, lo: lo.into(), hi: hi.into() }
+        Restriction::Between {
+            column,
+            lo: lo.into(),
+            hi: hi.into(),
+        }
     }
 
     /// Convenience constructor for a comparison restriction.
     pub fn cmp(column: usize, op: CmpOp, value: impl Into<Value>) -> Restriction {
-        Restriction::Cmp { column, op, value: value.into() }
+        Restriction::Cmp {
+            column,
+            op,
+            value: value.into(),
+        }
     }
 
     /// The attribute the restriction applies to.
@@ -84,7 +96,11 @@ impl Restriction {
     /// collapsed to "matches / does not match": NULL comparisons do not match).
     pub fn matches_value(&self, value: &Value) -> bool {
         match self {
-            Restriction::Cmp { op, value: constant, .. } => match value.sql_cmp(constant) {
+            Restriction::Cmp {
+                op,
+                value: constant,
+                ..
+            } => match value.sql_cmp(constant) {
                 Some(ord) => op.eval_ordering(ord),
                 None => false,
             },
@@ -151,7 +167,12 @@ impl ScanOptions {
     /// evaluated on compressed data, but scalar, full-range, per the "Data Block
     /// scan" column of Table 4).
     pub fn plain() -> ScanOptions {
-        ScanOptions { isa: IsaLevel::Scalar, vector_size: 8192, use_sma: false, use_psma: false }
+        ScanOptions {
+            isa: IsaLevel::Scalar,
+            vector_size: 8192,
+            use_sma: false,
+            use_psma: false,
+        }
     }
 }
 
@@ -163,7 +184,11 @@ enum Step {
     /// Scalar inclusive range over an uncompressed double attribute.
     DoubleRange { column: usize, lo: f64, hi: f64 },
     /// Scalar fallback: decompress the value and compare (`<>`, cross-type, …).
-    ScalarCmp { column: usize, op: CmpOp, value: Value },
+    ScalarCmp {
+        column: usize,
+        op: CmpOp,
+        value: Value,
+    },
     /// Keep only NULL rows of the attribute.
     KeepNull { column: usize },
     /// Keep only non-NULL rows of the attribute.
@@ -202,7 +227,11 @@ impl ScanPlan {
 
 /// Translate restrictions against a block: apply SMA skipping, translate constants to
 /// code space, probe PSMAs, and produce the per-vector evaluation plan.
-pub fn plan_scan(block: &DataBlock, restrictions: &[Restriction], options: &ScanOptions) -> ScanPlan {
+pub fn plan_scan(
+    block: &DataBlock,
+    restrictions: &[Restriction],
+    options: &ScanOptions,
+) -> ScanPlan {
     let mut plan = ScanPlan {
         steps: Vec::with_capacity(restrictions.len() + 2),
         range: ScanRange::full(block.tuple_count()),
@@ -266,8 +295,16 @@ fn translate_restriction(
                 plan.ruled_out = true;
             }
         }
-        Restriction::Cmp { op: CmpOp::Ne, value, .. } => {
-            plan.steps.push(Step::ScalarCmp { column: column_idx, op: CmpOp::Ne, value: value.clone() });
+        Restriction::Cmp {
+            op: CmpOp::Ne,
+            value,
+            ..
+        } => {
+            plan.steps.push(Step::ScalarCmp {
+                column: column_idx,
+                op: CmpOp::Ne,
+                value: value.clone(),
+            });
             push_not_null_guard(block, column_idx, plan);
         }
         Restriction::Cmp { op, value, .. } => {
@@ -311,7 +348,11 @@ fn translate_range_restriction(
             match column.compression.translate_int_range(lo_i, hi_i) {
                 Some((code_lo, code_hi)) => {
                     narrow_with_psma(column, code_lo, code_hi, options, plan);
-                    plan.steps.push(Step::CodeRange { column: column_idx, lo: code_lo, hi: code_hi });
+                    plan.steps.push(Step::CodeRange {
+                        column: column_idx,
+                        lo: code_lo,
+                        hi: code_hi,
+                    });
                     push_not_null_guard(block, column_idx, plan);
                 }
                 None => plan.ruled_out = true,
@@ -322,7 +363,11 @@ fn translate_range_restriction(
             match bounds {
                 Some((code_lo, code_hi)) => {
                     narrow_with_psma(column, code_lo, code_hi, options, plan);
-                    plan.steps.push(Step::CodeRange { column: column_idx, lo: code_lo, hi: code_hi });
+                    plan.steps.push(Step::CodeRange {
+                        column: column_idx,
+                        lo: code_lo,
+                        hi: code_hi,
+                    });
                     push_not_null_guard(block, column_idx, plan);
                 }
                 None => plan.ruled_out = true,
@@ -336,7 +381,11 @@ fn translate_range_restriction(
                     return;
                 }
             };
-            plan.steps.push(Step::DoubleRange { column: column_idx, lo: lo_f, hi: hi_f });
+            plan.steps.push(Step::DoubleRange {
+                column: column_idx,
+                lo: lo_f,
+                hi: hi_f,
+            });
             push_not_null_guard(block, column_idx, plan);
         }
         ColumnCompression::SingleValue(_) => unreachable!("handled by the caller"),
@@ -386,7 +435,11 @@ fn next_double(v: f64) -> f64 {
     if v.is_infinite() {
         v
     } else {
-        f64::from_bits(if v >= 0.0 { v.to_bits() + 1 } else { v.to_bits() - 1 })
+        f64::from_bits(if v >= 0.0 {
+            v.to_bits() + 1
+        } else {
+            v.to_bits() - 1
+        })
     }
 }
 
@@ -408,7 +461,11 @@ fn str_code_bounds(
         let hi_s = hi.as_str()?;
         let lo_code = dict.partition_point(|d| d.as_str() < lo_s) as u64;
         let hi_code = dict.partition_point(|d| d.as_str() <= hi_s) as u64;
-        return if lo_code >= hi_code { None } else { Some((lo_code, hi_code - 1)) };
+        return if lo_code >= hi_code {
+            None
+        } else {
+            Some((lo_code, hi_code - 1))
+        };
     }
     let v = lo.as_str()?;
     let lt = dict.partition_point(|d| d.as_str() < v) as u64;
@@ -487,7 +544,12 @@ impl<'a> BlockScan<'a> {
     pub fn new(block: &'a DataBlock, restrictions: &[Restriction], options: ScanOptions) -> Self {
         let plan = plan_scan(block, restrictions, &options);
         let cursor = plan.scan_range().begin;
-        BlockScan { block, plan, options, cursor }
+        BlockScan {
+            block,
+            plan,
+            options,
+            cursor,
+        }
     }
 
     /// The plan the scan executes (exposed for instrumentation).
@@ -548,7 +610,10 @@ impl<'a> BlockScan<'a> {
         }
 
         if self.block.has_deletions() && !matches.is_empty() {
-            let deleted = self.block.deleted_flags().expect("has_deletions implies flags");
+            let deleted = self
+                .block
+                .deleted_flags()
+                .expect("has_deletions implies flags");
             matches.retain(|&pos| !deleted[pos as usize]);
         }
     }
@@ -610,13 +675,30 @@ pub fn scan_collect(
     restrictions: &[Restriction],
     options: ScanOptions,
 ) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    scan_collect_into(block, restrictions, options, &mut scratch, &mut out);
+    out
+}
+
+/// Run a complete scan, appending every matching position to `out`.
+///
+/// `scratch` is the per-vector match buffer; both buffers are cleared of nothing and
+/// only ever *appended to* (`scratch` is overwritten per window), so a caller scanning
+/// many blocks — the morsel-driven parallel scan workers, or an index-less point
+/// lookup walking a relation — reuses the same two allocations for the whole run
+/// instead of paying one `Vec` growth curve per block.
+pub fn scan_collect_into(
+    block: &DataBlock,
+    restrictions: &[Restriction],
+    options: ScanOptions,
+    scratch: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) {
     let mut scan = BlockScan::new(block, restrictions, options);
-    let mut all = Vec::new();
-    let mut vector = Vec::new();
-    while scan.next_matches(&mut vector).is_some() {
-        all.extend_from_slice(&vector);
+    while scan.next_matches(scratch).is_some() {
+        out.extend_from_slice(scratch);
     }
-    all
 }
 
 #[cfg(test)]
@@ -680,7 +762,14 @@ mod tests {
     #[test]
     fn all_comparison_operators_match_reference() {
         let block = test_block();
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let restrictions = vec![Restriction::cmp(0, op, 25i64)];
             check_against_reference(&block, &restrictions, ScanOptions::default());
         }
@@ -713,7 +802,11 @@ mod tests {
             &[Restriction::between(2, 10.0, 200.0)],
             ScanOptions::default(),
         );
-        check_against_reference(&block, &[Restriction::cmp(2, CmpOp::Lt, 3.0)], ScanOptions::default());
+        check_against_reference(
+            &block,
+            &[Restriction::cmp(2, CmpOp::Lt, 3.0)],
+            ScanOptions::default(),
+        );
     }
 
     #[test]
@@ -732,9 +825,17 @@ mod tests {
     fn sma_rules_out_disjoint_range() {
         let block = test_block();
         // quantity domain is [0, 49]
-        let plan = plan_scan(&block, &[Restriction::cmp(0, CmpOp::Gt, 100i64)], &ScanOptions::default());
+        let plan = plan_scan(
+            &block,
+            &[Restriction::cmp(0, CmpOp::Gt, 100i64)],
+            &ScanOptions::default(),
+        );
         assert!(plan.is_ruled_out());
-        let matches = scan_collect(&block, &[Restriction::cmp(0, CmpOp::Gt, 100i64)], ScanOptions::default());
+        let matches = scan_collect(
+            &block,
+            &[Restriction::cmp(0, CmpOp::Gt, 100i64)],
+            ScanOptions::default(),
+        );
         assert!(matches.is_empty());
     }
 
@@ -743,16 +844,27 @@ mod tests {
         // Clustered values: PSMA should narrow the range to roughly the cluster.
         let values: Vec<i64> = (0..65_536i64).map(|i| i / 256).collect();
         let block = freeze(&[int_column(values)]);
-        let with_psma = plan_scan(&block, &[Restriction::eq(0, 100i64)], &ScanOptions::default());
+        let with_psma = plan_scan(
+            &block,
+            &[Restriction::eq(0, 100i64)],
+            &ScanOptions::default(),
+        );
         let without_psma = plan_scan(
             &block,
             &[Restriction::eq(0, 100i64)],
-            &ScanOptions { use_psma: false, ..ScanOptions::default() },
+            &ScanOptions {
+                use_psma: false,
+                ..ScanOptions::default()
+            },
         );
         assert!(with_psma.scan_range().len() < without_psma.scan_range().len());
         assert!(with_psma.scan_range().len() <= 512);
         // And the result is still correct.
-        check_against_reference(&block, &[Restriction::eq(0, 100i64)], ScanOptions::default());
+        check_against_reference(
+            &block,
+            &[Restriction::eq(0, 100i64)],
+            ScanOptions::default(),
+        );
     }
 
     #[test]
@@ -766,9 +878,21 @@ mod tests {
             }
         }
         let block = freeze(&[col]);
-        check_against_reference(&block, &[Restriction::between(0, 0i64, 5i64)], ScanOptions::default());
-        check_against_reference(&block, &[Restriction::IsNull { column: 0 }], ScanOptions::default());
-        check_against_reference(&block, &[Restriction::IsNotNull { column: 0 }], ScanOptions::default());
+        check_against_reference(
+            &block,
+            &[Restriction::between(0, 0i64, 5i64)],
+            ScanOptions::default(),
+        );
+        check_against_reference(
+            &block,
+            &[Restriction::IsNull { column: 0 }],
+            ScanOptions::default(),
+        );
+        check_against_reference(
+            &block,
+            &[Restriction::IsNotNull { column: 0 }],
+            ScanOptions::default(),
+        );
     }
 
     #[test]
@@ -779,7 +903,11 @@ mod tests {
         let all = scan_collect(&block, &[], ScanOptions::default());
         assert_eq!(all.len(), 98);
         assert!(!all.contains(&10));
-        let filtered = scan_collect(&block, &[Restriction::between(0, 5i64, 15i64)], ScanOptions::default());
+        let filtered = scan_collect(
+            &block,
+            &[Restriction::between(0, 5i64, 15i64)],
+            ScanOptions::default(),
+        );
         assert_eq!(filtered, vec![5, 6, 7, 8, 9, 12, 13, 14, 15]);
     }
 
@@ -799,10 +927,16 @@ mod tests {
     #[test]
     fn vector_size_does_not_change_results() {
         let block = test_block();
-        let restrictions = vec![Restriction::between(0, 3i64, 40i64), Restriction::eq(1, "S0")];
+        let restrictions = vec![
+            Restriction::between(0, 3i64, 40i64),
+            Restriction::eq(1, "S0"),
+        ];
         let reference = reference_scan(&block, &restrictions);
         for vector_size in [64, 1000, 8192, 1 << 20] {
-            let options = ScanOptions { vector_size, ..ScanOptions::default() };
+            let options = ScanOptions {
+                vector_size,
+                ..ScanOptions::default()
+            };
             assert_eq!(scan_collect(&block, &restrictions, options), reference);
         }
     }
@@ -810,12 +944,21 @@ mod tests {
     #[test]
     fn every_isa_level_gives_identical_results() {
         let block = test_block();
-        let restrictions =
-            vec![Restriction::between(3, 10_020i64, 10_120i64), Restriction::cmp(0, CmpOp::Le, 30i64)];
+        let restrictions = vec![
+            Restriction::between(3, 10_020i64, 10_120i64),
+            Restriction::cmp(0, CmpOp::Le, 30i64),
+        ];
         let reference = reference_scan(&block, &restrictions);
         for isa in IsaLevel::available() {
-            let options = ScanOptions { isa, ..ScanOptions::default() };
-            assert_eq!(scan_collect(&block, &restrictions, options), reference, "isa {isa}");
+            let options = ScanOptions {
+                isa,
+                ..ScanOptions::default()
+            };
+            assert_eq!(
+                scan_collect(&block, &restrictions, options),
+                reference,
+                "isa {isa}"
+            );
         }
     }
 }

@@ -46,13 +46,13 @@ impl Sma {
             DataType::Int => {
                 let data = column.data.as_int().expect("int column");
                 let (mut min, mut max) = (i64::MAX, i64::MIN);
-                for row in 0..n {
+                for (row, &v) in data.iter().enumerate().take(n) {
                     if column.is_null(row) {
                         continue;
                     }
                     any = true;
-                    min = min.min(data[row]);
-                    max = max.max(data[row]);
+                    min = min.min(v);
+                    max = max.max(v);
                 }
                 if any {
                     Sma::Int { min, max }
@@ -63,13 +63,13 @@ impl Sma {
             DataType::Double => {
                 let data = column.data.as_double().expect("double column");
                 let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
-                for row in 0..n {
+                for (row, &v) in data.iter().enumerate().take(n) {
                     if column.is_null(row) {
                         continue;
                     }
                     any = true;
-                    min = min.min(data[row]);
-                    max = max.max(data[row]);
+                    min = min.min(v);
+                    max = max.max(v);
                 }
                 if any {
                     Sma::Double { min, max }
@@ -81,11 +81,11 @@ impl Sma {
                 let data = column.data.as_str().expect("string column");
                 let mut min: Option<&str> = None;
                 let mut max: Option<&str> = None;
-                for row in 0..n {
+                for (row, value) in data.iter().enumerate().take(n) {
                     if column.is_null(row) {
                         continue;
                     }
-                    let s = data[row].as_str();
+                    let s = value.as_str();
                     min = Some(match min {
                         Some(m) if m <= s => m,
                         _ => s,
@@ -96,7 +96,10 @@ impl Sma {
                     });
                 }
                 match (min, max) {
-                    (Some(mn), Some(mx)) => Sma::Str { min: mn.to_string(), max: mx.to_string() },
+                    (Some(mn), Some(mx)) => Sma::Str {
+                        min: mn.to_string(),
+                        max: mx.to_string(),
+                    },
                     _ => Sma::AllNull,
                 }
             }
@@ -207,13 +210,25 @@ mod tests {
             "apple".into(),
             "zebra".into(),
         ]));
-        assert_eq!(Sma::compute(&col), Sma::Str { min: "apple".into(), max: "zebra".into() });
+        assert_eq!(
+            Sma::compute(&col),
+            Sma::Str {
+                min: "apple".into(),
+                max: "zebra".into()
+            }
+        );
     }
 
     #[test]
     fn compute_double_min_max() {
         let col = Column::from_data(ColumnData::Double(vec![2.5, -1.0, 7.25]));
-        assert_eq!(Sma::compute(&col), Sma::Double { min: -1.0, max: 7.25 });
+        assert_eq!(
+            Sma::compute(&col),
+            Sma::Double {
+                min: -1.0,
+                max: 7.25
+            }
+        );
     }
 
     #[test]
@@ -263,7 +278,10 @@ mod tests {
 
     #[test]
     fn string_sma_range_check() {
-        let sma = Sma::Str { min: "HOUSEHOLD".into(), max: "MACHINERY".into() };
+        let sma = Sma::Str {
+            min: "HOUSEHOLD".into(),
+            max: "MACHINERY".into(),
+        };
         assert!(sma.may_match_cmp(CmpOp::Eq, &Value::from("MACHINERY")));
         assert!(!sma.may_match_cmp(CmpOp::Eq, &Value::from("AUTOMOBILE")));
     }

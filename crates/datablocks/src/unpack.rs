@@ -72,20 +72,19 @@ pub fn unpack_column(block: &DataBlock, col: usize, positions: &[u32], out: &mut
 /// `appended` definitely-valid rows directly to the data vector.
 fn sync_validity(out: &mut Column, appended: usize) {
     if let Some(validity) = &mut out.validity {
-        validity.extend(std::iter::repeat(true).take(appended));
+        validity.extend(std::iter::repeat_n(true, appended));
     }
 }
 
 /// Unpack several attributes at once, appending to one output column per requested
 /// attribute. This is the operation a vectorized Data Block scan performs per match
 /// vector before handing tuples to the JIT-compiled pipeline.
-pub fn unpack_columns(
-    block: &DataBlock,
-    cols: &[usize],
-    positions: &[u32],
-    out: &mut [Column],
-) {
-    assert_eq!(cols.len(), out.len(), "one output column per requested attribute");
+pub fn unpack_columns(block: &DataBlock, cols: &[usize], positions: &[u32], out: &mut [Column]) {
+    assert_eq!(
+        cols.len(),
+        out.len(),
+        "one output column per requested attribute"
+    );
     for (slot, &col) in cols.iter().enumerate() {
         unpack_column(block, col, positions, &mut out[slot]);
     }
@@ -129,7 +128,10 @@ mod tests {
         unpack_columns(&block, &[1, 2], &[0, 7, 13], &mut out);
         s = out[0].clone();
         d = out[1].clone();
-        assert_eq!(s.data.as_str().unwrap(), &["g0".to_string(), "g0".to_string(), "g6".to_string()]);
+        assert_eq!(
+            s.data.as_str().unwrap(),
+            &["g0".to_string(), "g0".to_string(), "g6".to_string()]
+        );
         assert_eq!(d.data.as_double().unwrap(), &[0.0, 1.75, 3.25]);
     }
 
@@ -173,7 +175,10 @@ mod tests {
     fn unpack_point_access() {
         let block = block();
         let row = unpack_point(&block, 10, &[0, 1, 2]);
-        assert_eq!(row, vec![Value::Int(20), Value::Str("g3".into()), Value::Double(2.5)]);
+        assert_eq!(
+            row,
+            vec![Value::Int(20), Value::Str("g3".into()), Value::Double(2.5)]
+        );
     }
 
     #[test]

@@ -217,8 +217,14 @@ mod tests {
 
     #[test]
     fn sql_cmp_mixed_numeric() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Double(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Double(3.0).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]
@@ -228,7 +234,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_nulls_first() {
-        let mut v = vec![Value::Int(5), Value::Null, Value::Int(1)];
+        let mut v = [Value::Int(5), Value::Null, Value::Int(1)];
         v.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(v[0], Value::Null);
         assert_eq!(v[1], Value::Int(1));

@@ -91,7 +91,8 @@ pub unsafe fn find_matches_u8(
 
     // Tail: remaining (< 32) elements scalar.
     let tail_start = simd_iters * 32;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 
@@ -149,7 +150,8 @@ pub unsafe fn find_matches_u16(
     out.set_len(start + w);
 
     let tail_start = simd_iters * 16;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 
@@ -192,7 +194,8 @@ pub unsafe fn find_matches_u32(
     out.set_len(start + w);
 
     let tail_start = simd_iters * 8;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 
@@ -230,8 +233,7 @@ pub unsafe fn find_matches_u64(
         let lt_lo = _mm256_cmpgt_epi64(lo, v);
         let gt_hi = _mm256_cmpgt_epi64(v, hi);
         let out_of_range = _mm256_or_si256(lt_lo, gt_hi);
-        let mask =
-            (!(_mm256_movemask_pd(_mm256_castsi256_pd(out_of_range)) as usize)) & 0b1111;
+        let mask = (!(_mm256_movemask_pd(_mm256_castsi256_pd(out_of_range)) as usize)) & 0b1111;
 
         let entry = _mm_loadu_si128(POSITIONS_4_I32[mask].as_ptr() as *const __m128i);
         let positions = _mm_add_epi32(entry, _mm_set1_epi32((base + scan_pos) as i32));
@@ -241,7 +243,8 @@ pub unsafe fn find_matches_u64(
     out.set_len(start + w);
 
     let tail_start = simd_iters * 4;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 
@@ -327,8 +330,7 @@ pub unsafe fn reduce_matches_u64(
         let lt_lo = _mm256_cmpgt_epi64(lo, v);
         let gt_hi = _mm256_cmpgt_epi64(v, hi);
         let out_of_range = _mm256_or_si256(lt_lo, gt_hi);
-        let mask =
-            (!(_mm256_movemask_pd(_mm256_castsi256_pd(out_of_range)) as usize)) & 0b1111;
+        let mask = (!(_mm256_movemask_pd(_mm256_castsi256_pd(out_of_range)) as usize)) & 0b1111;
 
         // Compact the 4 positions scalar-wise: the table tells us which lanes survive.
         let mut lanes = [0u32; 4];
@@ -377,8 +379,18 @@ mod tests {
         if !avx2_available() {
             return;
         }
-        let data: Vec<u8> = pseudo_random(10_007, 256, 42).iter().map(|&v| v as u8).collect();
-        for (lo, hi) in [(0u8, 255u8), (10, 20), (200, 100), (5, 5), (0, 0), (255, 255)] {
+        let data: Vec<u8> = pseudo_random(10_007, 256, 42)
+            .iter()
+            .map(|&v| v as u8)
+            .collect();
+        for (lo, hi) in [
+            (0u8, 255u8),
+            (10, 20),
+            (200, 100),
+            (5, 5),
+            (0, 0),
+            (255, 255),
+        ] {
             let pred = RangePredicate::between(lo, hi);
             let mut expected = Vec::new();
             find_matches_scalar(&data, &pred, 7, &mut expected);
@@ -393,8 +405,10 @@ mod tests {
         if !avx2_available() {
             return;
         }
-        let data: Vec<u16> =
-            pseudo_random(8_191, 65_536, 7).iter().map(|&v| v as u16).collect();
+        let data: Vec<u16> = pseudo_random(8_191, 65_536, 7)
+            .iter()
+            .map(|&v| v as u16)
+            .collect();
         for (lo, hi) in [(0u16, u16::MAX), (1000, 2000), (60_000, 100), (777, 777)] {
             let pred = RangePredicate::between(lo, hi);
             let mut expected = Vec::new();
@@ -410,8 +424,10 @@ mod tests {
         if !avx2_available() {
             return;
         }
-        let data: Vec<u32> =
-            pseudo_random(4_099, 1 << 20, 99).iter().map(|&v| v as u32).collect();
+        let data: Vec<u32> = pseudo_random(4_099, 1 << 20, 99)
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
         for (lo, hi) in [(0u32, u32::MAX), (1 << 10, 1 << 15), (1 << 19, 1 << 10)] {
             let pred = RangePredicate::between(lo, hi);
             let mut expected = Vec::new();
@@ -450,8 +466,10 @@ mod tests {
         if !avx2_available() {
             return;
         }
-        let data: Vec<u32> =
-            pseudo_random(16_384, 1 << 16, 5).iter().map(|&v| v as u32).collect();
+        let data: Vec<u32> = pseudo_random(16_384, 1 << 16, 5)
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
         let first = RangePredicate::between(100u32, 40_000);
         let second = RangePredicate::between(500u32, 20_000);
         let mut expected = Vec::new();

@@ -209,9 +209,21 @@ mod tests {
         let data: Vec<u32> = (0..1000).collect();
         let isa = IsaLevel::detect();
         let mut matches = Vec::new();
-        find_matches(isa, &data, &RangePredicate::between(100u32, 199), 0, &mut matches);
+        find_matches(
+            isa,
+            &data,
+            &RangePredicate::between(100u32, 199),
+            0,
+            &mut matches,
+        );
         assert_eq!(matches.len(), 100);
-        reduce_matches(isa, &data, &RangePredicate::at_least(150u32), 0, &mut matches);
+        reduce_matches(
+            isa,
+            &data,
+            &RangePredicate::at_least(150u32),
+            0,
+            &mut matches,
+        );
         assert_eq!(matches.len(), 50);
         assert_eq!(matches[0], 150);
     }

@@ -30,7 +30,10 @@ impl PosEntry {
 }
 
 const fn build_table() -> [PosEntry; 256] {
-    let mut table = [PosEntry { count: 0, pos: [0u8; 8] }; 256];
+    let mut table = [PosEntry {
+        count: 0,
+        pos: [0u8; 8],
+    }; 256];
     let mut mask = 0usize;
     while mask < 256 {
         let mut count = 0u8;
@@ -69,7 +72,7 @@ const fn build_table_i32() -> [[i32; 8]; 256] {
         let mut bit = 0;
         while bit < 8 {
             if (mask >> bit) & 1 == 1 {
-                table[mask][count] = bit as i32;
+                table[mask][count] = bit;
                 count += 1;
             }
             bit += 1;
@@ -104,7 +107,7 @@ const fn build_table_4() -> [[i32; 4]; 16] {
         let mut bit = 0;
         while bit < 4 {
             if (mask >> bit) & 1 == 1 {
-                table[mask][count] = bit as i32;
+                table[mask][count] = bit;
                 count += 1;
             }
             bit += 1;
@@ -140,6 +143,8 @@ pub fn expand_mask8(mask: u8, base: u32, out: &mut Vec<u32>) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)] // masks double as table indexes
+
     use super::*;
 
     #[test]

@@ -96,7 +96,10 @@ pub struct RangePredicate<T> {
 impl<T: CodeWord> RangePredicate<T> {
     /// Range matching exactly `value`.
     pub fn equals(value: T) -> Self {
-        RangePredicate { lo: value, hi: value }
+        RangePredicate {
+            lo: value,
+            hi: value,
+        }
     }
 
     /// Range matching `lo <= x <= hi` (a SQL `BETWEEN`).
@@ -106,22 +109,34 @@ impl<T: CodeWord> RangePredicate<T> {
 
     /// Range matching `x >= value`.
     pub fn at_least(value: T) -> Self {
-        RangePredicate { lo: value, hi: T::MAX_VALUE }
+        RangePredicate {
+            lo: value,
+            hi: T::MAX_VALUE,
+        }
     }
 
     /// Range matching `x <= value`.
     pub fn at_most(value: T) -> Self {
-        RangePredicate { lo: T::MIN_VALUE, hi: value }
+        RangePredicate {
+            lo: T::MIN_VALUE,
+            hi: value,
+        }
     }
 
     /// Range matching everything in the domain.
     pub fn all() -> Self {
-        RangePredicate { lo: T::MIN_VALUE, hi: T::MAX_VALUE }
+        RangePredicate {
+            lo: T::MIN_VALUE,
+            hi: T::MAX_VALUE,
+        }
     }
 
     /// A canonical empty range matching nothing.
     pub fn empty() -> Self {
-        RangePredicate { lo: T::MAX_VALUE, hi: T::MIN_VALUE }
+        RangePredicate {
+            lo: T::MAX_VALUE,
+            hi: T::MIN_VALUE,
+        }
     }
 
     /// Normalise `x op constant` into an inclusive range.
@@ -170,8 +185,16 @@ impl<T: CodeWord> RangePredicate<T> {
     /// Intersect two conjunctive range predicates on the same attribute.
     pub fn intersect(&self, other: &Self) -> Self {
         RangePredicate {
-            lo: if self.lo > other.lo { self.lo } else { other.lo },
-            hi: if self.hi < other.hi { self.hi } else { other.hi },
+            lo: if self.lo > other.lo {
+                self.lo
+            } else {
+                other.lo
+            },
+            hi: if self.hi < other.hi {
+                self.hi
+            } else {
+                other.hi
+            },
         }
     }
 }
@@ -201,7 +224,14 @@ mod tests {
         assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
         assert_eq!(CmpOp::Ne.flip(), CmpOp::Ne);
         // flipping twice is the identity
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
     }

@@ -28,6 +28,7 @@ fn prepare_out(out: &mut Vec<u32>, extra: usize, slack: usize) -> usize {
 
 /// SSE4.1 find-matches kernel for 1-byte code words (16 lanes per iteration).
 #[target_feature(enable = "sse4.1")]
+#[allow(clippy::needless_range_loop)] // positions-table expansion over raw pointers
 pub unsafe fn find_matches_u8(
     data: &[u8],
     pred: &RangePredicate<u8>,
@@ -67,12 +68,14 @@ pub unsafe fn find_matches_u8(
     out.set_len(start + w);
 
     let tail_start = simd_iters * 16;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 
 /// SSE4.1 find-matches kernel for 2-byte code words (8 lanes per iteration).
 #[target_feature(enable = "sse4.1")]
+#[allow(clippy::needless_range_loop)] // positions-table expansion over raw pointers
 pub unsafe fn find_matches_u16(
     data: &[u16],
     pred: &RangePredicate<u16>,
@@ -109,7 +112,8 @@ pub unsafe fn find_matches_u16(
     out.set_len(start + w);
 
     let tail_start = simd_iters * 8;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 
@@ -147,7 +151,8 @@ pub unsafe fn find_matches_u32(
     out.set_len(start + w);
 
     let tail_start = simd_iters * 4;
-    let tail = scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
+    let tail =
+        scalar::find_matches_scalar(&data[tail_start..], pred, base + tail_start as u32, out);
     w + tail
 }
 

@@ -85,8 +85,18 @@ macro_rules! impl_scan_word {
 
 // 8- and 16-bit reduce kernels fall back to scalar: AVX2 has no 8/16-bit gathers, and
 // the paper notes the emulated gathers bring no benefit for those widths.
-impl_scan_word!(u8, crate::sse::find_matches_u8, crate::avx2::find_matches_u8, None);
-impl_scan_word!(u16, crate::sse::find_matches_u16, crate::avx2::find_matches_u16, None);
+impl_scan_word!(
+    u8,
+    crate::sse::find_matches_u8,
+    crate::avx2::find_matches_u8,
+    None
+);
+impl_scan_word!(
+    u16,
+    crate::sse::find_matches_u16,
+    crate::avx2::find_matches_u16,
+    None
+);
 impl_scan_word!(
     u32,
     crate::sse::find_matches_u32,

@@ -19,7 +19,9 @@ pub struct Batch {
 impl Batch {
     /// An empty batch with the given column types.
     pub fn new(types: &[DataType]) -> Batch {
-        Batch { columns: types.iter().map(|&t| Column::new(t)).collect() }
+        Batch {
+            columns: types.iter().map(|&t| Column::new(t)).collect(),
+        }
     }
 
     /// Wrap existing columns (all must have equal length).
@@ -85,7 +87,11 @@ impl Batch {
 
     /// Append a tuple.
     pub fn push_row(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.columns.len(), "row arity must match the batch");
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity must match the batch"
+        );
         for (column, value) in self.columns.iter_mut().zip(row) {
             column.push(value);
         }

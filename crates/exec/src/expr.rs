@@ -56,21 +56,25 @@ impl Expr {
     }
 
     /// `self + other`
+    #[allow(clippy::should_implement_trait)] // builder API, deliberately not std::ops
     pub fn add(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
     }
 
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
     }
 
     /// `self * other`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
     }
 
     /// `self / other`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Div, Box::new(self), Box::new(other))
     }
@@ -95,9 +99,7 @@ impl Expr {
         match self {
             Expr::Col(idx) => batch.value(row, *idx),
             Expr::Const(v) => v.clone(),
-            Expr::Arith(op, lhs, rhs) => {
-                arith(*op, &lhs.eval(batch, row), &rhs.eval(batch, row))
-            }
+            Expr::Arith(op, lhs, rhs) => arith(*op, &lhs.eval(batch, row), &rhs.eval(batch, row)),
             Expr::Cmp(op, lhs, rhs) => {
                 let l = lhs.eval(batch, row);
                 let r = rhs.eval(batch, row);
@@ -217,8 +219,14 @@ mod tests {
         assert_eq!(e.eval(&b, 0), Value::Double(5.0));
         assert_eq!(e.eval(&b, 1), Value::Double(15.0));
         // integer arithmetic stays integral
-        assert_eq!(Expr::col(0).add(Expr::lit(5i64)).eval(&b, 0), Value::Int(15));
-        assert_eq!(Expr::col(0).sub(Expr::lit(5i64)).eval(&b, 1), Value::Int(15));
+        assert_eq!(
+            Expr::col(0).add(Expr::lit(5i64)).eval(&b, 0),
+            Value::Int(15)
+        );
+        assert_eq!(
+            Expr::col(0).sub(Expr::lit(5i64)).eval(&b, 1),
+            Value::Int(15)
+        );
     }
 
     #[test]
@@ -226,7 +234,10 @@ mod tests {
         let b = batch();
         assert_eq!(Expr::col(0).div(Expr::lit(0i64)).eval(&b, 0), Value::Null);
         assert_eq!(Expr::col(1).div(Expr::lit(0.0)).eval(&b, 0), Value::Null);
-        assert_eq!(Expr::col(0).div(Expr::lit(4i64)).eval(&b, 0), Value::Double(2.5));
+        assert_eq!(
+            Expr::col(0).div(Expr::lit(4i64)).eval(&b, 0),
+            Value::Double(2.5)
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Default for JitCostModel {
     fn default() -> Self {
         // 8 attributes: base 8 ms + 4096 paths × 8 × 305 us ≈ 10.0 s, matching the
         // top-right point of Figure 5; one path ≈ 10.4 ms matches the bottom-left.
-        JitCostModel { base_us: 8_000.0, per_path_per_attr_us: 305.0, vectorized_glue_us: 400.0 }
+        JitCostModel {
+            base_us: 8_000.0,
+            per_path_per_attr_us: 305.0,
+            vectorized_glue_us: 400.0,
+        }
     }
 }
 
@@ -132,7 +136,10 @@ pub fn specialize_scan_paths(layouts: &[Vec<SchemeKind>]) -> SpecializedScan {
             acc
         }));
     }
-    SpecializedScan { paths, generation_time: start.elapsed() }
+    SpecializedScan {
+        paths,
+        generation_time: start.elapsed(),
+    }
 }
 
 fn scheme_weight(scheme: SchemeKind) -> u64 {
@@ -179,8 +186,14 @@ mod tests {
         let model = JitCostModel::default();
         let one = model.compile_time(ScanCodegen::JitPerLayout, 1, 8);
         let many = model.compile_time(ScanCodegen::JitPerLayout, 4096, 8);
-        assert!(one >= Duration::from_millis(9) && one <= Duration::from_millis(15), "{one:?}");
-        assert!(many >= Duration::from_secs(9) && many <= Duration::from_secs(11), "{many:?}");
+        assert!(
+            one >= Duration::from_millis(9) && one <= Duration::from_millis(15),
+            "{one:?}"
+        );
+        assert!(
+            many >= Duration::from_secs(9) && many <= Duration::from_secs(11),
+            "{many:?}"
+        );
         // vectorized scan compile time is flat and small
         let vec_one = model.compile_time(ScanCodegen::VectorizedInterpreted, 1, 8);
         let vec_many = model.compile_time(ScanCodegen::VectorizedInterpreted, 4096, 8);
@@ -191,13 +204,22 @@ mod tests {
     #[test]
     fn compile_time_grows_linearly_with_layouts() {
         let model = JitCostModel::default();
-        let t64 = model.compile_time(ScanCodegen::JitPerLayout, 64, 8).as_secs_f64();
-        let t128 = model.compile_time(ScanCodegen::JitPerLayout, 128, 8).as_secs_f64();
-        let t256 = model.compile_time(ScanCodegen::JitPerLayout, 256, 8).as_secs_f64();
+        let t64 = model
+            .compile_time(ScanCodegen::JitPerLayout, 64, 8)
+            .as_secs_f64();
+        let t128 = model
+            .compile_time(ScanCodegen::JitPerLayout, 128, 8)
+            .as_secs_f64();
+        let t256 = model
+            .compile_time(ScanCodegen::JitPerLayout, 256, 8)
+            .as_secs_f64();
         assert!((t128 - t64) > 0.0);
         let slope1 = t128 - t64;
         let slope2 = t256 - t128;
-        assert!((slope2 / slope1 - 2.0).abs() < 0.2, "linear growth in paths");
+        assert!(
+            (slope2 / slope1 - 2.0).abs() < 0.2,
+            "linear growth in paths"
+        );
     }
 
     #[test]
@@ -217,7 +239,10 @@ mod tests {
         let mut dedup = layouts.clone();
         dedup.sort();
         dedup.dedup();
-        assert!(dedup.len() > 32, "most synthetic layouts should be distinct");
+        assert!(
+            dedup.len() > 32,
+            "most synthetic layouts should be distinct"
+        );
     }
 
     #[test]

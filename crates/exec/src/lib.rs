@@ -48,17 +48,19 @@
 pub mod batch;
 pub mod expr;
 pub mod jit;
+pub mod morsel;
 pub mod ops;
 pub mod scan;
 
 pub use batch::Batch;
 pub use expr::{arith, ArithOp, Expr};
 pub use jit::{JitCostModel, ScanCodegen};
+pub use morsel::{scan_relation_parallel, Morsel};
 pub use ops::{
     collect_operator, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp, HashJoinOp,
     JoinType, Operator, ProjectOp, ScanOp, SortKey, SortOp, ValuesOp,
 };
-pub use scan::{RelationScanner, ScanConfig, ScanMode, ScanStats};
+pub use scan::{RelationScanner, ScanConfig, ScanMode, ScanStats, DEFAULT_MORSEL_ROWS};
 
 /// Commonly used items for building queries by hand.
 pub mod prelude {

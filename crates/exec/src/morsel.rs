@@ -1,0 +1,311 @@
+//! Morsel-driven parallel scans (the paper's evaluation setting: 64-thread scans of
+//! compressed Data Blocks, after Leis et al., "Morsel-Driven Parallelism").
+//!
+//! # The morsel protocol
+//!
+//! A relation scan decomposes into an ordered list of [`Morsel`]s:
+//!
+//! * one morsel per **frozen Data Block** — blocks are immutable, carry their own
+//!   SMAs/PSMAs and are the natural unit of SMA skipping, so they are never split;
+//! * the **hot tail chunks** are split into fixed-size row ranges of
+//!   [`ScanConfig::morsel_rows`] records each.
+//!
+//! Work distribution is a single `fetch_add` on an [`AtomicUsize`] cursor over that
+//! list: each worker claims the next unclaimed morsel index, scans it to completion,
+//! and claims again until the list is exhausted. There are no locks anywhere on the
+//! scan path — frozen blocks and hot chunks are only ever read (`&`-borrowed), the
+//! cursor is the only shared mutable state, and every worker owns its output
+//! buffers. Workers keep one [`RelationScanner`] for their whole lifetime, so the
+//! match-position vector and its growth are paid once per worker, not once per morsel
+//! or per vector (the "allocation-free hot path" the paper's throughput numbers
+//! assume).
+//!
+//! # Determinism guarantee
+//!
+//! Each emitted batch is tagged with the index of the morsel that produced it.
+//! After all workers join, batches are concatenated in (morsel index, emission
+//! order) — which is exactly the order a serial scan visits them. A parallel scan
+//! therefore produces **byte-identical output to the serial scan** for every thread
+//! count and morsel size; only wall-clock time changes. The differential test
+//! `tests/parallel_scan.rs` (and `parallel_scan_agrees_with_serial_in_every_mode` in
+//! `scan.rs`) pin this property down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use datablocks::scan::Restriction;
+use datablocks::DataBlock;
+use storage::Relation;
+
+use crate::batch::Batch;
+use crate::scan::{RelationScanner, ScanConfig, ScanStats};
+
+/// One unit of scan work handed out by the morsel cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Morsel {
+    /// One whole frozen Data Block (index into [`Relation::cold_blocks`]).
+    ColdBlock(usize),
+    /// A row range `[from, to)` of one hot chunk (index into
+    /// [`Relation::hot_chunks`]).
+    HotRange {
+        /// Hot chunk index.
+        chunk: usize,
+        /// First row of the range.
+        from: usize,
+        /// One past the last row of the range.
+        to: usize,
+    },
+}
+
+// The scan path shares `&Relation` (and through it `&DataBlock` / hot chunks) across
+// worker threads. All payloads are plain owned data (`Vec`, `String`, `HashMap`), so
+// the auto traits hold; this assertion turns any future regression — say, an
+// `Rc`/`Cell` sneaking into a block column — into a compile error here instead of an
+// obscure one inside `std::thread::scope`.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Relation>();
+    assert_shareable::<DataBlock>();
+    assert_shareable::<Restriction>();
+    assert_shareable::<ScanConfig>();
+};
+
+/// Decompose a relation into scan morsels, in serial scan order: every cold block
+/// first (whole blocks), then every hot chunk split into `morsel_rows`-sized ranges.
+/// `morsel_rows == 0` falls back to [`crate::DEFAULT_MORSEL_ROWS`], matching the
+/// [`ScanConfig::morsel_rows`] contract.
+pub fn decompose(relation: &Relation, morsel_rows: usize) -> Vec<Morsel> {
+    let morsel_rows = if morsel_rows == 0 {
+        crate::DEFAULT_MORSEL_ROWS
+    } else {
+        morsel_rows
+    };
+    let mut morsels =
+        Vec::with_capacity(relation.cold_blocks().len() + relation.hot_chunks().len());
+    for block_idx in 0..relation.cold_blocks().len() {
+        morsels.push(Morsel::ColdBlock(block_idx));
+    }
+    for (chunk_idx, chunk) in relation.hot_chunks().iter().enumerate() {
+        let mut from = 0;
+        while from < chunk.len() {
+            let to = (from + morsel_rows).min(chunk.len());
+            morsels.push(Morsel::HotRange {
+                chunk: chunk_idx,
+                from,
+                to,
+            });
+            from = to;
+        }
+    }
+    morsels
+}
+
+/// Resolve a [`ScanConfig::threads`] request to an actual worker count: `0` means
+/// "all hardware threads".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Scan `relation` with `config.threads` workers and return all result batches in
+/// deterministic (serial-scan) order, plus the merged scan statistics.
+///
+/// This is the entry point [`RelationScanner`] delegates to when
+/// `config.threads != 1`; it can also be called directly when a caller wants the
+/// fully materialised result rather than a stream.
+pub fn scan_relation_parallel(
+    relation: &Relation,
+    projection: &[usize],
+    restrictions: &[Restriction],
+    config: ScanConfig,
+) -> (Vec<Batch>, ScanStats) {
+    let morsels = decompose(relation, config.morsel_rows);
+    let workers = effective_threads(config.threads).min(morsels.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let worker_results: Vec<(Vec<(usize, Batch)>, ScanStats)> = if workers == 1 {
+        vec![run_worker(
+            relation,
+            projection,
+            restrictions,
+            config,
+            &morsels,
+            &cursor,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        run_worker(
+                            relation,
+                            projection,
+                            restrictions,
+                            config,
+                            &morsels,
+                            &cursor,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("scan worker panicked"))
+                .collect()
+        })
+    };
+
+    // Deterministic merge: batches keyed by morsel index; each morsel was scanned by
+    // exactly one worker, which emitted its batches in order.
+    let mut per_morsel: Vec<Vec<Batch>> = (0..morsels.len()).map(|_| Vec::new()).collect();
+    let mut stats = ScanStats::default();
+    for (tagged_batches, worker_stats) in worker_results {
+        stats.merge(&worker_stats);
+        for (morsel_idx, batch) in tagged_batches {
+            per_morsel[morsel_idx].push(batch);
+        }
+    }
+    let batches = per_morsel.into_iter().flatten().collect();
+    (batches, stats)
+}
+
+/// One worker's life: claim morsels off the shared cursor until none are left,
+/// scanning each to completion with a single reused [`RelationScanner`].
+fn run_worker(
+    relation: &Relation,
+    projection: &[usize],
+    restrictions: &[Restriction],
+    config: ScanConfig,
+    morsels: &[Morsel],
+    cursor: &AtomicUsize,
+) -> (Vec<(usize, Batch)>, ScanStats) {
+    let mut scanner = RelationScanner::for_worker(relation, projection, restrictions, config);
+    let mut out = Vec::new();
+    loop {
+        let morsel_idx = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&morsel) = morsels.get(morsel_idx) else {
+            break;
+        };
+        scanner.reset_to_morsel(morsel);
+        while let Some(batch) = scanner.next_batch() {
+            out.push((morsel_idx, batch));
+        }
+    }
+    (out, scanner.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datablocks::{DataType, Value};
+    use storage::{ColumnDef, Schema};
+
+    fn relation(rows: i64, chunk_capacity: usize, freeze_full: bool) -> Relation {
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("val", DataType::Int),
+        ]);
+        let mut rel = Relation::with_chunk_capacity("m", schema, chunk_capacity);
+        for i in 0..rows {
+            rel.insert(vec![Value::Int(i), Value::Int(i % 7)]);
+        }
+        if freeze_full {
+            rel.freeze_full_chunks();
+        }
+        rel
+    }
+
+    #[test]
+    fn decompose_covers_every_row_exactly_once() {
+        let rel = relation(2_500, 1000, true); // 2 cold blocks, 1 hot chunk of 500
+        let morsels = decompose(&rel, 128);
+        let cold = morsels
+            .iter()
+            .filter(|m| matches!(m, Morsel::ColdBlock(_)))
+            .count();
+        assert_eq!(cold, 2);
+        let hot_rows: usize = morsels
+            .iter()
+            .filter_map(|m| match m {
+                Morsel::HotRange { from, to, .. } => Some(to - from),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(hot_rows, 500);
+        // Hot ranges are contiguous, ordered and non-overlapping.
+        let mut expected_from = 0;
+        for m in &morsels {
+            if let Morsel::HotRange { from, to, .. } = m {
+                assert_eq!(*from, expected_from);
+                assert!(to > from);
+                expected_from = *to;
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_zero_morsel_rows_falls_back_to_default() {
+        let rel = relation(10, 100, false);
+        let morsels = decompose(&rel, 0); // 0 = DEFAULT_MORSEL_ROWS, not 1-row morsels
+        assert_eq!(morsels.len(), 1);
+        assert_eq!(
+            morsels[0],
+            Morsel::HotRange {
+                chunk: 0,
+                from: 0,
+                to: 10
+            }
+        );
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_mixed_storage() {
+        let rel = relation(3_210, 1000, true);
+        let restrictions = vec![Restriction::between(1, 2i64, 4i64)];
+        let serial = RelationScanner::new(
+            &rel,
+            vec![0, 1],
+            restrictions.clone(),
+            ScanConfig::default(),
+        )
+        .collect_all();
+        for threads in [2usize, 5] {
+            let config = ScanConfig::default()
+                .with_threads(threads)
+                .with_morsel_rows(100);
+            let (batches, stats) = scan_relation_parallel(&rel, &[0, 1], &restrictions, config);
+            let mut merged = Batch::new(&[DataType::Int, DataType::Int]);
+            for batch in &batches {
+                merged.append(batch);
+            }
+            assert_eq!(merged.len(), serial.len());
+            for row in 0..serial.len() {
+                assert_eq!(
+                    merged.row(row),
+                    serial.row(row),
+                    "threads {threads} row {row}"
+                );
+            }
+            assert_eq!(stats.rows_matched, serial.len());
+        }
+    }
+
+    #[test]
+    fn empty_relation_yields_no_batches() {
+        let rel = relation(0, 100, false);
+        let (batches, stats) =
+            scan_relation_parallel(&rel, &[0], &[], ScanConfig::default().with_threads(4));
+        assert!(batches.is_empty());
+        assert_eq!(stats.rows_matched, 0);
+    }
+}

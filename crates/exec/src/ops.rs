@@ -98,8 +98,9 @@ impl<'a> FilterOp<'a> {
 impl<'a> Operator for FilterOp<'a> {
     fn next_batch(&mut self) -> Option<Batch> {
         let batch = self.input.next_batch()?;
-        let keep: Vec<usize> =
-            (0..batch.len()).filter(|&row| self.predicate.eval_bool(&batch, row)).collect();
+        let keep: Vec<usize> = (0..batch.len())
+            .filter(|&row| self.predicate.eval_bool(&batch, row))
+            .collect();
         Some(batch.take(&keep))
     }
 
@@ -121,7 +122,11 @@ impl<'a> ProjectOp<'a> {
     /// Project `exprs`; `types` declares the output column types.
     pub fn new(input: BoxedOperator<'a>, exprs: Vec<Expr>, types: Vec<DataType>) -> Self {
         assert_eq!(exprs.len(), types.len());
-        ProjectOp { input, exprs, types }
+        ProjectOp {
+            input,
+            exprs,
+            types,
+        }
     }
 }
 
@@ -217,7 +222,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> AggState {
-        AggState { sum: Value::Null, count: 0, min: Value::Null, max: Value::Null }
+        AggState {
+            sum: Value::Null,
+            count: 0,
+            min: Value::Null,
+            max: Value::Null,
+        }
     }
 
     fn update(&mut self, value: &Value, count_star: bool) {
@@ -234,10 +244,12 @@ impl AggState {
         } else {
             arith(ArithOp::Add, &self.sum, value)
         };
-        if self.min.is_null() || matches!(value.sql_cmp(&self.min), Some(std::cmp::Ordering::Less)) {
+        if self.min.is_null() || matches!(value.sql_cmp(&self.min), Some(std::cmp::Ordering::Less))
+        {
             self.min = value.clone();
         }
-        if self.max.is_null() || matches!(value.sql_cmp(&self.max), Some(std::cmp::Ordering::Greater))
+        if self.max.is_null()
+            || matches!(value.sql_cmp(&self.max), Some(std::cmp::Ordering::Greater))
         {
             self.max = value.clone();
         }
@@ -280,7 +292,13 @@ impl<'a> HashAggregateOp<'a> {
         aggregates: Vec<AggSpec>,
     ) -> Self {
         assert_eq!(group_exprs.len(), group_types.len());
-        HashAggregateOp { input, group_exprs, group_types, aggregates, done: false }
+        HashAggregateOp {
+            input,
+            group_exprs,
+            group_types,
+            aggregates,
+            done: false,
+        }
     }
 }
 
@@ -293,8 +311,12 @@ impl<'a> Operator for HashAggregateOp<'a> {
         let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
         while let Some(batch) = self.input.next_batch() {
             for row in 0..batch.len() {
-                let key =
-                    GroupKey(self.group_exprs.iter().map(|e| e.eval(&batch, row)).collect());
+                let key = GroupKey(
+                    self.group_exprs
+                        .iter()
+                        .map(|e| e.eval(&batch, row))
+                        .collect(),
+                );
                 let states = groups
                     .entry(key)
                     .or_insert_with(|| vec![AggState::new(); self.aggregates.len()]);
@@ -406,7 +428,12 @@ impl<'a> HashJoinOp<'a> {
         let mut tags = vec![0u64; 2048];
         while let Some(batch) = self.build.next_batch() {
             for row in 0..batch.len() {
-                let key = GroupKey(self.build_keys.iter().map(|&k| batch.value(row, k)).collect());
+                let key = GroupKey(
+                    self.build_keys
+                        .iter()
+                        .map(|&k| batch.value(row, k))
+                        .collect(),
+                );
                 let slot = tag_slot(&key, tags.len());
                 tags[slot.0] |= 1 << slot.1;
                 table.entry(key).or_default().push(batch.row(row));
@@ -431,7 +458,12 @@ impl<'a> Operator for HashJoinOp<'a> {
         let batch = self.probe.next_batch()?;
         let mut out = Batch::new(&self.output_types());
         for row in 0..batch.len() {
-            let key = GroupKey(self.probe_keys.iter().map(|&k| batch.value(row, k)).collect());
+            let key = GroupKey(
+                self.probe_keys
+                    .iter()
+                    .map(|&k| batch.value(row, k))
+                    .collect(),
+            );
             if key.0.iter().any(|v| v.is_null()) {
                 continue; // NULL keys never join
             }
@@ -441,8 +473,8 @@ impl<'a> Operator for HashJoinOp<'a> {
                     continue;
                 }
             }
-            match table.get(&key) {
-                Some(build_rows) => match self.join_type {
+            if let Some(build_rows) = table.get(&key) {
+                match self.join_type {
                     JoinType::Inner => {
                         for build_row in build_rows {
                             let mut row_values = build_row.clone();
@@ -451,8 +483,7 @@ impl<'a> Operator for HashJoinOp<'a> {
                         }
                     }
                     JoinType::ProbeSemi => out.push_row(batch.row(row)),
-                },
-                None => {}
+                }
             }
         }
         Some(out)
@@ -484,12 +515,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending sort on a column.
     pub fn asc(column: usize) -> SortKey {
-        SortKey { column, descending: false }
+        SortKey {
+            column,
+            descending: false,
+        }
     }
 
     /// Descending sort on a column.
     pub fn desc(column: usize) -> SortKey {
-        SortKey { column, descending: true }
+        SortKey {
+            column,
+            descending: true,
+        }
     }
 }
 
@@ -504,7 +541,12 @@ pub struct SortOp<'a> {
 impl<'a> SortOp<'a> {
     /// Sort by `keys`, optionally keeping only the first `limit` tuples.
     pub fn new(input: BoxedOperator<'a>, keys: Vec<SortKey>, limit: Option<usize>) -> Self {
-        SortOp { input, keys, limit, done: false }
+        SortOp {
+            input,
+            keys,
+            limit,
+            done: false,
+        }
     }
 }
 
@@ -553,7 +595,10 @@ impl ValuesOp {
     /// Wrap a batch as an operator.
     pub fn new(batch: Batch) -> ValuesOp {
         let types = batch.types();
-        ValuesOp { batch: Some(batch), types }
+        ValuesOp {
+            batch: Some(batch),
+            types,
+        }
     }
 }
 
@@ -576,7 +621,13 @@ mod tests {
         Batch::from_rows(
             &[DataType::Int, DataType::Int, DataType::Str],
             &(0..n)
-                .map(|i| vec![Value::Int(i), Value::Int(i % 10), Value::Str(format!("g{}", i % 3))])
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(i % 10),
+                        Value::Str(format!("g{}", i % 3)),
+                    ]
+                })
                 .collect::<Vec<_>>(),
         )
     }
@@ -587,7 +638,8 @@ mod tests {
 
     #[test]
     fn filter_keeps_matching_rows() {
-        let mut filter = FilterOp::new(values_op(100), Expr::col(1).cmp(CmpOp::Eq, Expr::lit(3i64)));
+        let mut filter =
+            FilterOp::new(values_op(100), Expr::col(1).cmp(CmpOp::Eq, Expr::lit(3i64)));
         let result = filter.collect_all();
         assert_eq!(result.len(), 10);
         assert!((0..result.len()).all(|r| result.value(r, 1) == Value::Int(3)));
@@ -626,7 +678,7 @@ mod tests {
         // groups come out sorted: g0, g1, g2
         assert_eq!(result.value(0, 0), Value::Str("g0".into()));
         assert_eq!(result.value(0, 1), Value::Int(10)); // 30 rows / 3 groups
-        // group g0 holds 0,3,6,...,27 → sum 135
+                                                        // group g0 holds 0,3,6,...,27 → sum 135
         assert_eq!(result.value(0, 2), Value::Int(135));
         assert_eq!(result.value(0, 3), Value::Double(13.5));
         assert_eq!(result.value(0, 4), Value::Int(0));
@@ -650,7 +702,11 @@ mod tests {
     fn aggregate_ignores_nulls_in_avg_and_count() {
         let batch = Batch::from_rows(
             &[DataType::Int],
-            &[vec![Value::Int(10)], vec![Value::Null], vec![Value::Int(20)]],
+            &[
+                vec![Value::Int(10)],
+                vec![Value::Null],
+                vec![Value::Int(20)],
+            ],
         );
         let mut agg = HashAggregateOp::new(
             Box::new(ValuesOp::new(batch)),
@@ -673,7 +729,9 @@ mod tests {
         // build: (key, name) for keys 0..5 ; probe: numbers with col1 in 0..10
         let build = Batch::from_rows(
             &[DataType::Int, DataType::Str],
-            &(0..5).map(|i| vec![Value::Int(i), Value::Str(format!("n{i}"))]).collect::<Vec<_>>(),
+            &(0..5)
+                .map(|i| vec![Value::Int(i), Value::Str(format!("n{i}"))])
+                .collect::<Vec<_>>(),
         );
         let mut join = HashJoinOp::new(
             Box::new(ValuesOp::new(build)),
@@ -687,7 +745,11 @@ mod tests {
         assert_eq!(result.len(), 50);
         assert_eq!(result.column_count(), 2 + 3);
         for row in 0..result.len() {
-            assert_eq!(result.value(row, 0), result.value(row, 3), "join keys equal");
+            assert_eq!(
+                result.value(row, 0),
+                result.value(row, 3),
+                "join keys equal"
+            );
         }
     }
 
@@ -695,7 +757,11 @@ mod tests {
     fn semi_join_emits_probe_rows_once() {
         let build = Batch::from_rows(
             &[DataType::Int],
-            &[vec![Value::Int(2)], vec![Value::Int(2)], vec![Value::Int(4)]],
+            &[
+                vec![Value::Int(2)],
+                vec![Value::Int(2)],
+                vec![Value::Int(4)],
+            ],
         );
         let mut join = HashJoinOp::new(
             Box::new(ValuesOp::new(build)),
@@ -771,7 +837,11 @@ mod tests {
         let result = sort.collect_all();
         assert_eq!(result.len(), 20);
         assert_eq!(result.value(0, 1), Value::Int(0));
-        assert_eq!(result.value(0, 0), Value::Int(10), "ties broken by descending col0");
+        assert_eq!(
+            result.value(0, 0),
+            Value::Int(10),
+            "ties broken by descending col0"
+        );
     }
 
     #[test]

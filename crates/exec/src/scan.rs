@@ -17,6 +17,14 @@
 //! Whatever the mode, the scanner yields [`Batch`]es of the requested attributes for
 //! records that satisfy all restrictions, so the pipeline above is oblivious to the
 //! storage layout and to the scan flavour.
+//!
+//! Internally the scanner walks a list of [`Morsel`]s — one frozen block, or a row
+//! range of a hot chunk. A serial scan ([`ScanConfig::threads`] `== 1`) walks all of
+//! them on the calling thread; any other thread count hands the same morsel list to
+//! the dispatcher in [`crate::morsel`] and streams back its (deterministically
+//! ordered) results.
+
+use std::collections::VecDeque;
 
 use datablocks::scan::Restriction;
 use datablocks::unpack::unpack_column;
@@ -24,6 +32,7 @@ use datablocks::{Column, DataType, ScanOptions};
 use storage::{HotChunk, Relation};
 
 use crate::batch::Batch;
+use crate::morsel::{self, Morsel};
 
 /// How the scan executes (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,11 +56,27 @@ pub struct ScanConfig {
     pub mode: ScanMode,
     /// Block-level options (ISA level, vector size, SMA/PSMA usage).
     pub options: ScanOptions,
+    /// Worker threads for the morsel-driven parallel scan: `1` scans serially on the
+    /// calling thread, `0` uses every hardware thread, any other value spawns exactly
+    /// that many workers.
+    pub threads: usize,
+    /// Rows of a hot chunk per morsel (frozen blocks are always one morsel each;
+    /// their size is fixed at freeze time). `0` falls back to the default.
+    pub morsel_rows: usize,
 }
+
+/// Default number of hot-chunk rows handed out per morsel (matches the Data Block
+/// capacity, so hot and cold morsels describe similar amounts of work).
+pub const DEFAULT_MORSEL_ROWS: usize = datablocks::DEFAULT_BLOCK_CAPACITY;
 
 impl Default for ScanConfig {
     fn default() -> Self {
-        ScanConfig { mode: ScanMode::Vectorized { sarg: true }, options: ScanOptions::default() }
+        ScanConfig {
+            mode: ScanMode::Vectorized { sarg: true },
+            options: ScanOptions::default(),
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
     }
 }
 
@@ -76,6 +101,19 @@ impl ScanConfig {
         }
         config
     }
+
+    /// The same configuration scanning with `threads` workers (see
+    /// [`ScanConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> ScanConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// The same configuration with a specific hot-chunk morsel size.
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> ScanConfig {
+        self.morsel_rows = morsel_rows;
+        self
+    }
 }
 
 /// Counters describing what a scan actually did (block skipping, range narrowing).
@@ -91,17 +129,47 @@ pub struct ScanStats {
     pub rows_matched: usize,
 }
 
+impl ScanStats {
+    /// Fold another worker's counters into this one (used when merging the stats of
+    /// parallel scan workers; every counter is a plain sum).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.blocks_total += other.blocks_total;
+        self.blocks_skipped += other.blocks_skipped;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_matched += other.rows_matched;
+    }
+}
+
+/// Sentinel for "the scanner has not entered its current morsel yet".
+const CURSOR_UNSET: usize = usize::MAX;
+
+/// Resolve a projection to its output column types once, at scanner construction.
+fn projection_types(relation: &Relation, projection: &[usize]) -> Vec<DataType> {
+    projection
+        .iter()
+        .map(|&col| relation.schema().column(col).data_type)
+        .collect()
+}
+
 /// A streaming scan over one relation.
 pub struct RelationScanner<'a> {
     relation: &'a Relation,
     projection: Vec<usize>,
+    /// Output column types of the projection — invariant for the scanner's lifetime,
+    /// computed once so the per-window paths never walk the schema or allocate.
+    output_types: Vec<DataType>,
     restrictions: Vec<Restriction>,
     config: ScanConfig,
     stats: ScanStats,
-    segment: usize,
+    /// The units of work this scanner walks, in emission order.
+    morsels: Vec<Morsel>,
+    morsel_idx: usize,
     row_cursor: usize,
     block_scan: Option<datablocks::BlockScan<'a>>,
     match_buf: Vec<u32>,
+    /// Results of a parallel run, materialised on first `next_batch` call when
+    /// `config.threads != 1` and then streamed out.
+    parallel_pending: Option<VecDeque<Batch>>,
 }
 
 impl<'a> RelationScanner<'a> {
@@ -111,19 +179,77 @@ impl<'a> RelationScanner<'a> {
         relation: &'a Relation,
         projection: Vec<usize>,
         restrictions: Vec<Restriction>,
+        mut config: ScanConfig,
+    ) -> Self {
+        // Resolve `threads: 0` (= all hardware threads) up front: when that comes to
+        // 1 — a single-core machine — the scan takes the streaming serial path
+        // instead of paying the dispatcher's full materialisation for no parallelism.
+        config.threads = morsel::effective_threads(config.threads);
+        // The parallel path never reads this list — the dispatcher decomposes for
+        // itself — so only the serial scan pays for it.
+        let morsels = if config.threads == 1 {
+            morsel::decompose(relation, config.morsel_rows)
+        } else {
+            Vec::new()
+        };
+        Self::from_parts(relation, projection, restrictions, config, morsels)
+    }
+
+    /// A scanner for a morsel worker: identical configuration but an initially empty
+    /// work list (the worker feeds claimed morsels in via [`Self::reset_to_morsel`])
+    /// and serial execution, whatever `config.threads` says. The worker's scratch
+    /// buffers (match vector and its growth) live in this scanner and are reused
+    /// across every morsel the worker processes.
+    pub(crate) fn for_worker(
+        relation: &'a Relation,
+        projection: &[usize],
+        restrictions: &[Restriction],
         config: ScanConfig,
+    ) -> Self {
+        Self::from_parts(
+            relation,
+            projection.to_vec(),
+            restrictions.to_vec(),
+            ScanConfig {
+                threads: 1,
+                ..config
+            },
+            Vec::new(),
+        )
+    }
+
+    /// Shared field initialiser for [`Self::new`] and [`Self::for_worker`].
+    fn from_parts(
+        relation: &'a Relation,
+        projection: Vec<usize>,
+        restrictions: Vec<Restriction>,
+        config: ScanConfig,
+        morsels: Vec<Morsel>,
     ) -> Self {
         RelationScanner {
             relation,
+            output_types: projection_types(relation, &projection),
             projection,
             restrictions,
             config,
             stats: ScanStats::default(),
-            segment: 0,
-            row_cursor: 0,
+            morsels,
+            morsel_idx: 0,
+            row_cursor: CURSOR_UNSET,
             block_scan: None,
             match_buf: Vec::new(),
+            parallel_pending: None,
         }
+    }
+
+    /// Point the scanner at a single morsel, keeping its scratch buffers and its
+    /// accumulated statistics. Used by the morsel workers between claims.
+    pub(crate) fn reset_to_morsel(&mut self, morsel: Morsel) {
+        self.morsels.clear();
+        self.morsels.push(morsel);
+        self.morsel_idx = 0;
+        self.row_cursor = CURSOR_UNSET;
+        self.block_scan = None;
     }
 
     /// Scan statistics accumulated so far (complete once the scan returned `None`).
@@ -133,29 +259,26 @@ impl<'a> RelationScanner<'a> {
 
     /// The output column types of the batches this scanner produces.
     pub fn output_types(&self) -> Vec<DataType> {
-        self.projection
-            .iter()
-            .map(|&col| self.relation.schema().column(col).data_type)
-            .collect()
-    }
-
-    fn total_segments(&self) -> usize {
-        self.relation.cold_blocks().len() + self.relation.hot_chunks().len()
+        self.output_types.clone()
     }
 
     /// Produce the next non-empty batch, or `None` when the relation is exhausted.
     pub fn next_batch(&mut self) -> Option<Batch> {
+        if self.config.threads != 1 {
+            return self.next_parallel_batch();
+        }
         loop {
-            if self.segment >= self.total_segments() {
-                return None;
-            }
-            let batch = if self.segment < self.relation.cold_blocks().len() {
-                let block = &self.relation.cold_blocks()[self.segment];
-                self.next_from_block(block)
-            } else {
-                let chunk_idx = self.segment - self.relation.cold_blocks().len();
-                let chunk = &self.relation.hot_chunks()[chunk_idx];
-                self.next_from_hot(chunk)
+            let &morsel = self.morsels.get(self.morsel_idx)?;
+            let relation = self.relation;
+            let batch = match morsel {
+                Morsel::ColdBlock(block_idx) => {
+                    let block = &relation.cold_blocks()[block_idx];
+                    self.next_from_block(block)
+                }
+                Morsel::HotRange { chunk, from, to } => {
+                    let chunk = &relation.hot_chunks()[chunk];
+                    self.next_from_hot(chunk, from, to)
+                }
             };
             match batch {
                 Some(batch) if !batch.is_empty() => {
@@ -164,19 +287,37 @@ impl<'a> RelationScanner<'a> {
                 }
                 Some(_) => continue, // empty vector, keep scanning
                 None => {
-                    // segment exhausted, move on
-                    self.segment += 1;
-                    self.row_cursor = 0;
+                    // morsel exhausted, move on
+                    self.morsel_idx += 1;
+                    self.row_cursor = CURSOR_UNSET;
                     self.block_scan = None;
                 }
             }
         }
     }
 
+    /// Run the morsel dispatcher once, then stream its precomputed batches.
+    fn next_parallel_batch(&mut self) -> Option<Batch> {
+        if self.parallel_pending.is_none() {
+            let (batches, stats) = morsel::scan_relation_parallel(
+                self.relation,
+                &self.projection,
+                &self.restrictions,
+                self.config,
+            );
+            self.stats = stats;
+            self.parallel_pending = Some(batches.into());
+        }
+        self.parallel_pending
+            .as_mut()
+            .expect("materialised above")
+            .pop_front()
+    }
+
     /// Drain the whole scan into a single batch (convenience for tests and small
     /// pipeline breakers).
     pub fn collect_all(&mut self) -> Batch {
-        let mut out = Batch::new(&self.output_types());
+        let mut out = Batch::new(&self.output_types);
         while let Some(batch) = self.next_batch() {
             out.append(&batch);
         }
@@ -197,6 +338,9 @@ impl<'a> RelationScanner<'a> {
         block: &'a datablocks::DataBlock,
         sarg: bool,
     ) -> Option<Batch> {
+        // First call for this morsel: plan the block scan. On every None returned
+        // below the caller advances to the next morsel and clears `block_scan`, so
+        // this branch cannot re-run (and double-count stats) for the same block.
         if self.block_scan.is_none() {
             self.stats.blocks_total += 1;
             let pushed: &[Restriction] = if sarg { &self.restrictions } else { &[] };
@@ -212,16 +356,13 @@ impl<'a> RelationScanner<'a> {
         let found = scan.next_matches(&mut self.match_buf)?;
 
         if found == 0 {
-            return Some(Batch::new(&self.output_types()));
+            return Some(Batch::new(&self.output_types));
         }
 
         if sarg {
             // Matches already satisfy every restriction: unpack the projection.
-            let mut columns: Vec<Column> = self
-                .output_types()
-                .iter()
-                .map(|&t| Column::new(t))
-                .collect();
+            let mut columns: Vec<Column> =
+                self.output_types.iter().map(|&t| Column::new(t)).collect();
             for (slot, &col) in self.projection.iter().enumerate() {
                 unpack_column(block, col, &self.match_buf, &mut columns[slot]);
             }
@@ -241,8 +382,7 @@ impl<'a> RelationScanner<'a> {
         block: &datablocks::DataBlock,
         positions: &[u32],
     ) -> Batch {
-        let mut columns: Vec<Column> =
-            self.output_types().iter().map(|&t| Column::new(t)).collect();
+        let mut columns: Vec<Column> = self.output_types.iter().map(|&t| Column::new(t)).collect();
         for &pos in positions {
             let row = pos as usize;
             let qualifies = self
@@ -263,17 +403,17 @@ impl<'a> RelationScanner<'a> {
         block: &'a datablocks::DataBlock,
     ) -> Option<Batch> {
         let total = block.tuple_count() as usize;
-        if self.row_cursor >= total {
-            return None;
-        }
-        if self.row_cursor == 0 {
+        if self.row_cursor == CURSOR_UNSET {
+            self.row_cursor = 0;
             self.stats.blocks_total += 1;
             self.stats.rows_scanned += total;
         }
+        if self.row_cursor >= total {
+            return None;
+        }
         let vector_size = self.config.options.vector_size;
         let end = (self.row_cursor + vector_size).min(total);
-        let mut columns: Vec<Column> =
-            self.output_types().iter().map(|&t| Column::new(t)).collect();
+        let mut columns: Vec<Column> = self.output_types.iter().map(|&t| Column::new(t)).collect();
         for row in self.row_cursor..end {
             if block.is_deleted(row) {
                 continue;
@@ -294,23 +434,24 @@ impl<'a> RelationScanner<'a> {
 
     // -------------------------------------------------------------- hot segments
 
-    fn next_from_hot(&mut self, chunk: &'a HotChunk) -> Option<Batch> {
-        let total = chunk.len();
-        if self.row_cursor >= total {
-            return None;
+    fn next_from_hot(&mut self, chunk: &'a HotChunk, from: usize, to: usize) -> Option<Batch> {
+        let to = to.min(chunk.len());
+        if self.row_cursor == CURSOR_UNSET {
+            self.row_cursor = from;
+            self.stats.rows_scanned += to.saturating_sub(from);
         }
-        if self.row_cursor == 0 {
-            self.stats.rows_scanned += total;
+        if self.row_cursor >= to {
+            return None;
         }
         let vector_size = self.config.options.vector_size;
         let from = self.row_cursor;
-        let to = (from + vector_size).min(total);
+        let to = (from + vector_size).min(to);
         self.row_cursor = to;
 
         match self.config.mode {
             ScanMode::Jit => {
                 let mut columns: Vec<Column> =
-                    self.output_types().iter().map(|&t| Column::new(t)).collect();
+                    self.output_types.iter().map(|&t| Column::new(t)).collect();
                 for row in from..to {
                     if chunk.is_deleted(row) {
                         continue;
@@ -332,7 +473,7 @@ impl<'a> RelationScanner<'a> {
                 let pushed: &[Restriction] = if sarg { &self.restrictions } else { &[] };
                 chunk.find_matches(pushed, from, to, &mut self.match_buf);
                 let mut columns: Vec<Column> =
-                    self.output_types().iter().map(|&t| Column::new(t)).collect();
+                    self.output_types.iter().map(|&t| Column::new(t)).collect();
                 if sarg {
                     for (slot, &col) in self.projection.iter().enumerate() {
                         chunk.gather(col, &self.match_buf, &mut columns[slot]);
@@ -386,21 +527,31 @@ mod tests {
 
     fn all_configs() -> Vec<ScanConfig> {
         vec![
-            ScanConfig { mode: ScanMode::Jit, ..ScanConfig::default() },
-            ScanConfig { mode: ScanMode::Vectorized { sarg: false }, ..ScanConfig::default() },
-            ScanConfig { mode: ScanMode::Vectorized { sarg: true }, ..ScanConfig::default() },
+            ScanConfig {
+                mode: ScanMode::Jit,
+                ..ScanConfig::default()
+            },
+            ScanConfig {
+                mode: ScanMode::Vectorized { sarg: false },
+                ..ScanConfig::default()
+            },
+            ScanConfig {
+                mode: ScanMode::Vectorized { sarg: true },
+                ..ScanConfig::default()
+            },
         ]
     }
 
     #[test]
     fn all_modes_agree_on_frozen_relation() {
         let rel = test_relation(5_000, true);
-        let restrictions =
-            vec![Restriction::between(1, 10i64, 29i64), Restriction::eq(2, "g2")];
+        let restrictions = vec![
+            Restriction::between(1, 10i64, 29i64),
+            Restriction::eq(2, "g2"),
+        ];
         let mut counts = Vec::new();
         for config in all_configs() {
-            let mut scanner =
-                RelationScanner::new(&rel, vec![0, 1], restrictions.clone(), config);
+            let mut scanner = RelationScanner::new(&rel, vec![0, 1], restrictions.clone(), config);
             let batch = scanner.collect_all();
             // every produced row satisfies the restrictions
             for row in 0..batch.len() {
@@ -448,13 +599,19 @@ mod tests {
             &rel,
             vec![0],
             restrictions,
-            ScanConfig { mode: ScanMode::Vectorized { sarg: true }, ..ScanConfig::default() },
+            ScanConfig {
+                mode: ScanMode::Vectorized { sarg: true },
+                ..ScanConfig::default()
+            },
         );
         let batch = scanner.collect_all();
         assert_eq!(batch.len(), 1_000);
         let stats = scanner.stats();
         assert_eq!(stats.blocks_total, 10);
-        assert_eq!(stats.blocks_skipped, 9, "SMAs skip every non-matching block");
+        assert_eq!(
+            stats.blocks_skipped, 9,
+            "SMAs skip every non-matching block"
+        );
         assert_eq!(stats.rows_matched, 1_000);
         assert!(stats.rows_scanned <= 2_000);
     }
@@ -462,7 +619,10 @@ mod tests {
     #[test]
     fn named_configs() {
         assert_eq!(ScanConfig::named("jit").mode, ScanMode::Jit);
-        assert_eq!(ScanConfig::named("vectorized").mode, ScanMode::Vectorized { sarg: false });
+        assert_eq!(
+            ScanConfig::named("vectorized").mode,
+            ScanMode::Vectorized { sarg: false }
+        );
         let sarg = ScanConfig::named("datablocks+sarg");
         assert_eq!(sarg.mode, ScanMode::Vectorized { sarg: true });
         assert!(!sarg.options.use_psma);
@@ -480,5 +640,49 @@ mod tests {
         let rel = test_relation(10, true);
         let scanner = RelationScanner::new(&rel, vec![2, 0], vec![], ScanConfig::default());
         assert_eq!(scanner.output_types(), vec![DataType::Str, DataType::Int]);
+    }
+
+    #[test]
+    fn parallel_scan_agrees_with_serial_in_every_mode() {
+        let mut rel = test_relation(3_500, false);
+        rel.freeze_full_chunks(); // 3 cold blocks + 1 hot tail chunk
+        let restrictions = vec![Restriction::between(1, 5i64, 60i64)];
+        for base in all_configs() {
+            let serial =
+                RelationScanner::new(&rel, vec![0, 2], restrictions.clone(), base).collect_all();
+            for threads in [0usize, 2, 3, 8] {
+                for morsel_rows in [256usize, 1000, DEFAULT_MORSEL_ROWS] {
+                    let config = base.with_threads(threads).with_morsel_rows(morsel_rows);
+                    let mut scanner =
+                        RelationScanner::new(&rel, vec![0, 2], restrictions.clone(), config);
+                    let parallel = scanner.collect_all();
+                    assert_eq!(parallel.len(), serial.len());
+                    for row in 0..serial.len() {
+                        assert_eq!(
+                            parallel.row(row),
+                            serial.row(row),
+                            "threads {threads} morsel_rows {morsel_rows} row {row}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_match_serial_stats() {
+        let rel = test_relation(10_000, true);
+        let restrictions = vec![Restriction::between(0, 2_000i64, 2_999i64)];
+        let mut serial =
+            RelationScanner::new(&rel, vec![0], restrictions.clone(), ScanConfig::default());
+        serial.collect_all();
+        let mut parallel = RelationScanner::new(
+            &rel,
+            vec![0],
+            restrictions,
+            ScanConfig::default().with_threads(4),
+        );
+        parallel.collect_all();
+        assert_eq!(serial.stats(), parallel.stats());
     }
 }

@@ -29,7 +29,8 @@ impl Database {
             !self.relations.contains_key(name),
             "relation {name:?} already exists"
         );
-        self.relations.insert(name.to_string(), Relation::new(name, schema));
+        self.relations
+            .insert(name.to_string(), Relation::new(name, schema));
         self.relations.get_mut(name).expect("just inserted")
     }
 
@@ -45,12 +46,16 @@ impl Database {
 
     /// Borrow a relation by name.
     pub fn relation(&self, name: &str) -> &Relation {
-        self.relations.get(name).unwrap_or_else(|| panic!("unknown relation {name:?}"))
+        self.relations
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown relation {name:?}"))
     }
 
     /// Borrow a relation mutably by name.
     pub fn relation_mut(&mut self, name: &str) -> &mut Relation {
-        self.relations.get_mut(name).unwrap_or_else(|| panic!("unknown relation {name:?}"))
+        self.relations
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown relation {name:?}"))
     }
 
     /// Does a relation with this name exist?
@@ -77,7 +82,10 @@ impl Database {
 
     /// Total bytes used across all relations.
     pub fn total_bytes(&self) -> usize {
-        self.relations.values().map(|r| r.storage_stats().total_bytes()).sum()
+        self.relations
+            .values()
+            .map(|r| r.storage_stats().total_bytes())
+            .sum()
     }
 }
 

@@ -29,7 +29,11 @@ impl HotChunk {
     /// An empty chunk for the given schema.
     pub fn new(schema: &Schema, capacity: usize) -> HotChunk {
         HotChunk {
-            columns: schema.columns().iter().map(|c| Column::new(c.data_type)).collect(),
+            columns: schema
+                .columns()
+                .iter()
+                .map(|c| Column::new(c.data_type))
+                .collect(),
             deleted: Vec::new(),
             deleted_count: 0,
             capacity,
@@ -67,7 +71,11 @@ impl HotChunk {
     ///
     /// Panics if the value count does not match the column count (a schema violation).
     pub fn insert(&mut self, values: Vec<Value>) -> usize {
-        assert_eq!(values.len(), self.columns.len(), "value count must match the schema");
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "value count must match the schema"
+        );
         for (column, value) in self.columns.iter_mut().zip(values) {
             column.push(value);
         }
@@ -113,8 +121,9 @@ impl HotChunk {
             (datablocks::ColumnData::Str(v), Value::Str(x)) => v[row] = x.clone(),
             (_, Value::Null) => {
                 let len = self.columns[col].len();
-                let validity =
-                    self.columns[col].validity.get_or_insert_with(|| vec![true; len]);
+                let validity = self.columns[col]
+                    .validity
+                    .get_or_insert_with(|| vec![true; len]);
                 validity[row] = false;
                 return;
             }
@@ -229,19 +238,19 @@ impl HotChunk {
             (datablocks::ColumnData::Int(src), datablocks::ColumnData::Int(dst), None) => {
                 dst.extend(rows.iter().map(|&r| src[r as usize]));
                 if let Some(validity) = &mut out.validity {
-                    validity.extend(std::iter::repeat(true).take(rows.len()));
+                    validity.extend(std::iter::repeat_n(true, rows.len()));
                 }
             }
             (datablocks::ColumnData::Double(src), datablocks::ColumnData::Double(dst), None) => {
                 dst.extend(rows.iter().map(|&r| src[r as usize]));
                 if let Some(validity) = &mut out.validity {
-                    validity.extend(std::iter::repeat(true).take(rows.len()));
+                    validity.extend(std::iter::repeat_n(true, rows.len()));
                 }
             }
             (datablocks::ColumnData::Str(src), datablocks::ColumnData::Str(dst), None) => {
                 dst.extend(rows.iter().map(|&r| src[r as usize].clone()));
                 if let Some(validity) = &mut out.validity {
-                    validity.extend(std::iter::repeat(true).take(rows.len()));
+                    validity.extend(std::iter::repeat_n(true, rows.len()));
                 }
             }
             _ => {
@@ -278,7 +287,11 @@ fn int_range(restriction: &Restriction) -> Option<(i64, i64)> {
 fn double_range(restriction: &Restriction) -> Option<(f64, f64)> {
     use dbsimd::CmpOp;
     fn next(v: f64) -> f64 {
-        f64::from_bits(if v >= 0.0 { v.to_bits() + 1 } else { v.to_bits() - 1 })
+        f64::from_bits(if v >= 0.0 {
+            v.to_bits() + 1
+        } else {
+            v.to_bits() - 1
+        })
     }
     match restriction {
         Restriction::Cmp { op, value, .. } => {
@@ -331,7 +344,10 @@ mod tests {
         assert_eq!(chunk.len(), 100);
         assert_eq!(chunk.get(42, 0), Value::Int(42));
         assert_eq!(chunk.get(42, 1), Value::Str("n2".into()));
-        assert_eq!(chunk.get_row(3), vec![Value::Int(3), Value::Str("n3".into()), Value::Double(1.5)]);
+        assert_eq!(
+            chunk.get_row(3),
+            vec![Value::Int(3), Value::Str("n3".into()), Value::Double(1.5)]
+        );
     }
 
     #[test]
@@ -361,11 +377,19 @@ mod tests {
     fn find_matches_int_and_string() {
         let chunk = filled_chunk(1000);
         let mut matches = Vec::new();
-        chunk.find_matches(&[Restriction::between(0, 100i64, 199i64)], 0, 1000, &mut matches);
+        chunk.find_matches(
+            &[Restriction::between(0, 100i64, 199i64)],
+            0,
+            1000,
+            &mut matches,
+        );
         assert_eq!(matches.len(), 100);
         matches.clear();
         chunk.find_matches(
-            &[Restriction::between(0, 100i64, 199i64), Restriction::eq(1, "n5")],
+            &[
+                Restriction::between(0, 100i64, 199i64),
+                Restriction::eq(1, "n5"),
+            ],
             0,
             1000,
             &mut matches,
@@ -391,7 +415,12 @@ mod tests {
         chunk.find_matches(&[Restriction::cmp(2, CmpOp::Lt, 5.0)], 0, 100, &mut matches);
         assert_eq!(matches.len(), 10);
         matches.clear();
-        chunk.find_matches(&[Restriction::cmp(0, CmpOp::Ne, 7i64)], 0, 100, &mut matches);
+        chunk.find_matches(
+            &[Restriction::cmp(0, CmpOp::Ne, 7i64)],
+            0,
+            100,
+            &mut matches,
+        );
         assert_eq!(matches.len(), 99);
     }
 
@@ -411,7 +440,10 @@ mod tests {
         assert_eq!(out.data.as_int().unwrap(), &[1, 3, 5]);
         let mut names = Column::new(DataType::Str);
         chunk.gather(1, &[0, 19], &mut names);
-        assert_eq!(names.data.as_str().unwrap(), &["n0".to_string(), "n9".to_string()]);
+        assert_eq!(
+            names.data.as_str().unwrap(),
+            &["n0".to_string(), "n9".to_string()]
+        );
     }
 
     #[test]
@@ -420,7 +452,11 @@ mod tests {
         let mut chunk = HotChunk::new(&schema, 4);
         assert!(chunk.is_empty());
         for i in 0..4 {
-            chunk.insert(vec![Value::Int(i), Value::Str("x".into()), Value::Double(0.0)]);
+            chunk.insert(vec![
+                Value::Int(i),
+                Value::Str("x".into()),
+                Value::Double(0.0),
+            ]);
         }
         assert!(chunk.is_full());
         assert!(chunk.byte_size() > 0);

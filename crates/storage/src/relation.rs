@@ -136,7 +136,9 @@ impl Relation {
 
     /// (Re-)build the primary-key index over all live records.
     pub fn build_pk_index(&mut self) {
-        let Some(pk_col) = self.schema.primary_key() else { return };
+        let Some(pk_col) = self.schema.primary_key() else {
+            return;
+        };
         let mut index = HashMap::new();
         for (block_idx, block) in self.cold.iter().enumerate() {
             for row in 0..block.tuple_count() as usize {
@@ -144,7 +146,13 @@ impl Relation {
                     continue;
                 }
                 if let Value::Int(key) = block.get(row, pk_col) {
-                    index.insert(key, RowId { segment: Segment::Cold(block_idx), row: row as u32 });
+                    index.insert(
+                        key,
+                        RowId {
+                            segment: Segment::Cold(block_idx),
+                            row: row as u32,
+                        },
+                    );
                 }
             }
         }
@@ -154,7 +162,13 @@ impl Relation {
                     continue;
                 }
                 if let Value::Int(key) = chunk.get(row, pk_col) {
-                    index.insert(key, RowId { segment: Segment::Hot(chunk_idx), row: row as u32 });
+                    index.insert(
+                        key,
+                        RowId {
+                            segment: Segment::Hot(chunk_idx),
+                            row: row as u32,
+                        },
+                    );
                 }
             }
         }
@@ -170,7 +184,11 @@ impl Relation {
 
     /// Insert a record (one value per attribute). Returns its location.
     pub fn insert(&mut self, values: Vec<Value>) -> RowId {
-        assert_eq!(values.len(), self.schema.column_count(), "value count must match the schema");
+        assert_eq!(
+            values.len(),
+            self.schema.column_count(),
+            "value count must match the schema"
+        );
         let pk_value = self.schema.primary_key().map(|col| values[col].clone());
         if self.hot.last().map(|c| c.is_full()).unwrap_or(true) {
             let chunk = HotChunk::new(&self.schema, self.chunk_capacity);
@@ -178,7 +196,10 @@ impl Relation {
         }
         let chunk_idx = self.hot.len() - 1;
         let row = self.hot[chunk_idx].insert(values);
-        let row_id = RowId { segment: Segment::Hot(chunk_idx), row: row as u32 };
+        let row_id = RowId {
+            segment: Segment::Hot(chunk_idx),
+            row: row as u32,
+        };
         if let (Some(index), Some(Value::Int(key))) = (&mut self.pk_index, pk_value) {
             index.insert(key, row_id);
         }
@@ -195,7 +216,9 @@ impl Relation {
 
     /// Read a whole record.
     pub fn get_row(&self, id: RowId) -> Vec<Value> {
-        (0..self.schema.column_count()).map(|col| self.get(id, col)).collect()
+        (0..self.schema.column_count())
+            .map(|col| self.get(id, col))
+            .collect()
     }
 
     /// Is the record marked deleted?
@@ -233,7 +256,11 @@ impl Relation {
     /// "update = delete followed by insert" rule for cold data. Returns the location
     /// of the current version.
     pub fn update(&mut self, id: RowId, values: Vec<Value>) -> RowId {
-        assert_eq!(values.len(), self.schema.column_count(), "value count must match the schema");
+        assert_eq!(
+            values.len(),
+            self.schema.column_count(),
+            "value count must match the schema"
+        );
         match id.segment {
             Segment::Hot(c) => {
                 let pk_col = self.schema.primary_key();
@@ -271,25 +298,36 @@ impl Relation {
     /// Point lookup without an index: a scan over all segments restricted on the
     /// primary-key attribute (SMAs/PSMAs on frozen blocks narrow this scan; on hot
     /// chunks it is a plain scan). Returns the first live match.
-    pub fn lookup_pk_scan(
-        &self,
-        key: i64,
-        options: datablocks::ScanOptions,
-    ) -> Option<RowId> {
+    pub fn lookup_pk_scan(&self, key: i64, options: datablocks::ScanOptions) -> Option<RowId> {
         let pk_col = self.schema.primary_key()?;
         let restriction = [Restriction::eq(pk_col, key)];
+        // One scratch + one result buffer reused across every block and chunk.
+        let mut scratch = Vec::new();
+        let mut matches = Vec::new();
         for (block_idx, block) in self.cold.iter().enumerate() {
-            let matches = datablocks::scan_collect(block, &restriction, options);
+            matches.clear();
+            datablocks::scan::scan_collect_into(
+                block,
+                &restriction,
+                options,
+                &mut scratch,
+                &mut matches,
+            );
             if let Some(&row) = matches.first() {
-                return Some(RowId { segment: Segment::Cold(block_idx), row });
+                return Some(RowId {
+                    segment: Segment::Cold(block_idx),
+                    row,
+                });
             }
         }
-        let mut matches = Vec::new();
         for (chunk_idx, chunk) in self.hot.iter().enumerate() {
             matches.clear();
             chunk.find_matches(&restriction, 0, chunk.len(), &mut matches);
             if let Some(&row) = matches.first() {
-                return Some(RowId { segment: Segment::Hot(chunk_idx), row });
+                return Some(RowId {
+                    segment: Segment::Hot(chunk_idx),
+                    row,
+                });
             }
         }
         None
@@ -369,13 +407,19 @@ impl Relation {
 
     /// Total number of records (live and deleted) across all segments.
     pub fn row_count(&self) -> usize {
-        self.cold.iter().map(|b| b.tuple_count() as usize).sum::<usize>()
+        self.cold
+            .iter()
+            .map(|b| b.tuple_count() as usize)
+            .sum::<usize>()
             + self.hot.iter().map(|c| c.len()).sum::<usize>()
     }
 
     /// Number of live (not deleted) records.
     pub fn live_row_count(&self) -> usize {
-        self.cold.iter().map(|b| b.live_tuple_count() as usize).sum::<usize>()
+        self.cold
+            .iter()
+            .map(|b| b.live_tuple_count() as usize)
+            .sum::<usize>()
             + self.hot.iter().map(|c| c.live_len()).sum::<usize>()
     }
 
@@ -420,7 +464,11 @@ mod tests {
     fn filled_relation(rows: i64, chunk_capacity: usize) -> Relation {
         let mut rel = Relation::with_chunk_capacity("t", schema(), chunk_capacity);
         for i in 0..rows {
-            rel.insert(vec![Value::Int(i), Value::Str(format!("g{}", i % 4)), Value::Int(i * 10)]);
+            rel.insert(vec![
+                Value::Int(i),
+                Value::Str(format!("g{}", i % 4)),
+                Value::Int(i * 10),
+            ]);
         }
         rel
     }
@@ -479,8 +527,10 @@ mod tests {
         rel.freeze_all();
         let old_id = rel.lookup_pk(7).unwrap();
         assert!(matches!(old_id.segment, Segment::Cold(_)));
-        let new_id =
-            rel.update(old_id, vec![Value::Int(7), Value::Str("updated".into()), Value::Int(777)]);
+        let new_id = rel.update(
+            old_id,
+            vec![Value::Int(7), Value::Str("updated".into()), Value::Int(777)],
+        );
         assert!(matches!(new_id.segment, Segment::Hot(_)));
         assert!(rel.is_deleted(old_id));
         let found = rel.lookup_pk(7).unwrap();
@@ -493,7 +543,10 @@ mod tests {
     fn update_hot_record_in_place() {
         let mut rel = filled_relation(10, 100);
         let id = rel.lookup_pk(3).unwrap();
-        let same = rel.update(id, vec![Value::Int(3), Value::Str("x".into()), Value::Int(-1)]);
+        let same = rel.update(
+            id,
+            vec![Value::Int(3), Value::Str("x".into()), Value::Int(-1)],
+        );
         assert_eq!(id, same);
         assert_eq!(rel.get(id, 2), Value::Int(-1));
     }
@@ -519,7 +572,11 @@ mod tests {
         assert_eq!(stats.cold_blocks, 5);
         assert_eq!(stats.cold_rows, 5_000);
         assert_eq!(stats.hot_rows, 0);
-        assert!(stats.compression_ratio() > 1.5, "ratio {}", stats.compression_ratio());
+        assert!(
+            stats.compression_ratio() > 1.5,
+            "ratio {}",
+            stats.compression_ratio()
+        );
         assert!(stats.total_bytes() > 0);
     }
 

@@ -19,12 +19,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A non-nullable attribute.
     pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
-        ColumnDef { name: name.into(), data_type, nullable: false }
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
     }
 
     /// A nullable attribute.
     pub fn nullable(name: impl Into<String>, data_type: DataType) -> ColumnDef {
-        ColumnDef { name: name.into(), data_type, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
     }
 }
 
@@ -50,12 +58,17 @@ impl Schema {
                 assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
             }
         }
-        Schema { columns, primary_key: None }
+        Schema {
+            columns,
+            primary_key: None,
+        }
     }
 
     /// Declare attribute `name` as the primary key (must be an integer attribute).
     pub fn with_primary_key(mut self, name: &str) -> Schema {
-        let idx = self.index_of(name).unwrap_or_else(|| panic!("unknown attribute {name:?}"));
+        let idx = self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown attribute {name:?}"));
         assert_eq!(
             self.columns[idx].data_type,
             DataType::Int,
@@ -88,7 +101,8 @@ impl Schema {
     /// Attribute index by name, panicking with a readable message when absent (for
     /// hand-written queries and tests).
     pub fn idx(&self, name: &str) -> usize {
-        self.index_of(name).unwrap_or_else(|| panic!("relation has no attribute {name:?}"))
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("relation has no attribute {name:?}"))
     }
 
     /// The primary-key attribute index, if one was declared.

@@ -17,8 +17,8 @@ use exec::prelude::*;
 use storage::{ColumnDef, Relation, Schema};
 
 const CARRIERS: &[&str] = &[
-    "AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ", "NW", "OO", "UA", "US", "WN",
-    "XE", "YV", "9E", "OH", "TZ",
+    "AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ", "NW", "OO", "UA", "US", "WN", "XE",
+    "YV", "9E", "OH", "TZ",
 ];
 
 const AIRPORTS: &[&str] = &[
@@ -131,7 +131,10 @@ mod tests {
                 let year = chunk.get(row, s.idx("year")).as_int().unwrap();
                 let month = chunk.get(row, s.idx("month")).as_int().unwrap();
                 let stamp = year * 12 + month;
-                assert!(stamp >= prev, "date order violated at chunk {chunk_idx} row {row}");
+                assert!(
+                    stamp >= prev,
+                    "date order violated at chunk {chunk_idx} row {row}"
+                );
                 prev = stamp;
                 assert!((1987..=2008).contains(&year));
                 assert!((1..=12).contains(&month));

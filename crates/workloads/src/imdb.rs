@@ -51,14 +51,21 @@ pub fn generate(rows: usize, chunk_capacity: usize) -> Relation {
         // person/movie ids are skewed: prolific actors and long-running shows
         let person = skewed(&mut rng, persons);
         let movie = skewed(&mut rng, movies);
-        let person_role = if rng.gen_bool(0.45) { Value::Int(skewed(&mut rng, roles)) } else { Value::Null };
+        let person_role = if rng.gen_bool(0.45) {
+            Value::Int(skewed(&mut rng, roles))
+        } else {
+            Value::Null
+        };
         let note = if rng.gen_bool(0.18) {
             Value::Str(NOTES[rng.gen_range(0..NOTES.len())].to_string())
         } else {
             Value::Null
         };
-        let nr_order =
-            if rng.gen_bool(0.30) { Value::Int(rng.gen_range(1..=60)) } else { Value::Null };
+        let nr_order = if rng.gen_bool(0.30) {
+            Value::Int(rng.gen_range(1..=60))
+        } else {
+            Value::Null
+        };
         rel.insert(vec![
             Value::Int(id),
             Value::Int(person),
@@ -107,7 +114,12 @@ mod tests {
         let uncompressed: usize = rel.hot_chunks().iter().map(|c| c.byte_size()).sum();
         rel.freeze_all();
         let stats = rel.storage_stats();
-        assert!(stats.cold_bytes * 2 < uncompressed, "{} vs {}", stats.cold_bytes, uncompressed);
+        assert!(
+            stats.cold_bytes * 2 < uncompressed,
+            "{} vs {}",
+            stats.cold_bytes,
+            uncompressed
+        );
         assert!(stats.compression_ratio() > 2.0);
     }
 

@@ -79,7 +79,11 @@ impl TpccDb {
         .with_primary_key("w_id");
         let warehouse_rel = db.create_relation("warehouse", warehouse_schema);
         for w in 1..=warehouses {
-            warehouse_rel.insert(vec![Value::Int(w), Value::Str(format!("wh-{w}")), Value::Int(0)]);
+            warehouse_rel.insert(vec![
+                Value::Int(w),
+                Value::Str(format!("wh-{w}")),
+                Value::Int(0),
+            ]);
         }
         let district_schema = Schema::new(vec![
             ColumnDef::new("d_key", DataType::Int),
@@ -168,7 +172,12 @@ impl TpccDb {
         db.create_relation("orderline", orderline_schema);
 
         let districts = (warehouses * DISTRICTS_PER_WAREHOUSE) as usize;
-        TpccDb { db, next_order_id: vec![1; districts], warehouses, rng }
+        TpccDb {
+            db,
+            next_order_id: vec![1; districts],
+            warehouses,
+            rng,
+        }
     }
 
     /// Number of warehouses.
@@ -209,8 +218,11 @@ impl TpccDb {
             let stock = self.db.relation_mut("stock");
             if let Some(id) = stock.lookup_pk(composite_stock_key(warehouse, *item)) {
                 let current = stock.get(id, 3).as_int().unwrap_or(0);
-                let new_quantity =
-                    if current > *quantity { current - quantity } else { current + 91 - quantity };
+                let new_quantity = if current > *quantity {
+                    current - quantity
+                } else {
+                    current + 91 - quantity
+                };
                 let mut row = stock.get_row(id);
                 row[3] = Value::Int(new_quantity);
                 stock.update(id, row);
@@ -248,7 +260,12 @@ impl TpccDb {
         if last_order >= 1 {
             let order_key = composite_order_key(warehouse, district, last_order);
             if let Some(id) = self.db.relation("neworder").lookup_pk(order_key) {
-                let line_count = self.db.relation("neworder").get(id, 6).as_int().unwrap_or(0);
+                let line_count = self
+                    .db
+                    .relation("neworder")
+                    .get(id, 6)
+                    .as_int()
+                    .unwrap_or(0);
                 touched += line_count as usize;
             }
         }
@@ -264,7 +281,11 @@ impl TpccDb {
         let schema = stock.schema();
         let restrictions = vec![
             datablocks::Restriction::eq(schema.idx("s_w_id"), warehouse),
-            datablocks::Restriction::cmp(schema.idx("s_quantity"), datablocks::CmpOp::Lt, threshold),
+            datablocks::Restriction::cmp(
+                schema.idx("s_quantity"),
+                datablocks::CmpOp::Lt,
+                threshold,
+            ),
         ];
         let mut scanner = exec::RelationScanner::new(
             stock,
@@ -292,7 +313,7 @@ impl TpccDb {
 
 /// Throughput measurement helper: run `transactions` calls of the given closure and
 /// return transactions per second.
-pub fn measure_throughput<F: FnMut() -> ()>(transactions: usize, mut body: F) -> f64 {
+pub fn measure_throughput<F: FnMut()>(transactions: usize, mut body: F) -> f64 {
     let start = std::time::Instant::now();
     for _ in 0..transactions {
         body();
@@ -313,7 +334,10 @@ mod tests {
             db.db.relation("customer_tpcc").row_count() as i64,
             2 * DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
         );
-        assert_eq!(db.db.relation("stock").row_count() as i64, 2 * STOCK_PER_WAREHOUSE);
+        assert_eq!(
+            db.db.relation("stock").row_count() as i64,
+            2 * STOCK_PER_WAREHOUSE
+        );
         assert_eq!(db.db.relation("neworder").row_count(), 0);
     }
 

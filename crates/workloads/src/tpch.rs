@@ -24,26 +24,70 @@ use storage::{ColumnDef, Database, Relation, Schema};
 const SEED: u64 = 0x5EED_DA7A_B10C;
 
 /// Names of the TPC-H relations this generator produces.
-pub const RELATIONS: &[&str] =
-    &["lineitem", "orders", "customer", "part", "supplier", "nation", "region"];
+pub const RELATIONS: &[&str] = &[
+    "lineitem", "orders", "customer", "part", "supplier", "nation", "region",
+];
 
 const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: &[(&str, i64)] = &[
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIP_INSTRUCT: &[&str] =
-    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const CONTAINERS: &[&str] = &[
-    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "MED PACK",
-    "LG CASE", "LG BOX", "LG PACK", "LG PKG", "JUMBO BAG", "JUMBO BOX", "JUMBO PACK", "JUMBO PKG",
+    "SM CASE",
+    "SM BOX",
+    "SM PACK",
+    "SM PKG",
+    "MED BAG",
+    "MED BOX",
+    "MED PKG",
+    "MED PACK",
+    "LG CASE",
+    "LG BOX",
+    "LG PACK",
+    "LG PKG",
+    "JUMBO BAG",
+    "JUMBO BOX",
+    "JUMBO PACK",
+    "JUMBO PKG",
 ];
 const TYPES_SYLL1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPES_SYLL2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
@@ -241,7 +285,13 @@ fn gen_customer(rng: &mut StdRng, sf: f64, chunk: usize) -> Relation {
             Value::Str(format!("Customer#{key:09}")),
             Value::Str(format!("address-{}", rng.gen_range(0..1_000_000))),
             Value::Int(nation),
-            Value::Str(format!("{}-{:03}-{:03}-{:04}", 10 + nation, key % 1000, (key * 7) % 1000, (key * 13) % 10_000)),
+            Value::Str(format!(
+                "{}-{:03}-{:03}-{:04}",
+                10 + nation,
+                key % 1000,
+                (key * 7) % 1000,
+                (key * 13) % 10_000
+            )),
             Value::Int(money(rng, -999.99, 9999.99)),
             Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string()),
             Value::Str(format!("customer comment {}", key % 50)),
@@ -403,7 +453,10 @@ pub fn q1(db: &TpchDb, config: ScanConfig) -> QueryResult {
     );
     let batch = agg.collect_all();
     drop(agg);
-    QueryResult { batch, scan_stats: scan_op.stats() }
+    QueryResult {
+        batch,
+        scan_stats: scan_op.stats(),
+    }
 }
 
 /// TPC-H Q6: the forecasting revenue change query — highly selective SARGable
@@ -430,7 +483,10 @@ pub fn q6(db: &TpchDb, config: ScanConfig) -> QueryResult {
     );
     let batch = agg.collect_all();
     drop(agg);
-    QueryResult { batch, scan_stats: scan_op.stats() }
+    QueryResult {
+        batch,
+        scan_stats: scan_op.stats(),
+    }
 }
 
 /// TPC-H Q3 (shipping priority): customer ⋈ orders ⋈ lineitem with restrictions on
@@ -451,7 +507,12 @@ pub fn q3(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let os = orders.schema();
     let orders_scan = RelationScanner::new(
         orders,
-        vec![os.idx("o_orderkey"), os.idx("o_custkey"), os.idx("o_orderdate"), os.idx("o_shippriority")],
+        vec![
+            os.idx("o_orderkey"),
+            os.idx("o_custkey"),
+            os.idx("o_orderdate"),
+            os.idx("o_shippriority"),
+        ],
         vec![Restriction::cmp(os.idx("o_orderdate"), CmpOp::Lt, cutoff)],
         config,
     );
@@ -468,7 +529,11 @@ pub fn q3(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let ls = lineitem.schema();
     let lineitem_scan = RelationScanner::new(
         lineitem,
-        vec![ls.idx("l_orderkey"), ls.idx("l_extendedprice"), ls.idx("l_discount")],
+        vec![
+            ls.idx("l_orderkey"),
+            ls.idx("l_extendedprice"),
+            ls.idx("l_discount"),
+        ],
         vec![Restriction::cmp(ls.idx("l_shipdate"), CmpOp::Gt, cutoff)],
         config,
     );
@@ -490,10 +555,17 @@ pub fn q3(db: &TpchDb, config: ScanConfig) -> QueryResult {
         vec![DataType::Int, DataType::Int, DataType::Int],
         vec![AggSpec::new(AggFunc::Sum, revenue, DataType::Double)],
     );
-    let mut sort = SortOp::new(Box::new(agg), vec![SortKey::desc(3), SortKey::asc(1)], Some(10));
+    let mut sort = SortOp::new(
+        Box::new(agg),
+        vec![SortKey::desc(3), SortKey::asc(1)],
+        Some(10),
+    );
     let batch = sort.collect_all();
     drop(sort);
-    QueryResult { batch, scan_stats: lineitem_op.stats() }
+    QueryResult {
+        batch,
+        scan_stats: lineitem_op.stats(),
+    }
 }
 
 /// TPC-H Q12 (shipping modes and order priority): lineitem ⋈ orders with range
@@ -505,8 +577,18 @@ pub fn q12(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let ls = lineitem.schema();
     let lineitem_scan = RelationScanner::new(
         lineitem,
-        vec![ls.idx("l_orderkey"), ls.idx("l_shipmode"), ls.idx("l_commitdate"), ls.idx("l_shipdate"), ls.idx("l_receiptdate")],
-        vec![Restriction::between(ls.idx("l_receiptdate"), year_lo, year_hi)],
+        vec![
+            ls.idx("l_orderkey"),
+            ls.idx("l_shipmode"),
+            ls.idx("l_commitdate"),
+            ls.idx("l_shipdate"),
+            ls.idx("l_receiptdate"),
+        ],
+        vec![Restriction::between(
+            ls.idx("l_receiptdate"),
+            year_lo,
+            year_hi,
+        )],
         config,
     );
     let mut lineitem_op = ScanOp::new(lineitem_scan);
@@ -521,8 +603,12 @@ pub fn q12(db: &TpchDb, config: ScanConfig) -> QueryResult {
 
     let orders = db.relation("orders");
     let os = orders.schema();
-    let orders_scan =
-        RelationScanner::new(orders, vec![os.idx("o_orderkey"), os.idx("o_orderpriority")], vec![], config);
+    let orders_scan = RelationScanner::new(
+        orders,
+        vec![os.idx("o_orderkey"), os.idx("o_orderpriority")],
+        vec![],
+        config,
+    );
     let join = HashJoinOp::new(
         Box::new(ScanOp::new(orders_scan)),
         Box::new(filtered),
@@ -534,8 +620,16 @@ pub fn q12(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let high = Expr::col(1)
         .cmp(CmpOp::Eq, Expr::lit("1-URGENT"))
         .or(Expr::col(1).cmp(CmpOp::Eq, Expr::lit("2-HIGH")));
-    let high_line = Expr::Case(Box::new(high.clone()), Box::new(Expr::lit(1i64)), Box::new(Expr::lit(0i64)));
-    let low_line = Expr::Case(Box::new(high), Box::new(Expr::lit(0i64)), Box::new(Expr::lit(1i64)));
+    let high_line = Expr::Case(
+        Box::new(high.clone()),
+        Box::new(Expr::lit(1i64)),
+        Box::new(Expr::lit(0i64)),
+    );
+    let low_line = Expr::Case(
+        Box::new(high),
+        Box::new(Expr::lit(0i64)),
+        Box::new(Expr::lit(1i64)),
+    );
     let agg = HashAggregateOp::new(
         Box::new(join),
         vec![Expr::col(3)],
@@ -548,7 +642,10 @@ pub fn q12(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let mut sort = SortOp::new(Box::new(agg), vec![SortKey::asc(0)], None);
     let batch = sort.collect_all();
     drop(sort);
-    QueryResult { batch, scan_stats: lineitem_op.stats() }
+    QueryResult {
+        batch,
+        scan_stats: lineitem_op.stats(),
+    }
 }
 
 /// TPC-H Q14 (promotion effect): lineitem ⋈ part over one month of ship dates.
@@ -559,15 +656,27 @@ pub fn q14(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let ls = lineitem.schema();
     let lineitem_scan = RelationScanner::new(
         lineitem,
-        vec![ls.idx("l_partkey"), ls.idx("l_extendedprice"), ls.idx("l_discount")],
-        vec![Restriction::between(ls.idx("l_shipdate"), month_lo, month_hi)],
+        vec![
+            ls.idx("l_partkey"),
+            ls.idx("l_extendedprice"),
+            ls.idx("l_discount"),
+        ],
+        vec![Restriction::between(
+            ls.idx("l_shipdate"),
+            month_lo,
+            month_hi,
+        )],
         config,
     );
     let mut lineitem_op = ScanOp::new(lineitem_scan);
     let part = db.relation("part");
     let ps = part.schema();
-    let part_scan =
-        RelationScanner::new(part, vec![ps.idx("p_partkey"), ps.idx("p_type")], vec![], config);
+    let part_scan = RelationScanner::new(
+        part,
+        vec![ps.idx("p_partkey"), ps.idx("p_type")],
+        vec![],
+        config,
+    );
     let join = HashJoinOp::new(
         Box::new(ScanOp::new(part_scan)),
         Box::new(TakeStats::new(&mut lineitem_op)),
@@ -577,9 +686,9 @@ pub fn q14(db: &TpchDb, config: ScanConfig) -> QueryResult {
     );
     // join output: [p_partkey, p_type, l_partkey, l_extendedprice, l_discount]
     let disc_price = Expr::col(3).mul(Expr::lit(1.0).sub(Expr::col(4).div(Expr::lit(100i64))));
-    let is_promo = Expr::col(1).cmp(CmpOp::Ge, Expr::lit("PROMO")).and(
-        Expr::col(1).cmp(CmpOp::Lt, Expr::lit("PROMP")),
-    );
+    let is_promo = Expr::col(1)
+        .cmp(CmpOp::Ge, Expr::lit("PROMO"))
+        .and(Expr::col(1).cmp(CmpOp::Lt, Expr::lit("PROMP")));
     let promo_revenue = Expr::Case(
         Box::new(is_promo),
         Box::new(disc_price.clone()),
@@ -596,7 +705,10 @@ pub fn q14(db: &TpchDb, config: ScanConfig) -> QueryResult {
     );
     let batch = agg.collect_all();
     drop(agg);
-    QueryResult { batch, scan_stats: lineitem_op.stats() }
+    QueryResult {
+        batch,
+        scan_stats: lineitem_op.stats(),
+    }
 }
 
 /// The query subset reproduced by the Table 2 / Table 4 harness.
@@ -689,7 +801,10 @@ mod tests {
         let ca = &ra.hot_chunks()[0];
         let cb = &rb.hot_chunks()[0];
         for row in (0..ca.len()).step_by(37) {
-            assert_eq!(ca.get(row, s.idx("l_extendedprice")), cb.get(row, s.idx("l_extendedprice")));
+            assert_eq!(
+                ca.get(row, s.idx("l_extendedprice")),
+                cb.get(row, s.idx("l_extendedprice"))
+            );
         }
     }
 
@@ -697,12 +812,21 @@ mod tests {
     fn q1_and_q6_results_are_identical_across_scan_configs() {
         let mut db = tiny_db(false);
         db.freeze();
-        let configs =
-            ["jit", "vectorized", "vectorized+sarg", "datablocks+sarg", "datablocks+psma"];
-        let q1_results: Vec<Batch> =
-            configs.iter().map(|c| q1(&db, ScanConfig::named(c)).batch).collect();
-        let q6_results: Vec<Batch> =
-            configs.iter().map(|c| q6(&db, ScanConfig::named(c)).batch).collect();
+        let configs = [
+            "jit",
+            "vectorized",
+            "vectorized+sarg",
+            "datablocks+sarg",
+            "datablocks+psma",
+        ];
+        let q1_results: Vec<Batch> = configs
+            .iter()
+            .map(|c| q1(&db, ScanConfig::named(c)).batch)
+            .collect();
+        let q6_results: Vec<Batch> = configs
+            .iter()
+            .map(|c| q6(&db, ScanConfig::named(c)).batch)
+            .collect();
         for other in &q1_results[1..] {
             assert_eq!(other.len(), q1_results[0].len());
             for row in 0..other.len() {
@@ -731,7 +855,11 @@ mod tests {
             let with_datablocks = run_query(&db, name, ScanConfig::named("datablocks+psma")).batch;
             assert_eq!(reference.len(), with_datablocks.len(), "{name}");
             for row in 0..reference.len() {
-                assert_eq!(reference.row(row), with_datablocks.row(row), "{name} row {row}");
+                assert_eq!(
+                    reference.row(row),
+                    with_datablocks.row(row),
+                    "{name} row {row}"
+                );
             }
         }
     }
@@ -751,8 +879,12 @@ mod tests {
         );
         // And the result is identical (up to floating-point summation order, which
         // legitimately differs when block contents are re-ordered).
-        let a = q6(&sorted, ScanConfig::named("datablocks+psma")).batch.value(0, 0);
-        let b = q6(&unsorted, ScanConfig::named("datablocks+psma")).batch.value(0, 0);
+        let a = q6(&sorted, ScanConfig::named("datablocks+psma"))
+            .batch
+            .value(0, 0);
+        let b = q6(&unsorted, ScanConfig::named("datablocks+psma"))
+            .batch
+            .value(0, 0);
         let (a, b) = (a.as_double().unwrap(), b.as_double().unwrap());
         assert!((a - b).abs() / b.abs() < 1e-9, "{a} vs {b}");
     }

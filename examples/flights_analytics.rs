@@ -22,7 +22,10 @@ fn main() {
 
     for (label, config) in [
         ("JIT-style tuple-at-a-time scan", ScanConfig::named("jit")),
-        ("Data Blocks + SARG/SMA + PSMA  ", ScanConfig::named("datablocks+psma")),
+        (
+            "Data Blocks + SARG/SMA + PSMA  ",
+            ScanConfig::named("datablocks+psma"),
+        ),
     ] {
         let start = Instant::now();
         let (result, scan_stats) = flights::sfo_delay_query(&relation, config);

@@ -41,9 +41,20 @@ fn main() {
     // the block and the new version lands in the hot tail.
     let id = accounts.lookup_pk(1_234).expect("account exists");
     let old_balance = accounts.get(id, 2).as_int().unwrap();
-    accounts.update(id, vec![Value::Int(1_234), Value::Str("EMEA".into()), Value::Int(old_balance + 500)]);
+    accounts.update(
+        id,
+        vec![
+            Value::Int(1_234),
+            Value::Str("EMEA".into()),
+            Value::Int(old_balance + 500),
+        ],
+    );
     let new_id = accounts.lookup_pk(1_234).unwrap();
-    println!("account 1234: balance {} -> {}", old_balance, accounts.get(new_id, 2));
+    println!(
+        "account 1234: balance {} -> {}",
+        old_balance,
+        accounts.get(new_id, 2)
+    );
 
     // OLAP: average balance per region over the whole relation (hot + cold) with
     // SARGable push-down of a balance restriction into the scan.

@@ -19,7 +19,11 @@ fn orders_relation(rows: i64, chunk: usize) -> Relation {
             Value::Int(i),
             Value::Str(["north", "south", "east", "west"][(i % 4) as usize].to_string()),
             Value::Int(100 + i % 1000),
-            if i % 10 == 0 { Value::Null } else { Value::Str(format!("note{}", i % 7)) },
+            if i % 10 == 0 {
+                Value::Null
+            } else {
+                Value::Str(format!("note{}", i % 7))
+            },
         ]);
     }
     rel
@@ -45,7 +49,11 @@ fn freeze_scan_update_delete_lifecycle() {
             Box::new(ScanOp::new(scan)),
             vec![],
             vec![],
-            vec![AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int)],
+            vec![AggSpec::new(
+                AggFunc::CountStar,
+                Expr::lit(0i64),
+                DataType::Int,
+            )],
         );
         agg.collect_all().value(0, 0).as_int().unwrap()
     };
@@ -55,7 +63,15 @@ fn freeze_scan_update_delete_lifecycle() {
     // OLTP: update a frozen record (delete + re-insert) and delete another.
     let frozen_id = rel.lookup_pk(5).unwrap();
     assert!(matches!(frozen_id.segment, Segment::Cold(_)));
-    rel.update(frozen_id, vec![Value::Int(5), Value::Str("north".into()), Value::Int(5_000), Value::Null]);
+    rel.update(
+        frozen_id,
+        vec![
+            Value::Int(5),
+            Value::Str("north".into()),
+            Value::Int(5_000),
+            Value::Null,
+        ],
+    );
     let deleted_id = rel.lookup_pk(6).unwrap();
     rel.delete(deleted_id);
 
@@ -78,15 +94,22 @@ fn scan_modes_and_isa_levels_agree_end_to_end() {
     let restrictions = vec![
         Restriction::between(s.idx("o_amount"), 300i64, 599i64),
         Restriction::eq(s.idx("o_region"), "east"),
-        Restriction::IsNotNull { column: s.idx("o_note") },
+        Restriction::IsNotNull {
+            column: s.idx("o_note"),
+        },
     ];
     let mut counts = Vec::new();
-    for name in ["jit", "vectorized", "vectorized+sarg", "datablocks+sarg", "datablocks+psma"] {
+    for name in [
+        "jit",
+        "vectorized",
+        "vectorized+sarg",
+        "datablocks+sarg",
+        "datablocks+psma",
+    ] {
         let mut config = ScanConfig::named(name);
         for isa in IsaLevel::available() {
             config.options.isa = isa;
-            let mut scanner =
-                RelationScanner::new(&rel, vec![0, 2], restrictions.clone(), config);
+            let mut scanner = RelationScanner::new(&rel, vec![0, 2], restrictions.clone(), config);
             counts.push(scanner.collect_all().len());
         }
     }
@@ -103,7 +126,8 @@ fn serialized_blocks_answer_the_same_queries() {
         let restored = data_blocks::datablocks::layout::from_bytes(&bytes).expect("roundtrip");
         let restriction = [Restriction::cmp(2, CmpOp::Ge, 900i64)];
         let a = data_blocks::datablocks::scan_collect(block, &restriction, ScanOptions::default());
-        let b = data_blocks::datablocks::scan_collect(&restored, &restriction, ScanOptions::default());
+        let b =
+            data_blocks::datablocks::scan_collect(&restored, &restriction, ScanOptions::default());
         assert_eq!(a, b);
     }
 }

@@ -1,97 +1,151 @@
-//! Property-based tests (proptest) over the core data structures: compression
-//! roundtrips, PSMA coverage, SIMD kernel equivalence and scan correctness against a
-//! brute-force oracle.
+//! Property-based tests over the core data structures: compression roundtrips, PSMA
+//! coverage, SIMD kernel equivalence and scan correctness against a brute-force
+//! oracle.
+//!
+//! The original version of this file used `proptest`; the build environment is
+//! offline, so the same properties are exercised with a seeded in-repo generator
+//! (`rand` stand-in crate) running a fixed number of random cases per property.
+//! Failures print the offending case seed, so a reproduction is one seed away.
 
 use data_blocks::datablocks::builder::freeze;
 use data_blocks::datablocks::{
     scan_collect, CmpOp, Column, ColumnData, Psma, Restriction, ScanOptions, Value,
 };
 use data_blocks::dbsimd::{find_matches, reduce_matches, IsaLevel, RangePredicate};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Freezing and point access are lossless for arbitrary integer columns.
-    #[test]
-    fn compression_roundtrip_ints(values in prop::collection::vec(-1_000_000i64..1_000_000, 1..2_000)) {
+fn case_rng(property: &str, case: u64) -> StdRng {
+    // Mix the property name into the seed so properties draw distinct streams.
+    let tag: u64 = property.bytes().fold(0xcbf2_9ce4_8422_2325, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    StdRng::seed_from_u64(tag ^ case)
+}
+
+fn int_vec(rng: &mut StdRng, len_lo: usize, len_hi: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let len = rng.gen_range(len_lo..len_hi);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Freezing and point access are lossless for arbitrary integer columns.
+#[test]
+fn compression_roundtrip_ints() {
+    for case in 0..CASES {
+        let mut rng = case_rng("roundtrip_ints", case);
+        let values = int_vec(&mut rng, 1, 2_000, -1_000_000, 1_000_000);
         let column = Column::from_data(ColumnData::Int(values.clone()));
         let block = freeze(&[column]);
         for (row, expected) in values.iter().enumerate() {
-            prop_assert_eq!(block.get(row, 0), Value::Int(*expected));
+            assert_eq!(block.get(row, 0), Value::Int(*expected), "case {case}");
         }
     }
+}
 
-    /// Freezing and point access are lossless for arbitrary string columns.
-    #[test]
-    fn compression_roundtrip_strings(values in prop::collection::vec("[a-z]{0,12}", 1..500)) {
+/// Freezing and point access are lossless for arbitrary string columns.
+#[test]
+fn compression_roundtrip_strings() {
+    for case in 0..CASES {
+        let mut rng = case_rng("roundtrip_strings", case);
+        let len = rng.gen_range(1..500usize);
+        let values: Vec<String> = (0..len)
+            .map(|_| {
+                let chars = rng.gen_range(0..=12usize);
+                (0..chars)
+                    .map(|_| rng.gen_range(b'a'..=b'z') as char)
+                    .collect()
+            })
+            .collect();
         let column = Column::from_data(ColumnData::Str(values.clone()));
         let block = freeze(&[column]);
         for (row, expected) in values.iter().enumerate() {
-            prop_assert_eq!(block.get(row, 0), Value::Str(expected.clone()));
+            assert_eq!(
+                block.get(row, 0),
+                Value::Str(expected.clone()),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The flat serialization is a faithful roundtrip.
-    #[test]
-    fn layout_roundtrip(values in prop::collection::vec(0i64..50_000, 1..1_500)) {
+/// The flat serialization is a faithful roundtrip.
+#[test]
+fn layout_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng("layout_roundtrip", case);
+        let values = int_vec(&mut rng, 1, 1_500, 0, 50_000);
         let block = freeze(&[Column::from_data(ColumnData::Int(values.clone()))]);
         let restored = data_blocks::datablocks::layout::from_bytes(
             &data_blocks::datablocks::layout::to_bytes(&block),
-        ).unwrap();
+        )
+        .unwrap();
         for row in 0..values.len() {
-            prop_assert_eq!(restored.get(row, 0), block.get(row, 0));
+            assert_eq!(restored.get(row, 0), block.get(row, 0), "case {case}");
         }
     }
+}
 
-    /// Every position of a probed value lies inside the PSMA range.
-    #[test]
-    fn psma_ranges_cover_all_occurrences(
-        keys in prop::collection::vec(0i64..10_000, 1..3_000),
-        probe in 0i64..10_000,
-    ) {
+/// Every position of a probed value lies inside the PSMA range.
+#[test]
+fn psma_ranges_cover_all_occurrences() {
+    for case in 0..CASES {
+        let mut rng = case_rng("psma_cover", case);
+        let keys = int_vec(&mut rng, 1, 3_000, 0, 10_000);
+        let probe = rng.gen_range(0..10_000i64);
         let psma = Psma::build(&keys).unwrap();
         let range = psma.probe_eq(probe);
         for (pos, &k) in keys.iter().enumerate() {
             if k == probe {
-                prop_assert!((pos as u32) >= range.begin && (pos as u32) < range.end);
+                assert!(
+                    (pos as u32) >= range.begin && (pos as u32) < range.end,
+                    "case {case}: position {pos} of probe {probe} outside {range:?}"
+                );
             }
         }
     }
+}
 
-    /// SIMD find/reduce kernels agree with the scalar kernels for every ISA level.
-    #[test]
-    fn simd_kernels_match_scalar(
-        data in prop::collection::vec(0u32..100_000, 0..3_000),
-        mut lo in 0u32..100_000,
-        mut hi in 0u32..100_000,
-    ) {
-        if lo > hi { std::mem::swap(&mut lo, &mut hi); }
+/// SIMD find/reduce kernels agree with the scalar kernels for every ISA level.
+#[test]
+fn simd_kernels_match_scalar() {
+    for case in 0..CASES {
+        let mut rng = case_rng("simd_match_scalar", case);
+        let len = rng.gen_range(0..3_000usize);
+        let data: Vec<u32> = (0..len).map(|_| rng.gen_range(0..100_000u32)).collect();
+        let mut lo = rng.gen_range(0..100_000u32);
+        let mut hi = rng.gen_range(0..100_000u32);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
         let pred = RangePredicate::between(lo, hi);
         let mut expected = Vec::new();
         find_matches(IsaLevel::Scalar, &data, &pred, 0, &mut expected);
         for isa in IsaLevel::available() {
             let mut got = Vec::new();
             find_matches(isa, &data, &pred, 0, &mut got);
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected, "case {case} isa {isa}");
 
             let mut all: Vec<u32> = (0..data.len() as u32).collect();
             let mut all_expected = all.clone();
             reduce_matches(IsaLevel::Scalar, &data, &pred, 0, &mut all_expected);
             reduce_matches(isa, &data, &pred, 0, &mut all);
-            prop_assert_eq!(&all, &all_expected);
+            assert_eq!(all, all_expected, "case {case} isa {isa}");
         }
     }
+}
 
-    /// Block scans with arbitrary conjunctive restrictions match a brute-force oracle,
-    /// regardless of SMA/PSMA usage.
-    #[test]
-    fn block_scan_matches_oracle(
-        a in prop::collection::vec(0i64..500, 100..2_000),
-        lo in 0i64..500,
-        width in 0i64..200,
-        eq_choice in 0usize..4,
-    ) {
+/// Block scans with arbitrary conjunctive restrictions match a brute-force oracle,
+/// regardless of SMA/PSMA usage.
+#[test]
+fn block_scan_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = case_rng("scan_oracle", case);
+        let a = int_vec(&mut rng, 100, 2_000, 0, 500);
+        let lo = rng.gen_range(0..500i64);
+        let width = rng.gen_range(0..200i64);
+        let eq_choice = rng.gen_range(0..4usize);
         let n = a.len();
         let b: Vec<String> = (0..n).map(|i| format!("s{}", i % 4)).collect();
         let block = freeze(&[
@@ -108,28 +162,65 @@ proptest! {
             .collect();
         for options in [
             ScanOptions::default(),
-            ScanOptions { use_sma: false, use_psma: false, ..ScanOptions::default() },
-            ScanOptions { vector_size: 64, ..ScanOptions::default() },
+            ScanOptions {
+                use_sma: false,
+                use_psma: false,
+                ..ScanOptions::default()
+            },
+            ScanOptions {
+                vector_size: 64,
+                ..ScanOptions::default()
+            },
         ] {
-            prop_assert_eq!(&scan_collect(&block, &restrictions, options), &expected);
+            assert_eq!(
+                scan_collect(&block, &restrictions, options),
+                expected,
+                "case {case} options {options:?}"
+            );
         }
     }
+}
 
-    /// Scans never return NULL rows for value predicates, and IS NULL / IS NOT NULL
-    /// partition the block.
-    #[test]
-    fn null_semantics_partition_rows(
-        raw in prop::collection::vec(prop::option::of(0i64..100), 50..1_000),
-    ) {
+/// Scans never return NULL rows for value predicates, and IS NULL / IS NOT NULL
+/// partition the block.
+#[test]
+fn null_semantics_partition_rows() {
+    for case in 0..CASES {
+        let mut rng = case_rng("null_partition", case);
+        let len = rng.gen_range(50..1_000usize);
+        let raw: Vec<Option<i64>> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0..100i64))
+                } else {
+                    None
+                }
+            })
+            .collect();
         let mut column = Column::new(data_blocks::datablocks::DataType::Int);
         for v in &raw {
-            column.push(match v { Some(x) => Value::Int(*x), None => Value::Null });
+            column.push(match v {
+                Some(x) => Value::Int(*x),
+                None => Value::Null,
+            });
         }
         let block = freeze(&[column]);
-        let nulls = scan_collect(&block, &[Restriction::IsNull { column: 0 }], ScanOptions::default());
-        let not_nulls = scan_collect(&block, &[Restriction::IsNotNull { column: 0 }], ScanOptions::default());
-        prop_assert_eq!(nulls.len() + not_nulls.len(), raw.len());
-        let ge_zero = scan_collect(&block, &[Restriction::cmp(0, CmpOp::Ge, 0i64)], ScanOptions::default());
-        prop_assert_eq!(ge_zero.len(), not_nulls.len());
+        let nulls = scan_collect(
+            &block,
+            &[Restriction::IsNull { column: 0 }],
+            ScanOptions::default(),
+        );
+        let not_nulls = scan_collect(
+            &block,
+            &[Restriction::IsNotNull { column: 0 }],
+            ScanOptions::default(),
+        );
+        assert_eq!(nulls.len() + not_nulls.len(), raw.len(), "case {case}");
+        let ge_zero = scan_collect(
+            &block,
+            &[Restriction::cmp(0, CmpOp::Ge, 0i64)],
+            ScanOptions::default(),
+        );
+        assert_eq!(ge_zero.len(), not_nulls.len(), "case {case}");
     }
 }

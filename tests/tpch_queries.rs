@@ -16,11 +16,21 @@ fn all_queries_agree_across_all_scan_configurations() {
     let db = db();
     for query in tpch::QUERY_SUBSET {
         let reference = tpch::run_query(&db, query, ScanConfig::named("jit")).batch;
-        for config in ["vectorized", "vectorized+sarg", "datablocks", "datablocks+sarg", "datablocks+psma"] {
+        for config in [
+            "vectorized",
+            "vectorized+sarg",
+            "datablocks",
+            "datablocks+sarg",
+            "datablocks+psma",
+        ] {
             let result = tpch::run_query(&db, query, ScanConfig::named(config)).batch;
             assert_eq!(result.len(), reference.len(), "{query} under {config}");
             for row in 0..reference.len() {
-                assert_eq!(result.row(row), reference.row(row), "{query} under {config}, row {row}");
+                assert_eq!(
+                    result.row(row),
+                    reference.row(row),
+                    "{query} under {config}, row {row}"
+                );
             }
         }
     }
@@ -46,8 +56,12 @@ fn q6_revenue_matches_brute_force() {
     // brute force over the frozen lineitem relation using point accesses
     let lineitem = db.relation("lineitem");
     let s = lineitem.schema();
-    let (ship, disc, qty, price) =
-        (s.idx("l_shipdate"), s.idx("l_discount"), s.idx("l_quantity"), s.idx("l_extendedprice"));
+    let (ship, disc, qty, price) = (
+        s.idx("l_shipdate"),
+        s.idx("l_discount"),
+        s.idx("l_quantity"),
+        s.idx("l_extendedprice"),
+    );
     let lo = data_blocks::datablocks::date_to_days(1994, 1, 1);
     let hi = data_blocks::datablocks::date_to_days(1995, 1, 1) - 1;
     let mut expected = 0.0f64;
@@ -57,12 +71,20 @@ fn q6_revenue_matches_brute_force() {
             let discount = block.get(row, disc).as_int().unwrap();
             let quantity = block.get(row, qty).as_int().unwrap();
             if d >= lo && d <= hi && (5..=7).contains(&discount) && quantity < 24 {
-                expected += block.get(row, price).as_int().unwrap() as f64 * discount as f64 / 100.0;
+                expected +=
+                    block.get(row, price).as_int().unwrap() as f64 * discount as f64 / 100.0;
             }
         }
     }
-    let got = tpch::q6(&db, ScanConfig::default()).batch.value(0, 0).as_double().unwrap();
-    assert!((got - expected).abs() < 1e-6 * expected.max(1.0), "{got} vs {expected}");
+    let got = tpch::q6(&db, ScanConfig::default())
+        .batch
+        .value(0, 0)
+        .as_double()
+        .unwrap();
+    assert!(
+        (got - expected).abs() < 1e-6 * expected.max(1.0),
+        "{got} vs {expected}"
+    );
 }
 
 #[test]
