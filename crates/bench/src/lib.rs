@@ -142,6 +142,44 @@ pub fn fmt_bytes(bytes: usize) -> String {
     format!("{value:.2} {}", UNITS[unit])
 }
 
+/// `(shape, threads, rows_per_s)` measurements extracted from a benchmark JSON
+/// file. The shape is the value of the line's first string-valued field (the bench
+/// binaries label each result object that way: `"scan": "tpch_q6"`,
+/// `"agg": "q1_groups"`), so distinct benchmark shapes stay distinguishable in the
+/// trajectory log instead of being folded into one number.
+///
+/// The bench binaries emit their JSON by hand (the build environment is offline, so
+/// serde is unavailable) with one result object per line; this parser is the
+/// matching dependency-free reader used by the `bench_trajectory` binary to fold
+/// `BENCH_scan.json` / `BENCH_agg.json` into the per-commit trajectory log.
+pub fn parse_bench_results(json: &str) -> Vec<(String, usize, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let threads = json_number(line, "\"threads\":")?;
+            let rows_per_s = json_number(line, "\"rows_per_s\":")?;
+            let shape = json_first_string_value(line).unwrap_or_else(|| "default".to_string());
+            Some((shape, threads as usize, rows_per_s))
+        })
+        .collect()
+}
+
+/// Extract the numeric value following `key` in a single JSON line.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the first `"key": "value"` string value of a single JSON line.
+fn json_first_string_value(line: &str) -> Option<String> {
+    let start = line.find(": \"")? + 3;
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
 /// Print a header row followed by a separator, for the fixed-width tables the
 /// harness binaries emit.
 pub fn print_table_header(title: &str, columns: &[&str], widths: &[usize]) {
@@ -207,6 +245,24 @@ mod tests {
         assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
         assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
         assert!(fmt_duration(Duration::from_micros(50)).ends_with("us"));
+    }
+
+    #[test]
+    fn parse_bench_results_reads_handwritten_json() {
+        let json = "{\n  \"benchmark\": \"parallel_scan\",\n  \"results\": [\n    \
+                    {\"scan\": \"q6\", \"threads\": 1, \"rows_per_s\": 1200000, \"x\": 1},\n    \
+                    {\"agg\": \"q1_groups\", \"threads\": 4, \"rows_per_s\": 3500000.5},\n    \
+                    {\"threads\": 2, \"rows_per_s\": 7}\n  ]\n}\n";
+        let entries = parse_bench_results(json);
+        assert_eq!(
+            entries,
+            vec![
+                ("q6".to_string(), 1, 1_200_000.0),
+                ("q1_groups".to_string(), 4, 3_500_000.5),
+                ("default".to_string(), 2, 7.0),
+            ]
+        );
+        assert!(parse_bench_results("not json at all").is_empty());
     }
 
     #[test]

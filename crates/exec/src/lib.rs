@@ -55,10 +55,14 @@ pub mod scan;
 pub use batch::Batch;
 pub use expr::{arith, ArithOp, Expr};
 pub use jit::{JitCostModel, ScanCodegen};
-pub use morsel::{scan_relation_parallel, Morsel};
+pub use morsel::{
+    drive_batches, drive_pipeline, merge_partitionwise, scan_relation_parallel, Morsel, MorselSink,
+    PipelineSpec, PipelineStep, RADIX_BITS, RADIX_PARTITIONS,
+};
 pub use ops::{
-    collect_operator, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp, HashJoinOp,
-    JoinType, Operator, ProjectOp, ScanOp, SortKey, SortOp, ValuesOp,
+    collect_operator, radix_partition, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp,
+    HashJoinOp, JoinType, Operator, ParallelHashAggregateOp, ProjectOp, ScanOp, SortKey, SortOp,
+    ValuesOp,
 };
 pub use scan::{RelationScanner, ScanConfig, ScanMode, ScanStats, DEFAULT_MORSEL_ROWS};
 
@@ -66,9 +70,11 @@ pub use scan::{RelationScanner, ScanConfig, ScanMode, ScanStats, DEFAULT_MORSEL_
 pub mod prelude {
     pub use crate::batch::Batch;
     pub use crate::expr::{ArithOp, Expr};
+    pub use crate::morsel::{MorselSink, PipelineSpec, PipelineStep};
     pub use crate::ops::{
-        collect_operator, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp, HashJoinOp,
-        JoinType, Operator, ProjectOp, ScanOp, SortKey, SortOp, ValuesOp,
+        collect_operator, radix_partition, AggFunc, AggSpec, BoxedOperator, FilterOp,
+        HashAggregateOp, HashJoinOp, JoinType, Operator, ParallelHashAggregateOp, ProjectOp,
+        ScanOp, SortKey, SortOp, ValuesOp,
     };
     pub use crate::scan::{RelationScanner, ScanConfig, ScanMode, ScanStats};
     pub use datablocks::scan::Restriction;

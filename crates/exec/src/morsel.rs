@@ -1,5 +1,8 @@
-//! Morsel-driven parallel scans (the paper's evaluation setting: 64-thread scans of
-//! compressed Data Blocks, after Leis et al., "Morsel-Driven Parallelism").
+//! Morsel-driven parallel execution (the paper's evaluation setting: 64-thread scans
+//! of compressed Data Blocks, after Leis et al., "Morsel-Driven Parallelism") — both
+//! the parallel *scan* ([`scan_relation_parallel`]) and the generic parallel
+//! *pipeline driver* ([`drive_pipeline`]) that runs scan→filter→project→build chains
+//! inside the workers and feeds radix-partitioned pipeline-breaker state.
 //!
 //! # The morsel protocol
 //!
@@ -29,14 +32,29 @@
 //! count and morsel size; only wall-clock time changes. The differential test
 //! `tests/parallel_scan.rs` (and `parallel_scan_agrees_with_serial_in_every_mode` in
 //! `scan.rs`) pin this property down.
+//!
+//! # Pipeline breakers
+//!
+//! Pipeline breakers (hash aggregation, the hash-join build) parallelise with the
+//! same cursor protocol: each worker runs the whole non-breaking operator chain of a
+//! [`PipelineSpec`] over its morsels and accumulates into a private
+//! [`RADIX_PARTITIONS`]-way partitioned [`MorselSink`]. At the pipeline barrier the
+//! per-worker partitions are combined **partition-wise** by
+//! [`merge_partitionwise`] — partition `p` of every worker merges into one final
+//! partition `p`, independently of all other partitions, so the merge itself runs in
+//! parallel. The partition of a key is a pure function of its value (leading bits of
+//! its hash, see [`crate::ops::radix_partition`]), never of the thread count or the
+//! morsel schedule.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use datablocks::scan::Restriction;
-use datablocks::DataBlock;
+use datablocks::{DataBlock, DataType};
 use storage::Relation;
 
 use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::ops::{filter_batch, project_batch};
 use crate::scan::{RelationScanner, ScanConfig, ScanStats};
 
 /// One unit of scan work handed out by the morsel cursor.
@@ -67,6 +85,8 @@ const _: () = {
     assert_shareable::<DataBlock>();
     assert_shareable::<Restriction>();
     assert_shareable::<ScanConfig>();
+    assert_shareable::<Expr>();
+    assert_shareable::<PipelineSpec>();
 };
 
 /// Decompose a relation into scan morsels, in serial scan order: every cold block
@@ -198,6 +218,318 @@ fn run_worker(
     (out, scanner.stats())
 }
 
+// --------------------------------------------------------------- pipeline driver
+
+/// Number of radix partitions every pipeline-breaker sink maintains. A fixed power
+/// of two: small enough that per-worker partition arrays stay cheap, large enough
+/// that the partition-wise merge phase exposes real parallelism on many-core boxes.
+pub const RADIX_PARTITIONS: usize = 64;
+
+/// Leading key-hash bits that select a radix partition (`2^RADIX_BITS ==`
+/// [`RADIX_PARTITIONS`]).
+pub const RADIX_BITS: u32 = RADIX_PARTITIONS.trailing_zeros();
+
+const _: () = assert!(1usize << RADIX_BITS == RADIX_PARTITIONS);
+
+/// One non-breaking operator applied to every batch *inside* the morsel workers,
+/// before the batch reaches the worker's pipeline-breaker sink.
+#[derive(Debug, Clone)]
+pub enum PipelineStep {
+    /// Keep only rows satisfying a residual (non-SARGable) predicate.
+    Filter(Expr),
+    /// Row-wise projection to a new column set.
+    Project {
+        /// Projected expressions.
+        exprs: Vec<Expr>,
+        /// Declared output type of each expression.
+        types: Vec<DataType>,
+    },
+}
+
+impl PipelineStep {
+    fn apply(&self, batch: Batch) -> Batch {
+        match self {
+            PipelineStep::Filter(predicate) => filter_batch(&batch, predicate),
+            PipelineStep::Project { exprs, types } => project_batch(&batch, exprs, types),
+        }
+    }
+
+    fn output_types(&self, input: Vec<DataType>) -> Vec<DataType> {
+        match self {
+            PipelineStep::Filter(_) => input,
+            PipelineStep::Project { types, .. } => types.clone(),
+        }
+    }
+}
+
+/// Description of the per-morsel operator chain of one parallel pipeline: the scan
+/// parameters (projection, SARGable restrictions, [`ScanConfig`]) plus the ordered
+/// non-breaking [`PipelineStep`]s every worker applies locally. The pipeline breaker
+/// at the top is *not* part of the spec — it is the [`MorselSink`] handed to
+/// [`drive_pipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// Attributes the scan materialises.
+    pub projection: Vec<usize>,
+    /// SARGable restrictions pushed into the scan.
+    pub restrictions: Vec<Restriction>,
+    /// Scan flavour, worker count and morsel size.
+    pub config: ScanConfig,
+    /// Non-breaking steps applied to every scanned batch, in order.
+    pub steps: Vec<PipelineStep>,
+}
+
+impl PipelineSpec {
+    /// A pipeline that is just a scan (no residual filter, no projection step).
+    pub fn scan(
+        projection: Vec<usize>,
+        restrictions: Vec<Restriction>,
+        config: ScanConfig,
+    ) -> PipelineSpec {
+        PipelineSpec {
+            projection,
+            restrictions,
+            config,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a residual filter step.
+    pub fn then_filter(mut self, predicate: Expr) -> PipelineSpec {
+        self.steps.push(PipelineStep::Filter(predicate));
+        self
+    }
+
+    /// Append a projection step (`types` declares the output column types).
+    pub fn then_project(mut self, exprs: Vec<Expr>, types: Vec<DataType>) -> PipelineSpec {
+        assert_eq!(exprs.len(), types.len());
+        self.steps.push(PipelineStep::Project { exprs, types });
+        self
+    }
+
+    /// The column types of the batches the workers feed their sinks.
+    pub fn output_types(&self, relation: &Relation) -> Vec<DataType> {
+        let mut types: Vec<DataType> = self
+            .projection
+            .iter()
+            .map(|&col| relation.schema().column(col).data_type)
+            .collect();
+        for step in &self.steps {
+            types = step.output_types(types);
+        }
+        types
+    }
+
+    fn apply_steps(&self, mut batch: Batch) -> Batch {
+        for step in &self.steps {
+            if batch.is_empty() {
+                break;
+            }
+            batch = step.apply(batch);
+        }
+        batch
+    }
+}
+
+/// Per-worker pipeline-breaker state fed by the morsel workers (a partitioned hash
+/// aggregate, a partitioned join build, ...). One sink is created per worker, lives
+/// on that worker's thread for the whole pipeline, and is handed back to the caller
+/// at the barrier for the partition-wise merge.
+pub trait MorselSink: Send {
+    /// Consume one batch produced by morsel `morsel_idx`. Batches of one morsel
+    /// arrive in order on a single worker; `morsel_idx` values are unique per
+    /// pipeline run, so `(morsel_idx, arrival order)` reconstructs the serial scan
+    /// order when a sink needs it.
+    fn consume(&mut self, morsel_idx: usize, batch: &Batch);
+}
+
+/// Run a morsel-parallel pipeline over `relation`: every worker claims morsels off a
+/// shared cursor, runs the scan and the non-breaking steps of `spec` locally, and
+/// feeds its private sink (built by `make_sink`). Returns the per-worker sinks in
+/// worker order plus the merged scan statistics — merging the sinks partition-wise
+/// (see [`merge_partitionwise`]) is the caller's barrier phase.
+pub fn drive_pipeline<S, F>(
+    relation: &Relation,
+    spec: &PipelineSpec,
+    make_sink: F,
+) -> (Vec<S>, ScanStats)
+where
+    S: MorselSink,
+    F: Fn() -> S + Sync,
+{
+    let morsels = decompose(relation, spec.config.morsel_rows);
+    let workers = effective_threads(spec.config.threads)
+        .min(morsels.len())
+        .max(1);
+    let cursor = AtomicUsize::new(0);
+    let run = |sink: &mut S| -> ScanStats {
+        let mut scanner = RelationScanner::for_worker(
+            relation,
+            &spec.projection,
+            &spec.restrictions,
+            spec.config,
+        );
+        loop {
+            let morsel_idx = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&morsel) = morsels.get(morsel_idx) else {
+                break;
+            };
+            scanner.reset_to_morsel(morsel);
+            while let Some(batch) = scanner.next_batch() {
+                let batch = spec.apply_steps(batch);
+                if !batch.is_empty() {
+                    sink.consume(morsel_idx, &batch);
+                }
+            }
+        }
+        scanner.stats()
+    };
+
+    let results: Vec<(S, ScanStats)> = if workers == 1 {
+        let mut sink = make_sink();
+        let stats = run(&mut sink);
+        vec![(sink, stats)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut sink = make_sink();
+                        let stats = run(&mut sink);
+                        (sink, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("pipeline worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut stats = ScanStats::default();
+    let sinks = results
+        .into_iter()
+        .map(|(sink, worker_stats)| {
+            stats.merge(&worker_stats);
+            sink
+        })
+        .collect();
+    (sinks, stats)
+}
+
+/// Run a parallel build over already-materialised batches: each batch is one morsel
+/// (its index is the `morsel_idx` passed to the sink). This is how pipeline breakers
+/// parallelise over *intermediate* results — e.g. a join whose build side is itself
+/// the output of another operator.
+pub fn drive_batches<S, F>(batches: &[Batch], threads: usize, make_sink: F) -> Vec<S>
+where
+    S: MorselSink,
+    F: Fn() -> S + Sync,
+{
+    let workers = effective_threads(threads).min(batches.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let run = |sink: &mut S| loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(batch) = batches.get(idx) else {
+            break;
+        };
+        if !batch.is_empty() {
+            sink.consume(idx, batch);
+        }
+    };
+    if workers == 1 {
+        let mut sink = make_sink();
+        run(&mut sink);
+        vec![sink]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut sink = make_sink();
+                        run(&mut sink);
+                        sink
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("build worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// The barrier phase of a parallel pipeline breaker: combine the partitioned state
+/// of every worker **partition-wise**. `per_worker[w]` is worker `w`'s partition
+/// vector (all workers must agree on the partition count); `merge` receives, for one
+/// partition index, that partition from every worker *in worker order* and folds
+/// them into the final partition. Distinct partitions hold disjoint key sets, so
+/// they merge independently — the work is spread over `threads` workers with a
+/// static stride (partition `i` is merged by worker `i % workers`), and the result
+/// vector is in partition order whatever the parallelism.
+pub fn merge_partitionwise<P, T, F>(per_worker: Vec<Vec<P>>, threads: usize, merge: F) -> Vec<T>
+where
+    P: Send,
+    T: Send,
+    F: Fn(usize, Vec<P>) -> T + Sync,
+{
+    let parts = per_worker.first().map(|w| w.len()).unwrap_or(0);
+    assert!(
+        per_worker.iter().all(|w| w.len() == parts),
+        "every worker must produce the same partition count"
+    );
+    // Transpose to partition-major, preserving worker order within each partition.
+    let mut by_partition: Vec<Vec<P>> = (0..parts)
+        .map(|_| Vec::with_capacity(per_worker.len()))
+        .collect();
+    for worker_parts in per_worker {
+        for (idx, part) in worker_parts.into_iter().enumerate() {
+            by_partition[idx].push(part);
+        }
+    }
+    let workers = effective_threads(threads).min(parts).max(1);
+    if workers == 1 {
+        return by_partition
+            .into_iter()
+            .enumerate()
+            .map(|(idx, parts)| merge(idx, parts))
+            .collect();
+    }
+    let mut buckets: Vec<Vec<(usize, Vec<P>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (idx, part) in by_partition.into_iter().enumerate() {
+        buckets[idx % workers].push((idx, part));
+    }
+    let merged: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let merge = &merge;
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(idx, parts)| (idx, merge(idx, parts)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("merge worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<T>> = (0..parts).map(|_| None).collect();
+    for chunk in merged {
+        for (idx, value) in chunk {
+            out[idx] = Some(value);
+        }
+    }
+    out.into_iter()
+        .map(|value| value.expect("every partition merged exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +639,110 @@ mod tests {
             scan_relation_parallel(&rel, &[0], &[], ScanConfig::default().with_threads(4));
         assert!(batches.is_empty());
         assert_eq!(stats.rows_matched, 0);
+    }
+
+    /// A sink that counts rows and records which morsels fed it.
+    struct CountSink {
+        rows: usize,
+        morsels: Vec<usize>,
+    }
+
+    impl MorselSink for CountSink {
+        fn consume(&mut self, morsel_idx: usize, batch: &Batch) {
+            self.rows += batch.len();
+            self.morsels.push(morsel_idx);
+        }
+    }
+
+    #[test]
+    fn drive_pipeline_covers_every_row_exactly_once() {
+        let rel = relation(3_210, 1000, true); // 3 cold blocks + 1 hot tail
+        for threads in [1usize, 2, 5] {
+            let spec = PipelineSpec::scan(
+                vec![0, 1],
+                vec![],
+                ScanConfig::default()
+                    .with_threads(threads)
+                    .with_morsel_rows(100),
+            );
+            let (sinks, stats) = drive_pipeline(&rel, &spec, || CountSink {
+                rows: 0,
+                morsels: Vec::new(),
+            });
+            let total: usize = sinks.iter().map(|s| s.rows).sum();
+            assert_eq!(total, 3_210, "threads {threads}");
+            assert_eq!(stats.rows_matched, 3_210);
+            // every morsel index was claimed by exactly one worker
+            let mut all: Vec<usize> = sinks.iter().flat_map(|s| s.morsels.clone()).collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), decompose(&rel, 100).len());
+        }
+    }
+
+    #[test]
+    fn pipeline_steps_filter_and_project_inside_workers() {
+        let rel = relation(2_000, 1000, true);
+        let spec = PipelineSpec::scan(vec![0, 1], vec![], ScanConfig::default().with_threads(3))
+            .then_filter(Expr::col(1).cmp(datablocks::CmpOp::Eq, Expr::lit(3i64)))
+            .then_project(vec![Expr::col(0).mul(Expr::lit(2i64))], vec![DataType::Int]);
+        assert_eq!(spec.output_types(&rel), vec![DataType::Int]);
+        let (sinks, _) = drive_pipeline(&rel, &spec, || CountSink {
+            rows: 0,
+            morsels: Vec::new(),
+        });
+        let total: usize = sinks.iter().map(|s| s.rows).sum();
+        // val = i % 7 == 3 → ceil: rows 3, 10, 17, ... in 0..2000
+        assert_eq!(total, (0..2_000).filter(|i| i % 7 == 3).count());
+    }
+
+    #[test]
+    fn drive_batches_hands_each_batch_to_one_worker() {
+        let types = [DataType::Int];
+        let batches: Vec<Batch> = (0..10)
+            .map(|i| {
+                Batch::from_rows(
+                    &types,
+                    &(0..=i).map(|v| vec![Value::Int(v)]).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let expected_rows: usize = batches.iter().map(|b| b.len()).sum();
+        for threads in [1usize, 4] {
+            let sinks = drive_batches(&batches, threads, || CountSink {
+                rows: 0,
+                morsels: Vec::new(),
+            });
+            let total: usize = sinks.iter().map(|s| s.rows).sum();
+            assert_eq!(total, expected_rows);
+            let mut all: Vec<usize> = sinks.iter().flat_map(|s| s.morsels.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn merge_partitionwise_preserves_partition_and_worker_order() {
+        // 3 workers × 5 partitions of strings; merge concatenates in worker order.
+        let per_worker: Vec<Vec<String>> = (0..3)
+            .map(|w| (0..5).map(|p| format!("w{w}p{p} ")).collect())
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let merged = merge_partitionwise(per_worker.clone(), threads, |idx, parts| {
+                (idx, parts.concat())
+            });
+            assert_eq!(merged.len(), 5);
+            for (p, (idx, text)) in merged.iter().enumerate() {
+                assert_eq!(*idx, p);
+                assert_eq!(text, &format!("w0p{p} w1p{p} w2p{p} "), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_partitionwise_of_nothing_is_empty() {
+        let merged: Vec<usize> =
+            merge_partitionwise(Vec::<Vec<usize>>::new(), 4, |_, parts| parts.len());
+        assert!(merged.is_empty());
     }
 }

@@ -1,5 +1,6 @@
 //! Relational operators above the scan: filter, project, hash join, hash aggregation,
-//! sort and limit.
+//! sort and limit — plus their morsel-parallel variants
+//! ([`ParallelHashAggregateOp`], [`HashJoinOp::with_parallel_build`]).
 //!
 //! HyPer fuses the operators of a pipeline into generated machine code; this
 //! reproduction keeps the same *pipeline structure* (scans feed non-materialising
@@ -7,46 +8,80 @@
 //! as an interpreted vector-at-a-time pull model. The relative behaviour the paper
 //! evaluates — how scan flavour, compression, SMAs and PSMAs change query runtime —
 //! is dominated by the scan work that happens below this module.
+//!
+//! The parallel pipeline breakers follow the morsel-driven design of the paper's
+//! execution engine: every worker accumulates a [`crate::morsel::RADIX_PARTITIONS`]-way
+//! radix-partitioned hash table over its morsels, and the barrier merges the workers'
+//! tables partition-wise (each partition independently, in parallel) before the
+//! single-threaded probe/output tail runs. See [`crate::morsel`] for the driver.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use datablocks::{DataType, Value};
+use storage::Relation;
 
 use crate::batch::Batch;
 use crate::expr::{arith, ArithOp, Expr};
-use crate::scan::RelationScanner;
+use crate::morsel::{self, MorselSink, PipelineSpec, RADIX_BITS, RADIX_PARTITIONS};
+use crate::scan::{RelationScanner, ScanStats};
 
 /// A pull-based operator producing batches of tuples.
 pub trait Operator {
     /// Produce the next non-empty batch, or `None` when exhausted.
     fn next_batch(&mut self) -> Option<Batch>;
 
-    /// The column types of produced batches.
+    /// The column types of produced batches. Fixed for the operator's lifetime —
+    /// implementations resolve it once at construction rather than re-deriving it
+    /// from input batches (which would misfire on an empty first batch).
     fn output_types(&self) -> Vec<DataType>;
 
     /// Drain the operator into one batch (convenience for pipeline breakers, tests
-    /// and result collection).
+    /// and result collection). See [`collect_operator`] for the debug-build type
+    /// assertion this inherits.
     fn collect_all(&mut self) -> Batch
     where
         Self: Sized,
     {
-        let mut out = Batch::new(&self.output_types());
-        while let Some(batch) = self.next_batch() {
-            out.append(&batch);
-        }
-        out
+        collect_operator(self)
     }
 }
 
 /// Boxed operator used to compose plans dynamically.
 pub type BoxedOperator<'a> = Box<dyn Operator + 'a>;
 
-/// Drain a boxed operator into a single batch.
+/// Drain a boxed operator into a single batch. The operator's declared
+/// [`Operator::output_types`] are resolved once up front; in debug builds every
+/// emitted batch is asserted against them, so a producer whose batches drift from
+/// its declaration fails loudly instead of corrupting the collected result.
 pub fn collect_operator(op: &mut dyn Operator) -> Batch {
-    let mut out = Batch::new(&op.output_types());
+    let types = op.output_types();
+    let mut out = Batch::new(&types);
     while let Some(batch) = op.next_batch() {
+        debug_assert_eq!(
+            batch.types(),
+            types,
+            "operator emitted a batch that does not match its declared output types"
+        );
         out.append(&batch);
+    }
+    out
+}
+
+/// Evaluate a residual predicate tuple at a time, keeping matching rows.
+pub(crate) fn filter_batch(batch: &Batch, predicate: &Expr) -> Batch {
+    let keep: Vec<usize> = (0..batch.len())
+        .filter(|&row| predicate.eval_bool(batch, row))
+        .collect();
+    batch.take(&keep)
+}
+
+/// Evaluate projection expressions row-wise into a batch of the declared types.
+pub(crate) fn project_batch(batch: &Batch, exprs: &[Expr], types: &[DataType]) -> Batch {
+    let mut out = Batch::new(types);
+    for row in 0..batch.len() {
+        out.push_row(exprs.iter().map(|e| e.eval(batch, row)).collect());
     }
     out
 }
@@ -86,26 +121,29 @@ impl<'a> Operator for ScanOp<'a> {
 pub struct FilterOp<'a> {
     input: BoxedOperator<'a>,
     predicate: Expr,
+    types: Vec<DataType>,
 }
 
 impl<'a> FilterOp<'a> {
     /// Keep only tuples for which `predicate` evaluates to true.
     pub fn new(input: BoxedOperator<'a>, predicate: Expr) -> Self {
-        FilterOp { input, predicate }
+        let types = input.output_types();
+        FilterOp {
+            input,
+            predicate,
+            types,
+        }
     }
 }
 
 impl<'a> Operator for FilterOp<'a> {
     fn next_batch(&mut self) -> Option<Batch> {
         let batch = self.input.next_batch()?;
-        let keep: Vec<usize> = (0..batch.len())
-            .filter(|&row| self.predicate.eval_bool(&batch, row))
-            .collect();
-        Some(batch.take(&keep))
+        Some(filter_batch(&batch, &self.predicate))
     }
 
     fn output_types(&self) -> Vec<DataType> {
-        self.input.output_types()
+        self.types.clone()
     }
 }
 
@@ -133,11 +171,7 @@ impl<'a> ProjectOp<'a> {
 impl<'a> Operator for ProjectOp<'a> {
     fn next_batch(&mut self) -> Option<Batch> {
         let batch = self.input.next_batch()?;
-        let mut out = Batch::new(&self.types);
-        for row in 0..batch.len() {
-            out.push_row(self.exprs.iter().map(|e| e.eval(&batch, row)).collect());
-        }
-        Some(out)
+        Some(project_batch(&batch, &self.exprs, &self.types))
     }
 
     fn output_types(&self) -> Vec<DataType> {
@@ -212,6 +246,70 @@ impl Hash for GroupKey {
     }
 }
 
+/// The hash of a group/join key (the same SipHash the table lookups use, seeded
+/// deterministically, so partition assignment is stable across runs, thread counts
+/// and morsel schedules).
+fn key_hash(key: &GroupKey) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Radix partition of a key: the leading [`RADIX_BITS`] bits of its hash.
+fn partition_of(key: &GroupKey) -> usize {
+    (key_hash(key) >> (64 - RADIX_BITS)) as usize
+}
+
+/// A group/join key bundled with its precomputed hash. The partitioned build sinks
+/// hash every key exactly once — the same value picks the radix partition and feeds
+/// the hash map (whose hasher only re-mixes the 8 precomputed bytes) — instead of
+/// paying two full key hashes per input row.
+#[derive(Debug, Clone, PartialEq)]
+struct HashedKey {
+    hash: u64,
+    key: GroupKey,
+}
+
+impl Eq for HashedKey {}
+
+impl Hash for HashedKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl HashedKey {
+    fn new(key: GroupKey) -> HashedKey {
+        let hash = key_hash(&key);
+        HashedKey { hash, key }
+    }
+
+    /// Radix partition: same leading-bits rule as [`partition_of`], off the cached
+    /// hash.
+    fn partition(&self) -> usize {
+        (self.hash >> (64 - RADIX_BITS)) as usize
+    }
+}
+
+/// The radix partition (`0..`[`RADIX_PARTITIONS`]) a group-by or join key is
+/// assigned to by the parallel pipeline breakers. A pure function of the key values
+/// — independent of thread count, morsel size and scan schedule — which is what
+/// makes the partition-wise merge of per-worker hash tables deterministic.
+pub fn radix_partition(values: &[Value]) -> usize {
+    partition_of(&GroupKey(values.to_vec()))
+}
+
+/// Deterministic output order of hash aggregation: groups sorted by key.
+fn cmp_group_keys(a: &GroupKey, b: &GroupKey) -> std::cmp::Ordering {
+    for (x, y) in a.0.iter().zip(&b.0) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
 #[derive(Debug, Clone)]
 struct AggState {
     sum: Value,
@@ -255,6 +353,34 @@ impl AggState {
         }
     }
 
+    /// Fold another partial state for the same group into this one (the merge phase
+    /// of parallel aggregation). Count/min/max and integer sums are exact whatever
+    /// the merge order; double sums can differ from the serial scan order in the
+    /// last ulps, exactly like any parallel floating-point reduction.
+    fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        if self.sum.is_null() {
+            self.sum = other.sum.clone();
+        } else if !other.sum.is_null() {
+            self.sum = arith(ArithOp::Add, &self.sum, &other.sum);
+        }
+        if self.min.is_null()
+            || (!other.min.is_null()
+                && matches!(other.min.sql_cmp(&self.min), Some(std::cmp::Ordering::Less)))
+        {
+            self.min = other.min.clone();
+        }
+        if self.max.is_null()
+            || (!other.max.is_null()
+                && matches!(
+                    other.max.sql_cmp(&self.max),
+                    Some(std::cmp::Ordering::Greater)
+                ))
+        {
+            self.max = other.max.clone();
+        }
+    }
+
     fn finish(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Sum => self.sum.clone(),
@@ -272,13 +398,49 @@ impl AggState {
     }
 }
 
+/// Advance every aggregate state of one group by one input row.
+fn update_states(states: &mut [AggState], specs: &[AggSpec], batch: &Batch, row: usize) {
+    for (state, spec) in states.iter_mut().zip(specs) {
+        if spec.func == AggFunc::CountStar {
+            state.update(&Value::Null, true);
+        } else {
+            state.update(&spec.expr.eval(batch, row), false);
+        }
+    }
+}
+
+/// Output column types of an aggregation: group keys then aggregates.
+fn agg_output_types(group_types: &[DataType], aggregates: &[AggSpec]) -> Vec<DataType> {
+    let mut types = group_types.to_vec();
+    types.extend(aggregates.iter().map(|a| a.output));
+    types
+}
+
+/// Emit sorted `(key, states)` entries as the aggregation result batch.
+fn emit_groups(
+    mut entries: Vec<(GroupKey, Vec<AggState>)>,
+    aggregates: &[AggSpec],
+    output_types: &[DataType],
+) -> Batch {
+    entries.sort_by(|a, b| cmp_group_keys(&a.0, &b.0));
+    let mut out = Batch::new(output_types);
+    for (key, states) in entries {
+        let mut row = key.0;
+        for (state, spec) in states.iter().zip(aggregates) {
+            row.push(state.finish(spec.func));
+        }
+        out.push_row(row);
+    }
+    out
+}
+
 /// Hash aggregation (a pipeline breaker): consumes its whole input, then emits one
 /// tuple per group: the group-key expressions followed by the aggregates.
 pub struct HashAggregateOp<'a> {
     input: BoxedOperator<'a>,
     group_exprs: Vec<Expr>,
-    group_types: Vec<DataType>,
     aggregates: Vec<AggSpec>,
+    output_types: Vec<DataType>,
     done: bool,
 }
 
@@ -292,11 +454,12 @@ impl<'a> HashAggregateOp<'a> {
         aggregates: Vec<AggSpec>,
     ) -> Self {
         assert_eq!(group_exprs.len(), group_types.len());
+        let output_types = agg_output_types(&group_types, &aggregates);
         HashAggregateOp {
             input,
             group_exprs,
-            group_types,
             aggregates,
+            output_types,
             done: false,
         }
     }
@@ -320,41 +483,199 @@ impl<'a> Operator for HashAggregateOp<'a> {
                 let states = groups
                     .entry(key)
                     .or_insert_with(|| vec![AggState::new(); self.aggregates.len()]);
-                for (state, spec) in states.iter_mut().zip(&self.aggregates) {
-                    if spec.func == AggFunc::CountStar {
-                        state.update(&Value::Null, true);
-                    } else {
-                        state.update(&spec.expr.eval(&batch, row), false);
-                    }
-                }
+                update_states(states, &self.aggregates, &batch, row);
             }
         }
-        let mut out = Batch::new(&self.output_types());
-        // Deterministic output order: sort groups by key.
-        let mut entries: Vec<(GroupKey, Vec<AggState>)> = groups.into_iter().collect();
-        entries.sort_by(|a, b| {
-            for (x, y) in a.0 .0.iter().zip(&b.0 .0) {
-                let ord = x.total_cmp(y);
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        for (key, states) in entries {
-            let mut row = key.0;
-            for (state, spec) in states.iter().zip(&self.aggregates) {
-                row.push(state.finish(spec.func));
-            }
-            out.push_row(row);
-        }
-        Some(out)
+        Some(emit_groups(
+            groups.into_iter().collect(),
+            &self.aggregates,
+            &self.output_types,
+        ))
     }
 
     fn output_types(&self) -> Vec<DataType> {
-        let mut types = self.group_types.clone();
-        types.extend(self.aggregates.iter().map(|a| a.output));
-        types
+        self.output_types.clone()
+    }
+}
+
+// -------------------------------------------------------------- parallel aggregate
+
+/// One radix partition of per-worker aggregation state.
+type AggPartition = HashMap<HashedKey, Vec<AggState>>;
+
+/// The input of a [`ParallelHashAggregateOp`]: either a morsel-parallel pipeline
+/// over a relation, or already-materialised batches (each treated as one morsel).
+enum AggSource<'a> {
+    Scan {
+        relation: &'a Relation,
+        spec: PipelineSpec,
+    },
+    Batches {
+        batches: Vec<Batch>,
+        threads: usize,
+    },
+}
+
+/// Per-worker sink of the parallel aggregation build phase: a radix-partitioned
+/// group hash table.
+struct AggBuildSink<'x> {
+    group_exprs: &'x [Expr],
+    aggregates: &'x [AggSpec],
+    partitions: Vec<AggPartition>,
+}
+
+impl MorselSink for AggBuildSink<'_> {
+    fn consume(&mut self, _morsel_idx: usize, batch: &Batch) {
+        for row in 0..batch.len() {
+            let key = HashedKey::new(GroupKey(
+                self.group_exprs
+                    .iter()
+                    .map(|e| e.eval(batch, row))
+                    .collect(),
+            ));
+            let partition = &mut self.partitions[key.partition()];
+            let states = partition
+                .entry(key)
+                .or_insert_with(|| vec![AggState::new(); self.aggregates.len()]);
+            update_states(states, self.aggregates, batch, row);
+        }
+    }
+}
+
+/// Fold the same radix partition of every worker into one partition, in worker
+/// order. Partitions hold disjoint key sets, so this is the only cross-worker
+/// combination the merge phase needs.
+fn merge_agg_partition(parts: Vec<AggPartition>) -> AggPartition {
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for part in iter {
+        for (key, states) in part {
+            match acc.entry(key) {
+                Entry::Occupied(mut entry) => {
+                    for (state, other) in entry.get_mut().iter_mut().zip(&states) {
+                        state.merge(other);
+                    }
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(states);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Morsel-parallel hash aggregation: workers run the scan→filter→project chain of a
+/// [`PipelineSpec`] locally and aggregate into per-worker radix-partitioned hash
+/// tables; the barrier merges partitions across workers partition-wise (in
+/// parallel), then emits groups in sorted key order — the same deterministic output
+/// order as the serial [`HashAggregateOp`].
+///
+/// Count, min, max and integer sums are **byte-identical** to the serial operator
+/// for every thread count (they are order-insensitive); sums over doubles are
+/// subject to floating-point reassociation like any parallel reduction and may
+/// differ in the last ulps.
+pub struct ParallelHashAggregateOp<'a> {
+    source: AggSource<'a>,
+    group_exprs: Vec<Expr>,
+    aggregates: Vec<AggSpec>,
+    output_types: Vec<DataType>,
+    scan_stats: ScanStats,
+    done: bool,
+}
+
+impl<'a> ParallelHashAggregateOp<'a> {
+    /// Aggregate the morsel-parallel pipeline `spec` over `relation`
+    /// (`spec.config.threads` controls build and merge parallelism).
+    pub fn over_relation(
+        relation: &'a Relation,
+        spec: PipelineSpec,
+        group_exprs: Vec<Expr>,
+        group_types: Vec<DataType>,
+        aggregates: Vec<AggSpec>,
+    ) -> Self {
+        assert_eq!(group_exprs.len(), group_types.len());
+        let output_types = agg_output_types(&group_types, &aggregates);
+        ParallelHashAggregateOp {
+            source: AggSource::Scan { relation, spec },
+            group_exprs,
+            aggregates,
+            output_types,
+            scan_stats: ScanStats::default(),
+            done: false,
+        }
+    }
+
+    /// Aggregate already-materialised batches with `threads` workers, each batch
+    /// being one morsel (used when the input is an intermediate result rather than
+    /// a base-table scan).
+    pub fn over_batches(
+        batches: Vec<Batch>,
+        threads: usize,
+        group_exprs: Vec<Expr>,
+        group_types: Vec<DataType>,
+        aggregates: Vec<AggSpec>,
+    ) -> ParallelHashAggregateOp<'static> {
+        assert_eq!(group_exprs.len(), group_types.len());
+        let output_types = agg_output_types(&group_types, &aggregates);
+        ParallelHashAggregateOp {
+            source: AggSource::Batches { batches, threads },
+            group_exprs,
+            aggregates,
+            output_types,
+            scan_stats: ScanStats::default(),
+            done: false,
+        }
+    }
+
+    /// Statistics of the driving scan (complete once the operator has produced its
+    /// output; zero for the batch-fed variant).
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scan_stats
+    }
+
+    fn threads(&self) -> usize {
+        match &self.source {
+            AggSource::Scan { spec, .. } => spec.config.threads,
+            AggSource::Batches { threads, .. } => *threads,
+        }
+    }
+}
+
+impl Operator for ParallelHashAggregateOp<'_> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let threads = self.threads();
+        let make_sink = || AggBuildSink {
+            group_exprs: &self.group_exprs,
+            aggregates: &self.aggregates,
+            partitions: (0..RADIX_PARTITIONS).map(|_| AggPartition::new()).collect(),
+        };
+        let (sinks, stats) = match &self.source {
+            AggSource::Scan { relation, spec } => morsel::drive_pipeline(relation, spec, make_sink),
+            AggSource::Batches { batches, threads } => (
+                morsel::drive_batches(batches, *threads, make_sink),
+                ScanStats::default(),
+            ),
+        };
+        self.scan_stats = stats;
+        let per_worker: Vec<Vec<AggPartition>> =
+            sinks.into_iter().map(|sink| sink.partitions).collect();
+        let merged =
+            morsel::merge_partitionwise(per_worker, threads, |_, parts| merge_agg_partition(parts));
+        let entries: Vec<(GroupKey, Vec<AggState>)> = merged
+            .into_iter()
+            .flatten()
+            .map(|(hashed, states)| (hashed.key, states))
+            .collect();
+        Some(emit_groups(entries, &self.aggregates, &self.output_types))
+    }
+
+    fn output_types(&self) -> Vec<DataType> {
+        self.output_types.clone()
     }
 }
 
@@ -370,11 +691,25 @@ pub enum JoinType {
     ProbeSemi,
 }
 
+/// One merged radix partition of the parallel join build (flattened into the
+/// single probe table once every partition is merged).
+type JoinPartition = HashMap<HashedKey, Vec<Vec<Value>>>;
+
+/// One radix partition of a worker's build state: rows tagged with their global
+/// `(morsel, row)` position so the merge phase can restore serial insertion order.
+type TaggedPartition = HashMap<HashedKey, Vec<(u64, Vec<Value>)>>;
+
 /// Hash equi-join. The build side is materialised into a hash table (the pipeline
-/// breaker); the probe side streams through. Optionally an *early-probe* filter —
-/// a compact tag bitmap derived from the key hashes, standing in for the tagged
-/// hash-table pointers of Appendix E — rejects probe tuples before the full hash
-/// lookup.
+/// breaker); the probe side streams through. The build can run morsel-parallel
+/// ([`HashJoinOp::with_parallel_build`]): workers build private radix-partitioned
+/// tables over the drained build batches and the barrier merges them
+/// partition-wise, restoring serial insertion order per key so results are
+/// byte-identical to the serial build. The merged partitions are flattened into one
+/// table before probing — partitioning only earns its keep during the parallel
+/// build/merge, while the (usually much larger) probe stream wants a single-lookup
+/// hot path. Optionally an *early-probe* filter — a compact tag bitmap derived from
+/// the key hashes, standing in for the tagged hash-table pointers of Appendix E —
+/// rejects probe tuples before the full hash lookup.
 pub struct HashJoinOp<'a> {
     build: BoxedOperator<'a>,
     probe: BoxedOperator<'a>,
@@ -382,9 +717,10 @@ pub struct HashJoinOp<'a> {
     probe_keys: Vec<usize>,
     join_type: JoinType,
     early_probe: bool,
+    build_threads: usize,
     table: Option<HashMap<GroupKey, Vec<Vec<Value>>>>,
     tags: Vec<u64>,
-    build_types: Vec<DataType>,
+    output_types: Vec<DataType>,
 }
 
 impl<'a> HashJoinOp<'a> {
@@ -397,7 +733,14 @@ impl<'a> HashJoinOp<'a> {
         join_type: JoinType,
     ) -> Self {
         assert_eq!(build_keys.len(), probe_keys.len());
-        let build_types = build.output_types();
+        let output_types = match join_type {
+            JoinType::Inner => {
+                let mut types = build.output_types();
+                types.extend(probe.output_types());
+                types
+            }
+            JoinType::ProbeSemi => probe.output_types(),
+        };
         HashJoinOp {
             build,
             probe,
@@ -405,9 +748,10 @@ impl<'a> HashJoinOp<'a> {
             probe_keys,
             join_type,
             early_probe: false,
+            build_threads: 1,
             table: None,
             tags: Vec::new(),
-            build_types,
+            output_types,
         }
     }
 
@@ -418,36 +762,123 @@ impl<'a> HashJoinOp<'a> {
         self
     }
 
+    /// Build the hash table with `threads` morsel workers (same contract as
+    /// [`crate::ScanConfig::threads`]: `1` builds serially on the calling thread,
+    /// `0` uses every hardware thread). The probe/output tail stays streaming and
+    /// single-threaded; results are byte-identical to the serial build for every
+    /// thread count.
+    pub fn with_parallel_build(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
+
     fn build_table(&mut self) {
         if self.table.is_some() {
             return;
         }
-        let mut table: HashMap<GroupKey, Vec<Vec<Value>>> = HashMap::new();
-        // 16 KiB of tag bits (2^17 bits): small enough for L1/L2, large enough to be
-        // selective for the build sizes used here.
-        let mut tags = vec![0u64; 2048];
-        while let Some(batch) = self.build.next_batch() {
-            for row in 0..batch.len() {
-                let key = GroupKey(
-                    self.build_keys
-                        .iter()
-                        .map(|&k| batch.value(row, k))
+        let table: HashMap<GroupKey, Vec<Vec<Value>>> =
+            if morsel::effective_threads(self.build_threads) == 1 {
+                let mut serial: HashMap<GroupKey, Vec<Vec<Value>>> = HashMap::new();
+                while let Some(batch) = self.build.next_batch() {
+                    for row in 0..batch.len() {
+                        let key = GroupKey(
+                            self.build_keys
+                                .iter()
+                                .map(|&k| batch.value(row, k))
+                                .collect(),
+                        );
+                        serial.entry(key).or_default().push(batch.row(row));
+                    }
+                }
+                serial
+            } else {
+                // Drain the build side (the upstream scan parallelises itself through
+                // its own ScanConfig), then partition-build over the batches.
+                let mut batches = Vec::new();
+                while let Some(batch) = self.build.next_batch() {
+                    if !batch.is_empty() {
+                        batches.push(batch);
+                    }
+                }
+                let build_keys = &self.build_keys;
+                let sinks = morsel::drive_batches(&batches, self.build_threads, || JoinBuildSink {
+                    keys: build_keys,
+                    partitions: (0..RADIX_PARTITIONS)
+                        .map(|_| TaggedPartition::new())
                         .collect(),
-                );
-                let slot = tag_slot(&key, tags.len());
-                tags[slot.0] |= 1 << slot.1;
-                table.entry(key).or_default().push(batch.row(row));
-            }
+                });
+                let per_worker: Vec<Vec<TaggedPartition>> =
+                    sinks.into_iter().map(|sink| sink.partitions).collect();
+                let merged =
+                    morsel::merge_partitionwise(per_worker, self.build_threads, |_, parts| {
+                        merge_join_partition(parts)
+                    });
+                // Flatten the merged partitions (disjoint key sets) into one table so
+                // the probe loop pays a single hash lookup per row.
+                merged
+                    .into_iter()
+                    .flatten()
+                    .map(|(hashed, rows)| (hashed.key, rows))
+                    .collect()
+            };
+        // 16 KiB of tag bits (2^17 bits): small enough for L1/L2, large enough to be
+        // selective for the build sizes used here. One bit per distinct key gives the
+        // same bitmap as the serial one-bit-per-row construction.
+        let mut tags = vec![0u64; 2048];
+        for key in table.keys() {
+            let slot = tag_slot(key, tags.len());
+            tags[slot.0] |= 1 << slot.1;
         }
         self.table = Some(table);
         self.tags = tags;
     }
 }
 
+/// Per-worker sink of the parallel join build. Only fed by
+/// [`morsel::drive_batches`], where each morsel is exactly one batch — so the
+/// `(morsel_idx << 32) | row` tag is the row's unique global position in the
+/// drained build stream, and sorting a key's rows by tag restores serial insertion
+/// order.
+struct JoinBuildSink<'x> {
+    keys: &'x [usize],
+    partitions: Vec<TaggedPartition>,
+}
+
+impl MorselSink for JoinBuildSink<'_> {
+    fn consume(&mut self, morsel_idx: usize, batch: &Batch) {
+        for row in 0..batch.len() {
+            let key = HashedKey::new(GroupKey(
+                self.keys.iter().map(|&k| batch.value(row, k)).collect(),
+            ));
+            let tag = ((morsel_idx as u64) << 32) | row as u64;
+            self.partitions[key.partition()]
+                .entry(key)
+                .or_default()
+                .push((tag, batch.row(row)));
+        }
+    }
+}
+
+/// Merge one radix partition of every build worker: concatenate each key's tagged
+/// rows, then sort by tag to restore the serial build order.
+fn merge_join_partition(parts: Vec<TaggedPartition>) -> JoinPartition {
+    let mut tagged = TaggedPartition::new();
+    for part in parts {
+        for (key, mut rows) in part {
+            tagged.entry(key).or_default().append(&mut rows);
+        }
+    }
+    tagged
+        .into_iter()
+        .map(|(key, mut rows)| {
+            rows.sort_unstable_by_key(|&(tag, _)| tag);
+            (key, rows.into_iter().map(|(_, row)| row).collect())
+        })
+        .collect()
+}
+
 fn tag_slot(key: &GroupKey, words: usize) -> (usize, u32) {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut hasher);
-    let h = hasher.finish();
+    let h = key_hash(key);
     ((h as usize) % words, (h >> 32) as u32 % 64)
 }
 
@@ -456,7 +887,7 @@ impl<'a> Operator for HashJoinOp<'a> {
         self.build_table();
         let table = self.table.as_ref().expect("built above");
         let batch = self.probe.next_batch()?;
-        let mut out = Batch::new(&self.output_types());
+        let mut out = Batch::new(&self.output_types);
         for row in 0..batch.len() {
             let key = GroupKey(
                 self.probe_keys
@@ -490,14 +921,7 @@ impl<'a> Operator for HashJoinOp<'a> {
     }
 
     fn output_types(&self) -> Vec<DataType> {
-        match self.join_type {
-            JoinType::Inner => {
-                let mut types = self.build_types.clone();
-                types.extend(self.probe.output_types());
-                types
-            }
-            JoinType::ProbeSemi => self.probe.output_types(),
-        }
+        self.output_types.clone()
     }
 }
 
@@ -535,16 +959,19 @@ pub struct SortOp<'a> {
     input: BoxedOperator<'a>,
     keys: Vec<SortKey>,
     limit: Option<usize>,
+    types: Vec<DataType>,
     done: bool,
 }
 
 impl<'a> SortOp<'a> {
     /// Sort by `keys`, optionally keeping only the first `limit` tuples.
     pub fn new(input: BoxedOperator<'a>, keys: Vec<SortKey>, limit: Option<usize>) -> Self {
+        let types = input.output_types();
         SortOp {
             input,
             keys,
             limit,
+            types,
             done: false,
         }
     }
@@ -557,7 +984,7 @@ impl<'a> Operator for SortOp<'a> {
         }
         self.done = true;
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        let types = self.input.output_types();
+        let types = self.types.clone();
         while let Some(batch) = self.input.next_batch() {
             for row in 0..batch.len() {
                 rows.push(batch.row(row));
@@ -580,7 +1007,7 @@ impl<'a> Operator for SortOp<'a> {
     }
 
     fn output_types(&self) -> Vec<DataType> {
-        self.input.output_types()
+        self.types.clone()
     }
 }
 
@@ -850,5 +1277,233 @@ mod tests {
         assert_eq!(op.output_types().len(), 3);
         assert!(op.next_batch().is_some());
         assert!(op.next_batch().is_none());
+    }
+
+    // ------------------------------------------------------- parallel pipeline breakers
+
+    fn int_aggs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+            AggSpec::new(AggFunc::Sum, Expr::col(0), DataType::Int),
+            AggSpec::new(AggFunc::Min, Expr::col(0), DataType::Int),
+            AggSpec::new(AggFunc::Max, Expr::col(0), DataType::Int),
+            AggSpec::new(AggFunc::Avg, Expr::col(0), DataType::Double),
+        ]
+    }
+
+    fn assert_batches_equal(a: &Batch, b: &Batch, context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}");
+        for row in 0..a.len() {
+            assert_eq!(a.row(row), b.row(row), "{context} row {row}");
+        }
+    }
+
+    #[test]
+    fn parallel_agg_over_batches_matches_serial() {
+        let serial = HashAggregateOp::new(
+            values_op(257),
+            vec![Expr::col(2)],
+            vec![DataType::Str],
+            int_aggs(),
+        )
+        .collect_all();
+        // split the same input into many small batches
+        let full = numbers(257);
+        let batches: Vec<Batch> = (0..full.len())
+            .step_by(13)
+            .map(|from| {
+                let rows: Vec<usize> = (from..(from + 13).min(full.len())).collect();
+                full.take(&rows)
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let mut parallel = ParallelHashAggregateOp::over_batches(
+                batches.clone(),
+                threads,
+                vec![Expr::col(2)],
+                vec![DataType::Str],
+                int_aggs(),
+            );
+            let result = parallel.collect_all();
+            assert_batches_equal(&result, &serial, &format!("threads {threads}"));
+        }
+    }
+
+    #[test]
+    fn parallel_agg_result_is_independent_of_batch_order() {
+        // "merging partitions in any order yields identical aggregate results":
+        // feeding the batches in reversed / rotated order changes which worker
+        // builds which partial state, yet the merged output is identical because
+        // the merged aggregates are order-insensitive.
+        let full = numbers(100);
+        let batches: Vec<Batch> = (0..full.len())
+            .step_by(9)
+            .map(|from| {
+                let rows: Vec<usize> = (from..(from + 9).min(full.len())).collect();
+                full.take(&rows)
+            })
+            .collect();
+        let mut reference = None;
+        let mut orders: Vec<Vec<Batch>> = vec![batches.clone()];
+        let mut reversed = batches.clone();
+        reversed.reverse();
+        orders.push(reversed);
+        let mut rotated = batches.clone();
+        rotated.rotate_left(batches.len() / 2);
+        orders.push(rotated);
+        for (idx, order) in orders.into_iter().enumerate() {
+            for threads in [1usize, 3] {
+                let result = ParallelHashAggregateOp::over_batches(
+                    order.clone(),
+                    threads,
+                    vec![Expr::col(1)],
+                    vec![DataType::Int],
+                    int_aggs(),
+                )
+                .collect_all();
+                match &reference {
+                    None => reference = Some(result),
+                    Some(expected) => assert_batches_equal(
+                        &result,
+                        expected,
+                        &format!("order {idx} threads {threads}"),
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merging_agg_partitions_in_any_worker_order_is_identical() {
+        // Build three disjoint partial states for overlapping groups and merge the
+        // per-worker partitions in every permutation: integer aggregates must agree.
+        let full = numbers(60);
+        let thirds: Vec<Batch> = (0..3)
+            .map(|w| {
+                let rows: Vec<usize> = (0..full.len()).filter(|r| r % 3 == w).collect();
+                full.take(&rows)
+            })
+            .collect();
+        let build = |order: &[usize]| -> Batch {
+            let batches: Vec<Batch> = order.iter().map(|&w| thirds[w].clone()).collect();
+            ParallelHashAggregateOp::over_batches(
+                batches,
+                2,
+                vec![Expr::col(1)],
+                vec![DataType::Int],
+                int_aggs(),
+            )
+            .collect_all()
+        };
+        let reference = build(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_batches_equal(&build(&order), &reference, &format!("order {order:?}"));
+        }
+    }
+
+    #[test]
+    fn radix_partition_is_pure_and_bounded() {
+        let keys = [
+            vec![Value::Int(42)],
+            vec![Value::Null],
+            vec![Value::Str("abc".into()), Value::Int(-7)],
+            vec![Value::Double(3.25)],
+            vec![],
+        ];
+        for key in &keys {
+            let p = radix_partition(key);
+            assert!(p < RADIX_PARTITIONS);
+            assert_eq!(p, radix_partition(key), "partition must be a pure function");
+        }
+        // distinct int keys spread over more than one partition
+        let hit: std::collections::HashSet<usize> = (0..256i64)
+            .map(|i| radix_partition(&[Value::Int(i)]))
+            .collect();
+        assert!(hit.len() > 8, "only {} partitions hit", hit.len());
+    }
+
+    #[test]
+    fn parallel_join_build_matches_serial_build() {
+        // build: skewed duplicate keys plus NULL keys
+        let build_rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| {
+                let key = if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 7)
+                };
+                vec![key, Value::Int(i)]
+            })
+            .collect();
+        let build_batch = Batch::from_rows(&[DataType::Int, DataType::Int], &build_rows);
+        let serial = HashJoinOp::new(
+            Box::new(ValuesOp::new(build_batch.clone())),
+            values_op(100),
+            vec![0],
+            vec![1],
+            JoinType::Inner,
+        )
+        .collect_all_helper();
+        for threads in [2usize, 4, 8] {
+            let parallel = HashJoinOp::new(
+                Box::new(ValuesOp::new(build_batch.clone())),
+                values_op(100),
+                vec![0],
+                vec![1],
+                JoinType::Inner,
+            )
+            .with_parallel_build(threads)
+            .collect_all_helper();
+            assert_batches_equal(&parallel, &serial, &format!("threads {threads}"));
+        }
+    }
+
+    #[test]
+    fn parallel_semi_join_and_early_probe_match_serial() {
+        let build = Batch::from_rows(
+            &[DataType::Int],
+            &(0..40).map(|i| vec![Value::Int(i % 5)]).collect::<Vec<_>>(),
+        );
+        let serial = HashJoinOp::new(
+            Box::new(ValuesOp::new(build.clone())),
+            values_op(60),
+            vec![0],
+            vec![1],
+            JoinType::ProbeSemi,
+        )
+        .collect_all_helper();
+        let parallel = HashJoinOp::new(
+            Box::new(ValuesOp::new(build)),
+            values_op(60),
+            vec![0],
+            vec![1],
+            JoinType::ProbeSemi,
+        )
+        .with_parallel_build(4)
+        .with_early_probe(true)
+        .collect_all_helper();
+        assert_batches_equal(&parallel, &serial, "semi + early probe");
+    }
+
+    #[test]
+    fn parallel_agg_of_empty_input_matches_serial() {
+        let empty = Batch::new(&[DataType::Int, DataType::Int, DataType::Str]);
+        let serial = HashAggregateOp::new(
+            Box::new(ValuesOp::new(empty.clone())),
+            vec![Expr::col(2)],
+            vec![DataType::Str],
+            int_aggs(),
+        )
+        .collect_all();
+        let parallel = ParallelHashAggregateOp::over_batches(
+            vec![empty],
+            4,
+            vec![Expr::col(2)],
+            vec![DataType::Str],
+            int_aggs(),
+        )
+        .collect_all();
+        assert_eq!(serial.len(), 0);
+        assert_batches_equal(&parallel, &serial, "empty input");
     }
 }

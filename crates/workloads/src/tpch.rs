@@ -415,7 +415,53 @@ pub struct QueryResult {
     pub scan_stats: ScanStats,
 }
 
-/// TPC-H Q1: scan-heavy aggregation over almost all of lineitem.
+/// Run a single-table aggregation either serially (one worker) or morsel-parallel
+/// ([`ParallelHashAggregateOp`]: workers aggregate radix-partitioned state over
+/// their morsels, the merge phase combines partitions in parallel). The shared
+/// dispatch of the scan-dominated aggregation queries (Q1, Q6).
+fn scan_aggregation(
+    relation: &Relation,
+    projection: Vec<usize>,
+    restrictions: Vec<Restriction>,
+    config: ScanConfig,
+    group_exprs: Vec<Expr>,
+    group_types: Vec<DataType>,
+    aggregates: Vec<AggSpec>,
+) -> QueryResult {
+    if exec::morsel::effective_threads(config.threads) != 1 {
+        let spec = PipelineSpec::scan(projection, restrictions, config);
+        let mut agg = ParallelHashAggregateOp::over_relation(
+            relation,
+            spec,
+            group_exprs,
+            group_types,
+            aggregates,
+        );
+        let batch = agg.collect_all();
+        return QueryResult {
+            batch,
+            scan_stats: agg.scan_stats(),
+        };
+    }
+    let scanner = RelationScanner::new(relation, projection, restrictions, config);
+    let mut scan_op = ScanOp::new(scanner);
+    let mut agg = HashAggregateOp::new(
+        Box::new(TakeStats::new(&mut scan_op)),
+        group_exprs,
+        group_types,
+        aggregates,
+    );
+    let batch = agg.collect_all();
+    drop(agg);
+    QueryResult {
+        batch,
+        scan_stats: scan_op.stats(),
+    }
+}
+
+/// TPC-H Q1: scan-heavy aggregation over almost all of lineitem. With
+/// `config.threads != 1` the aggregation itself runs morsel-parallel
+/// ([`ParallelHashAggregateOp`]).
 pub fn q1(db: &TpchDb, config: ScanConfig) -> QueryResult {
     let lineitem = db.relation("lineitem");
     let s = lineitem.schema();
@@ -429,34 +475,32 @@ pub fn q1(db: &TpchDb, config: ScanConfig) -> QueryResult {
         s.idx("l_tax"),
     ];
     let restrictions = vec![Restriction::cmp(s.idx("l_shipdate"), CmpOp::Le, cutoff)];
-    let scanner = RelationScanner::new(lineitem, projection, restrictions, config);
-    let mut scan_op = ScanOp::new(scanner);
     // After projection by the scan: 0 flag, 1 status, 2 qty, 3 price, 4 disc, 5 tax
     let disc_price = Expr::col(3).mul(Expr::lit(1.0).sub(Expr::col(4).div(Expr::lit(100i64))));
     let charge = disc_price
         .clone()
         .mul(Expr::lit(1.0).add(Expr::col(5).div(Expr::lit(100i64))));
-    let mut agg = HashAggregateOp::new(
-        Box::new(TakeStats::new(&mut scan_op)),
-        vec![Expr::col(0), Expr::col(1)],
-        vec![DataType::Str, DataType::Str],
-        vec![
-            AggSpec::new(AggFunc::Sum, Expr::col(2), DataType::Int),
-            AggSpec::new(AggFunc::Sum, Expr::col(3), DataType::Int),
-            AggSpec::new(AggFunc::Sum, disc_price, DataType::Double),
-            AggSpec::new(AggFunc::Sum, charge, DataType::Double),
-            AggSpec::new(AggFunc::Avg, Expr::col(2), DataType::Double),
-            AggSpec::new(AggFunc::Avg, Expr::col(3), DataType::Double),
-            AggSpec::new(AggFunc::Avg, Expr::col(4), DataType::Double),
-            AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
-        ],
-    );
-    let batch = agg.collect_all();
-    drop(agg);
-    QueryResult {
-        batch,
-        scan_stats: scan_op.stats(),
-    }
+    let group_exprs = vec![Expr::col(0), Expr::col(1)];
+    let group_types = vec![DataType::Str, DataType::Str];
+    let aggregates = vec![
+        AggSpec::new(AggFunc::Sum, Expr::col(2), DataType::Int),
+        AggSpec::new(AggFunc::Sum, Expr::col(3), DataType::Int),
+        AggSpec::new(AggFunc::Sum, disc_price, DataType::Double),
+        AggSpec::new(AggFunc::Sum, charge, DataType::Double),
+        AggSpec::new(AggFunc::Avg, Expr::col(2), DataType::Double),
+        AggSpec::new(AggFunc::Avg, Expr::col(3), DataType::Double),
+        AggSpec::new(AggFunc::Avg, Expr::col(4), DataType::Double),
+        AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+    ];
+    scan_aggregation(
+        lineitem,
+        projection,
+        restrictions,
+        config,
+        group_exprs,
+        group_types,
+        aggregates,
+    )
 }
 
 /// TPC-H Q6: the forecasting revenue change query — highly selective SARGable
@@ -472,21 +516,17 @@ pub fn q6(db: &TpchDb, config: ScanConfig) -> QueryResult {
         Restriction::between(s.idx("l_discount"), 5i64, 7i64),
         Restriction::cmp(s.idx("l_quantity"), CmpOp::Lt, 24i64),
     ];
-    let scanner = RelationScanner::new(lineitem, projection, restrictions, config);
-    let mut scan_op = ScanOp::new(scanner);
     let revenue = Expr::col(0).mul(Expr::col(1)).div(Expr::lit(100i64));
-    let mut agg = HashAggregateOp::new(
-        Box::new(TakeStats::new(&mut scan_op)),
+    let aggregates = vec![AggSpec::new(AggFunc::Sum, revenue, DataType::Double)];
+    scan_aggregation(
+        lineitem,
+        projection,
+        restrictions,
+        config,
         vec![],
         vec![],
-        vec![AggSpec::new(AggFunc::Sum, revenue, DataType::Double)],
-    );
-    let batch = agg.collect_all();
-    drop(agg);
-    QueryResult {
-        batch,
-        scan_stats: scan_op.stats(),
-    }
+        aggregates,
+    )
 }
 
 /// TPC-H Q3 (shipping priority): customer ⋈ orders ⋈ lineitem with restrictions on
@@ -516,14 +556,16 @@ pub fn q3(db: &TpchDb, config: ScanConfig) -> QueryResult {
         vec![Restriction::cmp(os.idx("o_orderdate"), CmpOp::Lt, cutoff)],
         config,
     );
-    // join customers with orders (semi: keep order columns)
+    // join customers with orders (semi: keep order columns); the build side
+    // partitions in parallel when the scan configuration asks for threads
     let cust_orders = HashJoinOp::new(
         Box::new(ScanOp::new(cust_scan)),
         Box::new(ScanOp::new(orders_scan)),
         vec![0],
         vec![1], // o_custkey
         JoinType::ProbeSemi,
-    );
+    )
+    .with_parallel_build(config.threads);
     // lineitem after the cutoff — the driving scan
     let lineitem = db.relation("lineitem");
     let ls = lineitem.schema();
@@ -538,14 +580,16 @@ pub fn q3(db: &TpchDb, config: ScanConfig) -> QueryResult {
         config,
     );
     let mut lineitem_op = ScanOp::new(lineitem_scan);
-    // join: build on qualified orders, probe with lineitem
+    // join: build on qualified orders (an intermediate result — its batches become
+    // the build morsels), probe with lineitem
     let join = HashJoinOp::new(
         Box::new(cust_orders),
         Box::new(TakeStats::new(&mut lineitem_op)),
         vec![0], // o_orderkey
         vec![0], // l_orderkey
         JoinType::Inner,
-    );
+    )
+    .with_parallel_build(config.threads);
     // output of inner join: [o_orderkey, o_custkey, o_orderdate, o_shippriority,
     //                        l_orderkey, l_extendedprice, l_discount]
     let revenue = Expr::col(5).mul(Expr::lit(1.0).sub(Expr::col(6).div(Expr::lit(100i64))));
@@ -615,7 +659,8 @@ pub fn q12(db: &TpchDb, config: ScanConfig) -> QueryResult {
         vec![0],
         vec![0],
         JoinType::Inner,
-    );
+    )
+    .with_parallel_build(config.threads);
     // join output: [o_orderkey, o_orderpriority, l_orderkey, l_shipmode, ...]
     let high = Expr::col(1)
         .cmp(CmpOp::Eq, Expr::lit("1-URGENT"))
@@ -683,7 +728,8 @@ pub fn q14(db: &TpchDb, config: ScanConfig) -> QueryResult {
         vec![0],
         vec![0],
         JoinType::Inner,
-    );
+    )
+    .with_parallel_build(config.threads);
     // join output: [p_partkey, p_type, l_partkey, l_extendedprice, l_discount]
     let disc_price = Expr::col(3).mul(Expr::lit(1.0).sub(Expr::col(4).div(Expr::lit(100i64))));
     let is_promo = Expr::col(1)
@@ -887,6 +933,38 @@ mod tests {
             .value(0, 0);
         let (a, b) = (a.as_double().unwrap(), b.as_double().unwrap());
         assert!((a - b).abs() / b.abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn queries_agree_between_serial_and_parallel_execution() {
+        let mut db = tiny_db(false);
+        db.freeze();
+        for name in QUERY_SUBSET {
+            let serial = run_query(&db, name, ScanConfig::default()).batch;
+            for threads in [2usize, 4] {
+                let config = ScanConfig::default().with_threads(threads);
+                let parallel = run_query(&db, name, config).batch;
+                assert_eq!(serial.len(), parallel.len(), "{name} threads {threads}");
+                for row in 0..serial.len() {
+                    for col in 0..serial.column_count() {
+                        let (a, b) = (serial.value(row, col), parallel.value(row, col));
+                        match (&a, &b) {
+                            // Parallel aggregation reassociates double sums; every
+                            // other value (keys, counts, integer sums, join output)
+                            // must be byte-identical.
+                            (Value::Double(x), Value::Double(y)) => {
+                                let scale = x.abs().max(y.abs()).max(1.0);
+                                assert!(
+                                    (x - y).abs() / scale < 1e-9,
+                                    "{name} threads {threads} row {row} col {col}: {x} vs {y}"
+                                );
+                            }
+                            _ => assert_eq!(a, b, "{name} threads {threads} row {row} col {col}"),
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

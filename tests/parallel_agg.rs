@@ -1,0 +1,394 @@
+//! Differential tests for the morsel-parallel pipeline breakers: partitioned hash
+//! aggregation and the parallel hash-join build must produce results identical to
+//! their serial counterparts for every thread count — on skewed group keys, NULL
+//! groups/keys, mixed hot/cold storage and inputs that leave most radix partitions
+//! empty. Order-insensitive aggregates (count, min, max, integer sums) are compared
+//! **byte-identically**; double sums get a relative-epsilon comparison because a
+//! parallel reduction legitimately reassociates floating-point addition.
+
+use data_blocks::datablocks::{CmpOp, DataType, Restriction, Value};
+use data_blocks::exec::{
+    collect_operator, AggFunc, AggSpec, Batch, Expr, HashAggregateOp, HashJoinOp, JoinType,
+    ParallelHashAggregateOp, PipelineSpec, RelationScanner, ScanConfig, ScanOp, ValuesOp,
+};
+use data_blocks::storage::{ColumnDef, Relation, Schema};
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+const MORSEL_SIZES: &[usize] = &[128, 1_000];
+
+/// A relation with a heavily skewed string group column (~80 % of rows fall into
+/// one group, the rest spread over a long tail), a nullable int group column
+/// (NULL groups must aggregate like any other key), and int/double payloads.
+/// `freeze_full_chunks` leaves mixed cold blocks + a hot tail.
+fn skewed_relation(rows: usize, chunk: usize) -> Relation {
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int),
+        ColumnDef::new("grp", DataType::Str),
+        ColumnDef::nullable("maybe", DataType::Int),
+        ColumnDef::new("val", DataType::Int),
+        ColumnDef::new("price", DataType::Double),
+    ]);
+    let mut rel = Relation::with_chunk_capacity("skewed", schema, chunk);
+    for i in 0..rows {
+        // deterministic skew: 4 of 5 rows hit the hot group
+        let grp = if i % 5 != 0 {
+            "hot".to_string()
+        } else {
+            format!("tail{}", i % 31)
+        };
+        let maybe = if i % 7 == 0 {
+            Value::Null
+        } else {
+            Value::Int((i % 3) as i64)
+        };
+        rel.insert(vec![
+            Value::Int(i as i64),
+            Value::Str(grp),
+            maybe,
+            Value::Int((i * i % 1_000) as i64),
+            Value::Double((i % 997) as f64 * 0.25),
+        ]);
+    }
+    rel.freeze_full_chunks();
+    rel
+}
+
+/// Aggregates whose results are order-insensitive and therefore must match the
+/// serial operator byte for byte. Input columns: 0 id, 1 grp, 2 maybe, 3 val.
+fn int_aggregates() -> Vec<AggSpec> {
+    vec![
+        AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+        AggSpec::new(AggFunc::Count, Expr::col(2), DataType::Int),
+        AggSpec::new(AggFunc::Sum, Expr::col(3), DataType::Int),
+        AggSpec::new(AggFunc::Min, Expr::col(3), DataType::Int),
+        AggSpec::new(AggFunc::Max, Expr::col(3), DataType::Int),
+        AggSpec::new(AggFunc::Avg, Expr::col(3), DataType::Double),
+    ]
+}
+
+fn assert_identical(a: &Batch, b: &Batch, context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: row counts differ");
+    for row in 0..a.len() {
+        assert_eq!(a.row(row), b.row(row), "{context} row {row}");
+    }
+}
+
+fn serial_agg(
+    rel: &Relation,
+    projection: Vec<usize>,
+    restrictions: Vec<Restriction>,
+    group_exprs: Vec<Expr>,
+    group_types: Vec<DataType>,
+    aggregates: Vec<AggSpec>,
+) -> Batch {
+    let scanner = RelationScanner::new(rel, projection, restrictions, ScanConfig::default());
+    let mut agg = HashAggregateOp::new(
+        Box::new(ScanOp::new(scanner)),
+        group_exprs,
+        group_types,
+        aggregates,
+    );
+    collect_operator(&mut agg)
+}
+
+/// Parallel partitioned aggregation reproduces the serial operator byte for byte on
+/// skewed and NULL-bearing group keys, for every thread count and morsel size.
+#[test]
+fn parallel_agg_matches_serial_on_skewed_and_null_groups() {
+    let rel = skewed_relation(6_400, 1_000);
+    let projection = vec![0usize, 1, 2, 3];
+    let group_exprs = vec![Expr::col(1), Expr::col(2)];
+    let group_types = vec![DataType::Str, DataType::Int];
+    let expected = serial_agg(
+        &rel,
+        projection.clone(),
+        vec![],
+        group_exprs.clone(),
+        group_types.clone(),
+        int_aggregates(),
+    );
+    assert!(expected.len() > 30, "skew + NULL tail yields many groups");
+    for &threads in THREAD_COUNTS {
+        for &morsel_rows in MORSEL_SIZES {
+            let config = ScanConfig::default()
+                .with_threads(threads)
+                .with_morsel_rows(morsel_rows);
+            let spec = PipelineSpec::scan(projection.clone(), vec![], config);
+            let mut agg = ParallelHashAggregateOp::over_relation(
+                &rel,
+                spec,
+                group_exprs.clone(),
+                group_types.clone(),
+                int_aggregates(),
+            );
+            let got = collect_operator(&mut agg);
+            assert_identical(
+                &got,
+                &expected,
+                &format!("threads {threads} morsel_rows {morsel_rows}"),
+            );
+        }
+    }
+}
+
+/// The per-morsel operator chain (scan → filter → project → aggregate build) agrees
+/// with the equivalent serial operator pipeline.
+#[test]
+fn pipelined_filter_and_project_match_serial_operators() {
+    use data_blocks::exec::{FilterOp, ProjectOp};
+    let rel = skewed_relation(4_000, 900);
+    let predicate = Expr::col(3).cmp(CmpOp::Ge, Expr::lit(100i64));
+    let project_exprs = vec![Expr::col(1), Expr::col(3).mul(Expr::lit(2i64))];
+    let project_types = vec![DataType::Str, DataType::Int];
+    let aggregates = vec![
+        AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+        AggSpec::new(AggFunc::Sum, Expr::col(1), DataType::Int),
+    ];
+
+    let scanner = RelationScanner::new(&rel, vec![0, 1, 2, 3], vec![], ScanConfig::default());
+    let filtered = FilterOp::new(Box::new(ScanOp::new(scanner)), predicate.clone());
+    let projected = ProjectOp::new(
+        Box::new(filtered),
+        project_exprs.clone(),
+        project_types.clone(),
+    );
+    let mut serial = HashAggregateOp::new(
+        Box::new(projected),
+        vec![Expr::col(0)],
+        vec![DataType::Str],
+        aggregates.clone(),
+    );
+    let expected = collect_operator(&mut serial);
+
+    for &threads in THREAD_COUNTS {
+        let config = ScanConfig::default().with_threads(threads);
+        let spec = PipelineSpec::scan(vec![0, 1, 2, 3], vec![], config)
+            .then_filter(predicate.clone())
+            .then_project(project_exprs.clone(), project_types.clone());
+        assert_eq!(spec.output_types(&rel), project_types);
+        let mut agg = ParallelHashAggregateOp::over_relation(
+            &rel,
+            spec,
+            vec![Expr::col(0)],
+            vec![DataType::Str],
+            aggregates.clone(),
+        );
+        let got = collect_operator(&mut agg);
+        assert_identical(&got, &expected, &format!("threads {threads}"));
+    }
+}
+
+/// Double sums are a parallel floating-point reduction: equal up to reassociation.
+#[test]
+fn parallel_double_sums_match_serial_within_epsilon() {
+    let rel = skewed_relation(5_000, 1_000);
+    let projection = vec![0usize, 1, 2, 3, 4];
+    let aggregates = vec![
+        AggSpec::new(AggFunc::Sum, Expr::col(4), DataType::Double),
+        AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+    ];
+    let expected = serial_agg(
+        &rel,
+        projection.clone(),
+        vec![],
+        vec![Expr::col(1)],
+        vec![DataType::Str],
+        aggregates.clone(),
+    );
+    for &threads in THREAD_COUNTS {
+        let config = ScanConfig::default()
+            .with_threads(threads)
+            .with_morsel_rows(500);
+        let spec = PipelineSpec::scan(projection.clone(), vec![], config);
+        let mut agg = ParallelHashAggregateOp::over_relation(
+            &rel,
+            spec,
+            vec![Expr::col(1)],
+            vec![DataType::Str],
+            aggregates.clone(),
+        );
+        let got = collect_operator(&mut agg);
+        assert_eq!(got.len(), expected.len());
+        for row in 0..expected.len() {
+            // group key and count: byte-identical
+            assert_eq!(got.value(row, 0), expected.value(row, 0));
+            assert_eq!(got.value(row, 2), expected.value(row, 2));
+            let (a, b) = (
+                got.value(row, 1).as_double().unwrap(),
+                expected.value(row, 1).as_double().unwrap(),
+            );
+            let scale = a.abs().max(b.abs()).max(1.0);
+            assert!(
+                (a - b).abs() / scale < 1e-9,
+                "threads {threads} row {row}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Empty inputs and single-group inputs (63 of 64 radix partitions empty) behave
+/// exactly like the serial operator.
+#[test]
+fn parallel_agg_handles_empty_and_single_partition_inputs() {
+    // empty relation → no groups, zero-row output
+    let empty = skewed_relation(0, 100);
+    let spec = PipelineSpec::scan(
+        vec![0, 1, 2, 3],
+        vec![],
+        ScanConfig::default().with_threads(4),
+    );
+    let mut agg = ParallelHashAggregateOp::over_relation(
+        &empty,
+        spec,
+        vec![Expr::col(1)],
+        vec![DataType::Str],
+        int_aggregates(),
+    );
+    assert_eq!(collect_operator(&mut agg).len(), 0);
+
+    // restriction matches nothing → same
+    let rel = skewed_relation(2_000, 500);
+    let spec = PipelineSpec::scan(
+        vec![0, 1, 2, 3],
+        vec![Restriction::cmp(0, CmpOp::Lt, -1i64)],
+        ScanConfig::default().with_threads(4),
+    );
+    let mut agg = ParallelHashAggregateOp::over_relation(
+        &rel,
+        spec,
+        vec![Expr::col(1)],
+        vec![DataType::Str],
+        int_aggregates(),
+    );
+    assert_eq!(collect_operator(&mut agg).len(), 0);
+
+    // constant group key → every row in one radix partition, the rest empty
+    let expected = serial_agg(
+        &rel,
+        vec![0, 1, 2, 3],
+        vec![],
+        vec![Expr::lit("all")],
+        vec![DataType::Str],
+        int_aggregates(),
+    );
+    assert_eq!(expected.len(), 1);
+    for &threads in THREAD_COUNTS {
+        let spec = PipelineSpec::scan(
+            vec![0, 1, 2, 3],
+            vec![],
+            ScanConfig::default().with_threads(threads),
+        );
+        let mut agg = ParallelHashAggregateOp::over_relation(
+            &rel,
+            spec,
+            vec![Expr::lit("all")],
+            vec![DataType::Str],
+            int_aggregates(),
+        );
+        let got = collect_operator(&mut agg);
+        assert_identical(&got, &expected, &format!("threads {threads}"));
+    }
+}
+
+/// A build relation with skewed duplicate keys and NULL keys, scanned and built in
+/// parallel, joins byte-identically to the fully serial plan — inner and semi, with
+/// and without the early-probe filter.
+#[test]
+fn parallel_join_build_matches_serial_join() {
+    // build: key skew (key 1 carries most rows) + NULL keys
+    let build_schema = Schema::new(vec![
+        ColumnDef::nullable("k", DataType::Int),
+        ColumnDef::new("payload", DataType::Str),
+    ]);
+    let mut build_rel = Relation::with_chunk_capacity("build", build_schema, 300);
+    for i in 0..1_500usize {
+        let key = match i % 10 {
+            0 => Value::Null,
+            1..=6 => Value::Int(1), // skew
+            _ => Value::Int((i % 40) as i64),
+        };
+        build_rel.insert(vec![key, Value::Str(format!("p{i}"))]);
+    }
+    build_rel.freeze_full_chunks();
+
+    // probe: ids with a key column overlapping the build keys (and NULLs)
+    let probe_schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int),
+        ColumnDef::nullable("k", DataType::Int),
+    ]);
+    let mut probe_rel = Relation::with_chunk_capacity("probe", probe_schema, 400);
+    for i in 0..2_000usize {
+        let key = if i % 13 == 0 {
+            Value::Null
+        } else {
+            Value::Int((i % 50) as i64)
+        };
+        probe_rel.insert(vec![Value::Int(i as i64), key]);
+    }
+    probe_rel.freeze_full_chunks();
+
+    for join_type in [JoinType::Inner, JoinType::ProbeSemi] {
+        for early_probe in [false, true] {
+            let serial = {
+                let build =
+                    RelationScanner::new(&build_rel, vec![0, 1], vec![], ScanConfig::default());
+                let probe =
+                    RelationScanner::new(&probe_rel, vec![0, 1], vec![], ScanConfig::default());
+                let mut join = HashJoinOp::new(
+                    Box::new(ScanOp::new(build)),
+                    Box::new(ScanOp::new(probe)),
+                    vec![0],
+                    vec![1],
+                    join_type,
+                )
+                .with_early_probe(early_probe);
+                collect_operator(&mut join)
+            };
+            assert!(!serial.is_empty(), "{join_type:?}: join must produce rows");
+            for &threads in THREAD_COUNTS {
+                let config = ScanConfig::default()
+                    .with_threads(threads)
+                    .with_morsel_rows(256);
+                let build = RelationScanner::new(&build_rel, vec![0, 1], vec![], config);
+                let probe =
+                    RelationScanner::new(&probe_rel, vec![0, 1], vec![], ScanConfig::default());
+                let mut join = HashJoinOp::new(
+                    Box::new(ScanOp::new(build)),
+                    Box::new(ScanOp::new(probe)),
+                    vec![0],
+                    vec![1],
+                    join_type,
+                )
+                .with_early_probe(early_probe)
+                .with_parallel_build(threads);
+                let got = collect_operator(&mut join);
+                assert_identical(
+                    &got,
+                    &serial,
+                    &format!("{join_type:?} early_probe={early_probe} threads {threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// An empty build side produces an empty join for every thread count.
+#[test]
+fn parallel_join_with_empty_build_side() {
+    let probe = Batch::from_rows(
+        &[DataType::Int],
+        &(0..50).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+    );
+    for &threads in THREAD_COUNTS {
+        let empty_build = Batch::new(&[DataType::Int]);
+        let mut join = HashJoinOp::new(
+            Box::new(ValuesOp::new(empty_build)),
+            Box::new(ValuesOp::new(probe.clone())),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+        .with_parallel_build(threads);
+        assert_eq!(collect_operator(&mut join).len(), 0, "threads {threads}");
+    }
+}

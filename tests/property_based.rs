@@ -224,3 +224,107 @@ fn null_semantics_partition_rows() {
         assert_eq!(ge_zero.len(), not_nulls.len(), "case {case}");
     }
 }
+
+/// Radix partition assignment for parallel pipeline breakers is a pure function of
+/// the key values: bounded by the partition count, identical on every evaluation
+/// (hence identical whatever the thread count or morsel schedule), and
+/// non-degenerate over random keys.
+#[test]
+fn radix_partition_assignment_is_stable() {
+    use data_blocks::exec::{radix_partition, RADIX_PARTITIONS};
+    for case in 0..CASES {
+        let mut rng = case_rng("radix_partition", case);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let arity = rng.gen_range(1..=3usize);
+            let key: Vec<Value> = (0..arity)
+                .map(|_| match rng.gen_range(0..4usize) {
+                    0 => Value::Int(rng.gen_range(-1_000..1_000i64)),
+                    1 => Value::Double(rng.gen_range(-10.0..10.0)),
+                    2 => Value::Str(format!("s{}", rng.gen_range(0..500u32))),
+                    _ => Value::Null,
+                })
+                .collect();
+            let partition = radix_partition(&key);
+            assert!(partition < RADIX_PARTITIONS, "case {case}");
+            for _ in 0..3 {
+                assert_eq!(
+                    radix_partition(&key),
+                    partition,
+                    "case {case}: partition of {key:?} must be stable"
+                );
+            }
+            seen.insert(partition);
+        }
+        assert!(
+            seen.len() > 1,
+            "case {case}: random keys all landed in one partition"
+        );
+    }
+}
+
+/// Merging the per-worker aggregation partitions in any order yields identical
+/// results: feeding the same batches in random order, at different thread counts,
+/// produces byte-identical aggregates (for order-insensitive aggregate functions).
+#[test]
+fn parallel_agg_invariant_under_merge_and_batch_order() {
+    use data_blocks::datablocks::DataType;
+    use data_blocks::exec::{AggFunc, AggSpec, Batch, Expr, Operator, ParallelHashAggregateOp};
+    for case in 0..16u64 {
+        let mut rng = case_rng("agg_merge_order", case);
+        let groups = rng.gen_range(1..40i64);
+        let batch_count = rng.gen_range(1..12usize);
+        let batches: Vec<Batch> = (0..batch_count)
+            .map(|_| {
+                let rows: Vec<Vec<Value>> = (0..rng.gen_range(1..200usize))
+                    .map(|_| {
+                        let g = if rng.gen_bool(0.1) {
+                            Value::Null
+                        } else {
+                            Value::Int(rng.gen_range(0..groups))
+                        };
+                        vec![g, Value::Int(rng.gen_range(-500..500i64))]
+                    })
+                    .collect();
+                Batch::from_rows(&[DataType::Int, DataType::Int], &rows)
+            })
+            .collect();
+        let aggregates = vec![
+            AggSpec::new(AggFunc::CountStar, Expr::lit(0i64), DataType::Int),
+            AggSpec::new(AggFunc::Sum, Expr::col(1), DataType::Int),
+            AggSpec::new(AggFunc::Min, Expr::col(1), DataType::Int),
+            AggSpec::new(AggFunc::Max, Expr::col(1), DataType::Int),
+        ];
+        let run = |order: &[usize], threads: usize| -> Batch {
+            let shuffled: Vec<Batch> = order.iter().map(|&i| batches[i].clone()).collect();
+            ParallelHashAggregateOp::over_batches(
+                shuffled,
+                threads,
+                vec![Expr::col(0)],
+                vec![DataType::Int],
+                aggregates.clone(),
+            )
+            .collect_all()
+        };
+        let identity: Vec<usize> = (0..batch_count).collect();
+        let reference = run(&identity, 1);
+        for threads in [1usize, 2, 4, 8] {
+            // Fisher–Yates shuffle with the case RNG (the rand stand-in has no
+            // shuffle helper)
+            let mut order = identity.clone();
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let got = run(&order, threads);
+            assert_eq!(got.len(), reference.len(), "case {case} threads {threads}");
+            for row in 0..reference.len() {
+                assert_eq!(
+                    got.row(row),
+                    reference.row(row),
+                    "case {case} threads {threads} row {row}"
+                );
+            }
+        }
+    }
+}
