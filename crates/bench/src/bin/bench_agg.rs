@@ -46,7 +46,7 @@ fn main() {
     let rows = lineitem.row_count();
     println!(
         "lineitem: {rows} rows, {} blocks",
-        lineitem.cold_blocks().len()
+        lineitem.cold_block_count()
     );
 
     let cutoff = date_to_days(1998, 12, 1) - 90;

@@ -1,0 +1,204 @@
+//! Block-store I/O benchmark: rows/s of a Q6-shaped lineitem scan when the frozen
+//! blocks live on secondary storage, swept over block-cache capacities from
+//! "everything fits" down to cache-thrashing, against the all-in-memory baseline.
+//!
+//! For every capacity two numbers are measured: the **cold** scan (cache dropped
+//! first, every non-pruned block read from disk) and the **warm** scan (median of
+//! re-runs against whatever the capacity lets the cache retain). Cache hit/miss and
+//! disk-read counters from the store are recorded alongside, so the trajectory log
+//! distinguishes "faster because cached" from "faster because pruned".
+//!
+//! Emits `BENCH_io.json` (one entry per configuration, folded into
+//! `BENCH_trajectory.jsonl` by `bench_trajectory`). Knobs:
+//!
+//! * `TPCH_SF` — scale factor; the default 0.2 yields ≥ 1.2 M lineitem rows.
+//! * `--threads N` / `THREADS` — appends an extra thread count to the sweep.
+
+use std::io::Write as _;
+
+use db_bench::{fmt_bytes, fmt_duration, print_table_header, print_table_row, threads_arg};
+use exec::{RelationScanner, ScanConfig};
+use storage::SpillPolicy;
+use workloads::tpch::TpchDb;
+
+use datablocks::scan::Restriction;
+use datablocks::{date_to_days, CmpOp};
+
+fn main() {
+    let sf = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    println!("generating TPC-H scale factor {sf} ...");
+    let mut db = TpchDb::generate(sf);
+    db.freeze();
+    let lineitem = db.relation("lineitem");
+    let s = lineitem.schema();
+    let rows = lineitem.row_count();
+    let cold_bytes = lineitem.storage_stats().cold_bytes;
+    println!(
+        "lineitem: {rows} rows, {} blocks, {} cold",
+        lineitem.cold_block_count(),
+        fmt_bytes(cold_bytes)
+    );
+
+    let restrictions = vec![
+        Restriction::between(
+            s.idx("l_shipdate"),
+            date_to_days(1994, 1, 1),
+            date_to_days(1995, 1, 1) - 1,
+        ),
+        Restriction::between(s.idx("l_discount"), 5i64, 7i64),
+        Restriction::cmp(s.idx("l_quantity"), CmpOp::Lt, 24i64),
+    ];
+    let projection = vec![s.idx("l_extendedprice"), s.idx("l_discount")];
+
+    let mut sweep = vec![1usize, 4];
+    let extra = exec::morsel::effective_threads(threads_arg());
+    if !sweep.contains(&extra) {
+        sweep.push(extra);
+    }
+
+    // Cache capacities as fractions of the frozen data: everything resident, half,
+    // a tenth (thrashing). `usize::MAX` is the unbounded control.
+    let capacities: [(&str, usize); 4] = [
+        ("cap_inf", usize::MAX),
+        ("cap_100pct", cold_bytes),
+        ("cap_50pct", cold_bytes / 2),
+        ("cap_10pct", cold_bytes / 10),
+    ];
+
+    let widths = [14usize, 10, 8, 12, 12, 10, 10, 10];
+    print_table_header(
+        "Cold-block store scan (Q6 restrictions)",
+        &[
+            "config", "threads", "phase", "median", "rows/s", "reads", "hits", "misses",
+        ],
+        &widths,
+    );
+
+    let mut entries = Vec::new();
+    let mut emit = |config_name: &str,
+                    threads: usize,
+                    phase: &str,
+                    secs: f64,
+                    capacity: usize,
+                    reads: u64,
+                    hits: u64,
+                    misses: u64| {
+        let rows_per_s = rows as f64 / secs;
+        print_table_row(
+            &[
+                config_name.to_string(),
+                format!("{threads}"),
+                phase.to_string(),
+                fmt_duration(std::time::Duration::from_secs_f64(secs)),
+                format!("{rows_per_s:.2e}"),
+                format!("{reads}"),
+                format!("{hits}"),
+                format!("{misses}"),
+            ],
+            &widths,
+        );
+        let capacity_field = if capacity == usize::MAX {
+            "null".to_string()
+        } else {
+            format!("{capacity}")
+        };
+        entries.push(format!(
+            "    {{\"io\": \"q6_{config_name}_{phase}\", \"threads\": {threads}, \
+             \"cache_capacity_bytes\": {capacity_field}, \"elapsed_ms\": {:.3}, \
+             \"rows_per_s\": {rows_per_s:.0}, \"block_reads\": {reads}, \
+             \"cache_hits\": {hits}, \"cache_misses\": {misses}}}",
+            secs * 1e3,
+        ));
+    };
+
+    let run_scan = |relation: &storage::Relation, threads: usize| -> f64 {
+        let start = std::time::Instant::now();
+        let mut scanner = RelationScanner::new(
+            relation,
+            projection.clone(),
+            restrictions.clone(),
+            ScanConfig::default().with_threads(threads),
+        );
+        let mut matched = 0usize;
+        while let Some(batch) = scanner.next_batch() {
+            matched += batch.len();
+        }
+        assert!(matched > 0, "Q6 restrictions must select rows");
+        start.elapsed().as_secs_f64()
+    };
+
+    // All-in-memory baseline (no store attached).
+    for &threads in &sweep {
+        let secs = run_scan(lineitem, threads);
+        emit("memory", threads, "warm", secs, usize::MAX, 0, 0, 0);
+    }
+
+    for (config_name, capacity) in capacities {
+        // Spill a clone per capacity: resident blocks are Arc-shared, so the clone
+        // itself is cheap; enable_spill writes the frames out once.
+        let mut spilled = lineitem.clone();
+        spilled
+            .enable_spill(&SpillPolicy::with_cache_capacity(capacity))
+            .expect("enable spill");
+        let store = spilled.spill_store().expect("store attached").clone();
+
+        for &threads in &sweep {
+            // cold: drop the cache, then one timed scan paying all disk reads
+            store.clear_cache();
+            store.reset_stats();
+            let secs = run_scan(&spilled, threads);
+            let io = store.stats();
+            emit(
+                config_name,
+                threads,
+                "cold",
+                secs,
+                capacity,
+                io.block_reads,
+                io.cache_hits,
+                io.cache_misses,
+            );
+
+            // warm: median of three scans against the steady-state cache. The
+            // counters are reset before the final run so they describe exactly
+            // one steady-state scan, not the sum of all three.
+            let mut times: Vec<f64> = Vec::new();
+            for i in 0..3 {
+                if i == 2 {
+                    store.reset_stats();
+                }
+                times.push(run_scan(&spilled, threads));
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let io = store.stats();
+            emit(
+                config_name,
+                threads,
+                "warm",
+                times[times.len() / 2],
+                capacity,
+                io.block_reads,
+                io.cache_hits,
+                io.cache_misses,
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"blockstore_io\",\n  \"relation\": \"lineitem\",\n  \
+         \"scale_factor\": {sf},\n  \"rows\": {rows},\n  \"cold_bytes\": {cold_bytes},\n  \
+         \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries.join(",\n"),
+    );
+    let path = "BENCH_io.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_io.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_io.json");
+    println!("\nwrote {path}");
+}

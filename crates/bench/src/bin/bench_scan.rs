@@ -29,7 +29,7 @@ fn main() {
     let rows = lineitem.row_count();
     println!(
         "lineitem: {rows} rows, {} blocks",
-        lineitem.cold_blocks().len()
+        lineitem.cold_block_count()
     );
 
     // Two scan shapes: the selective Q6 restrictions (SMA skipping + PSMA narrowing

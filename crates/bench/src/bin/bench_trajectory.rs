@@ -1,7 +1,8 @@
 //! Fold the current benchmark results into the per-commit trajectory log.
 //!
-//! Reads `BENCH_scan.json` and `BENCH_agg.json` (whichever exist in the working
-//! directory), extracts the best rows/s **per benchmark shape** (a regression in
+//! Reads `BENCH_scan.json`, `BENCH_agg.json` and `BENCH_io.json` (whichever exist
+//! in the working directory), extracts the best rows/s **per benchmark shape** (a
+//! regression in
 //! one shape must not hide behind another shape's unchanged peak), and appends one
 //! JSON line per shape to `BENCH_trajectory.jsonl`:
 //!
@@ -35,7 +36,11 @@ fn main() {
     });
 
     let mut lines = Vec::new();
-    for (benchmark, path) in [("scan", "BENCH_scan.json"), ("agg", "BENCH_agg.json")] {
+    for (benchmark, path) in [
+        ("scan", "BENCH_scan.json"),
+        ("agg", "BENCH_agg.json"),
+        ("io", "BENCH_io.json"),
+    ] {
         let Ok(json) = std::fs::read_to_string(path) else {
             eprintln!("note: {path} not found, skipping the {benchmark} data point");
             continue;

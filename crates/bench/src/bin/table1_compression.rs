@@ -10,7 +10,8 @@ use workloads::{flights, imdb, TpchDb};
 fn heavy_size(relation: &Relation) -> usize {
     // Whole-column heavy compression over each frozen block's logical columns.
     let mut total = 0usize;
-    for block in relation.cold_blocks() {
+    for idx in 0..relation.cold_block_count() {
+        let block = relation.cold_block(idx);
         for col in 0..block.column_count() {
             let n = block.tuple_count() as usize;
             let first = block.get(0, col);

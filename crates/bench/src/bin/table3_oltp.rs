@@ -18,7 +18,8 @@ fn shuffled_copy(customer: &Relation) -> Relation {
             rows.push(chunk.get_row(row));
         }
     }
-    for block in customer.cold_blocks() {
+    for idx in 0..customer.cold_block_count() {
+        let block = customer.cold_block(idx);
         for row in 0..block.tuple_count() as usize {
             rows.push(
                 (0..block.column_count())

@@ -1,0 +1,567 @@
+//! The on-disk *frame* around a serialized Data Block: checksum, section offsets and
+//! a summary section readable without touching the payload.
+//!
+//! [`crate::layout`] defines the flat in-memory byte representation of a block; this
+//! module wraps it for secondary storage. A frame prepends a fixed
+//! [`FRAME_HEADER_LEN`]-byte header (magic, version, checksums, section offsets)
+//! and a small **summary section**
+//! holding exactly the metadata a block *directory* wants to keep hot in memory —
+//! tuple/deleted counts and the per-attribute SMAs — so a store can
+//!
+//! * rebuild its directory from a file by reading headers and summaries only
+//!   ([`read_header`] / [`read_summary`] never look at payload bytes), and
+//! * evaluate SMA block-skipping for **cold** blocks without any payload I/O
+//!   ([`BlockSummary::may_match`]), preserving the paper's scan-skipping behaviour
+//!   even for blocks that have been evicted to disk.
+//!
+//! The payload is protected by an FNV-1a 64 checksum so a torn write or bit rot is
+//! reported as [`FrameError::ChecksumMismatch`] instead of being decoded into
+//! garbage. The byte-exact format is specified in `crates/datablocks/README.md`.
+
+use crate::block::DataBlock;
+use crate::layout::{self, LayoutError, Reader, Writer};
+use crate::scan::{Restriction, ScanOptions};
+use crate::sma::Sma;
+use dbsimd::CmpOp;
+
+/// Magic bytes identifying a Data Block frame.
+pub const FRAME_MAGIC: &[u8; 4] = b"DBFM";
+/// Current version of the frame format.
+pub const FRAME_VERSION: u32 = 1;
+/// Size of the fixed frame header in bytes.
+pub const FRAME_HEADER_LEN: usize = 40;
+
+/// Errors produced when decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer does not start with the frame magic.
+    BadMagic,
+    /// The frame declares an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// The stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum recomputed over the frame body.
+        actual: u64,
+    },
+    /// A header or summary field holds an invalid value.
+    Corrupt(&'static str),
+    /// The payload failed to decode as a Data Block.
+    Layout(LayoutError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "not a Data Block frame (bad magic)"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Truncated => write!(f, "Data Block frame is truncated"),
+            FrameError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "frame checksum mismatch (stored {stored:#018x}, actual {actual:#018x})"
+            ),
+            FrameError::Corrupt(what) => write!(f, "corrupt Data Block frame: {what}"),
+            FrameError::Layout(err) => write!(f, "frame payload does not decode: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Layout(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<LayoutError> for FrameError {
+    fn from(err: LayoutError) -> FrameError {
+        // A short buffer surfaces identically whether the reader stopped in the
+        // summary or the payload.
+        match err {
+            LayoutError::Truncated => FrameError::Truncated,
+            other => FrameError::Layout(other),
+        }
+    }
+}
+
+/// FNV-1a 64-bit, the checksum protecting the frame body (summary + payload). Not
+/// cryptographic — it detects torn writes and bit rot, which is all a local block
+/// store needs, and it is dependency-free.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The decoded fixed-size frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame format version.
+    pub version: u32,
+    /// FNV-1a 64 checksum over the frame body (summary section + payload section).
+    pub checksum: u64,
+    /// FNV-1a 64 checksum over the summary section alone, so a directory rebuild
+    /// ([`read_summary`]) can verify its input without reading the payload — a
+    /// bit-flipped SMA must not silently prune blocks that contain matches.
+    pub summary_checksum: u64,
+    /// Byte offset of the summary section from the frame start.
+    pub summary_off: u32,
+    /// Length of the summary section in bytes.
+    pub summary_len: u32,
+    /// Byte offset of the payload section from the frame start.
+    pub payload_off: u32,
+    /// Length of the payload section in bytes.
+    pub payload_len: u32,
+}
+
+impl FrameHeader {
+    /// Total size of the frame (header + summary + payload) in bytes. This is what a
+    /// store walking a file of concatenated frames advances by.
+    pub fn frame_len(&self) -> usize {
+        self.payload_off as usize + self.payload_len as usize
+    }
+}
+
+/// Per-attribute slice of a [`BlockSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Min/max of the attribute in the summarised block.
+    pub sma: Sma,
+    /// Did the attribute carry a Positional SMA? Purely informational for
+    /// directory introspection (e.g. size accounting, deciding whether a scan of
+    /// this block can narrow ranges): PSMAs are derived data, and it is the
+    /// *payload's* `had_psma` flag ([`crate::layout`]) that drives the rebuild on
+    /// load — a reloaded block is feature-identical regardless of this field.
+    pub has_psma: bool,
+}
+
+/// The directory-resident summary of one frozen block: everything SMA pruning and
+/// size accounting need, extracted without deserializing the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSummary {
+    /// Records in the block (including deleted).
+    pub tuple_count: u32,
+    /// Records carrying a delete flag.
+    pub deleted_count: u32,
+    /// One summary per attribute, in attribute order.
+    pub columns: Vec<ColumnSummary>,
+}
+
+impl BlockSummary {
+    /// Summarise an in-memory block (what a store records at write-out time).
+    pub fn of(block: &DataBlock) -> BlockSummary {
+        BlockSummary {
+            tuple_count: block.tuple_count(),
+            deleted_count: block.tuple_count() - block.live_tuple_count(),
+            columns: block
+                .columns()
+                .iter()
+                .map(|c| ColumnSummary {
+                    sma: c.sma.clone(),
+                    has_psma: c.psma.is_some(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Records not marked deleted.
+    pub fn live_tuple_count(&self) -> u32 {
+        self.tuple_count - self.deleted_count
+    }
+
+    /// Can any record of the summarised block match all `restrictions`?
+    ///
+    /// This replicates exactly the **SMA** block-skipping gate of
+    /// [`crate::scan::plan_scan`] — same [`Sma::may_match_cmp`] /
+    /// [`Sma::may_match_between`] calls on the same SMA values, gated on
+    /// [`ScanOptions::use_sma`] — so a scan that prunes a cold block from its summary
+    /// reports byte-identical results *and counters* to one that loads the block and
+    /// lets the scan planner rule it out. `false` means the block is guaranteed
+    /// empty of matches and its payload never needs to be read.
+    ///
+    /// The SMA gate is the only rule-out the summary can decide: the planner's
+    /// remaining rule-out causes (dictionary probes, single-value evaluation,
+    /// `NULL`-validity reasoning) need data that is deliberately not summarised, so
+    /// a block ruled out for one of those reasons still costs one load before it is
+    /// counted as skipped. Skip *counters* agree with an all-in-memory scan either
+    /// way; only the zero-I/O guarantee is scoped to SMA-prunable restrictions.
+    pub fn may_match(&self, restrictions: &[Restriction], options: &ScanOptions) -> bool {
+        if !options.use_sma {
+            return true;
+        }
+        for restriction in restrictions {
+            let Some(column) = self.columns.get(restriction.column()) else {
+                continue;
+            };
+            let skip = match restriction {
+                Restriction::Cmp { op, value, .. } if *op != CmpOp::Ne => {
+                    !column.sma.may_match_cmp(*op, value)
+                }
+                Restriction::Between { lo, hi, .. } => !column.sma.may_match_between(lo, hi),
+                _ => false,
+            };
+            if skip {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Serialize a block into a complete frame: header, summary section, payload.
+pub fn to_frame(block: &DataBlock) -> Vec<u8> {
+    let summary = write_summary(&BlockSummary::of(block));
+    let payload = layout::to_bytes(block);
+
+    let summary_off = FRAME_HEADER_LEN as u32;
+    let payload_off = summary_off + summary.len() as u32;
+
+    let mut body = Vec::with_capacity(summary.len() + payload.len());
+    body.extend_from_slice(&summary);
+    body.extend_from_slice(&payload);
+    let checksum = fnv1a64(&body);
+    let summary_checksum = fnv1a64(&summary);
+
+    let mut w = Writer::new();
+    w.bytes(FRAME_MAGIC);
+    w.u32(FRAME_VERSION);
+    w.u64(checksum);
+    w.u64(summary_checksum);
+    w.u32(summary_off);
+    w.u32(summary.len() as u32);
+    w.u32(payload_off);
+    w.u32(payload.len() as u32);
+    debug_assert_eq!(w.buf.len(), FRAME_HEADER_LEN);
+    w.bytes(&body);
+    w.buf
+}
+
+/// Decode and validate the fixed header of a frame. Only the first
+/// [`FRAME_HEADER_LEN`] bytes are examined — the checksum is **not** verified (that
+/// requires the body; see [`from_frame`]).
+pub fn read_header(bytes: &[u8]) -> Result<FrameHeader, FrameError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FRAME_VERSION {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let header = FrameHeader {
+        version,
+        checksum: r.u64()?,
+        summary_checksum: r.u64()?,
+        summary_off: r.u32()?,
+        summary_len: r.u32()?,
+        payload_off: r.u32()?,
+        payload_len: r.u32()?,
+    };
+    // checked_add: a crafted/corrupt header must come back as a FrameError, never
+    // as an arithmetic panic inside a scan worker.
+    let summary_end = header.summary_off.checked_add(header.summary_len);
+    if (header.summary_off as usize) < FRAME_HEADER_LEN
+        || summary_end != Some(header.payload_off)
+        || header.payload_off.checked_add(header.payload_len).is_none()
+    {
+        return Err(FrameError::Corrupt("inconsistent section offsets"));
+    }
+    Ok(header)
+}
+
+/// Decode the summary section of a frame without reading the payload, verifying
+/// the summary checksum. `bytes` only needs to cover the header and summary
+/// sections — a store reopening a file reads exactly `FRAME_HEADER_LEN +
+/// summary_len` bytes per block. The *body* checksum is not verified here (it
+/// covers the payload, which is deliberately not read); payload integrity is
+/// checked when the block itself is loaded.
+pub fn read_summary(bytes: &[u8]) -> Result<BlockSummary, FrameError> {
+    let header = read_header(bytes)?;
+    let start = header.summary_off as usize;
+    let end = start + header.summary_len as usize;
+    if bytes.len() < end {
+        return Err(FrameError::Truncated);
+    }
+    let section = &bytes[start..end];
+    let actual = fnv1a64(section);
+    if actual != header.summary_checksum {
+        return Err(FrameError::ChecksumMismatch {
+            stored: header.summary_checksum,
+            actual,
+        });
+    }
+    parse_summary(section)
+}
+
+/// Decode a whole frame back into a [`DataBlock`], verifying the checksum first.
+pub fn from_frame(bytes: &[u8]) -> Result<DataBlock, FrameError> {
+    let header = read_header(bytes)?;
+    let body_start = header.summary_off as usize;
+    let end = header.frame_len();
+    if bytes.len() < end {
+        return Err(FrameError::Truncated);
+    }
+    let actual = fnv1a64(&bytes[body_start..end]);
+    if actual != header.checksum {
+        return Err(FrameError::ChecksumMismatch {
+            stored: header.checksum,
+            actual,
+        });
+    }
+    let payload = &bytes[header.payload_off as usize..end];
+    Ok(layout::from_bytes(payload)?)
+}
+
+fn write_summary(summary: &BlockSummary) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(summary.tuple_count);
+    w.u32(summary.deleted_count);
+    w.u32(summary.columns.len() as u32);
+    for column in &summary.columns {
+        layout::write_sma(&mut w, &column.sma);
+        w.u8(column.has_psma as u8);
+    }
+    w.buf
+}
+
+fn parse_summary(bytes: &[u8]) -> Result<BlockSummary, FrameError> {
+    let mut r = Reader::new(bytes);
+    let tuple_count = r.u32()?;
+    let deleted_count = r.u32()?;
+    if deleted_count > tuple_count {
+        return Err(FrameError::Corrupt("deleted count exceeds tuple count"));
+    }
+    let column_count = r.u32()? as usize;
+    let mut columns = Vec::with_capacity(column_count);
+    for _ in 0..column_count {
+        let sma = layout::read_sma(&mut r)?;
+        let has_psma = r.u8()? == 1;
+        columns.push(ColumnSummary { sma, has_psma });
+    }
+    Ok(BlockSummary {
+        tuple_count,
+        deleted_count,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{double_column, freeze, int_column, str_column};
+    use crate::scan::plan_scan;
+    use crate::value::Value;
+
+    fn block() -> DataBlock {
+        let ids = int_column((0..3000).collect());
+        let grp = str_column((0..3000).map(|i| format!("g{}", i % 7)).collect());
+        let amount = double_column((0..3000).map(|i| i as f64 * 0.5).collect());
+        freeze(&[ids, grp, amount])
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_block() {
+        let original = block();
+        let frame = to_frame(&original);
+        let restored = from_frame(&frame).expect("roundtrip");
+        assert_eq!(restored.tuple_count(), original.tuple_count());
+        for row in (0..3000).step_by(131) {
+            for col in 0..original.column_count() {
+                assert_eq!(restored.get(row, col), original.get(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn summary_readable_without_payload() {
+        let original = block();
+        let frame = to_frame(&original);
+        let header = read_header(&frame).unwrap();
+        // A store reopening a file reads only this prefix per block.
+        let prefix = &frame[..header.payload_off as usize];
+        let summary = read_summary(prefix).unwrap();
+        assert_eq!(summary, BlockSummary::of(&original));
+        assert_eq!(summary.tuple_count, 3000);
+        assert_eq!(summary.live_tuple_count(), 3000);
+        assert_eq!(summary.columns.len(), 3);
+        assert_eq!(summary.columns[0].sma, original.column(0).sma);
+    }
+
+    #[test]
+    fn summary_records_deletions() {
+        let mut b = block();
+        b.delete(0);
+        b.delete(17);
+        let summary = read_summary(&to_frame(&b)).unwrap();
+        assert_eq!(summary.deleted_count, 2);
+        assert_eq!(summary.live_tuple_count(), 2998);
+    }
+
+    #[test]
+    fn summary_pruning_matches_plan_scan_rule_out() {
+        let b = block();
+        let summary = BlockSummary::of(&b);
+        let options = ScanOptions::default();
+        let cases = vec![
+            vec![Restriction::between(0, 100i64, 199i64)], // inside the domain
+            vec![Restriction::between(0, 5000i64, 6000i64)], // outside: prune
+            vec![Restriction::cmp(0, CmpOp::Lt, 0i64)],    // outside: prune
+            vec![Restriction::eq(1, "g3")],                // string inside
+            vec![Restriction::eq(1, "zzz")],               // string outside: prune
+            vec![
+                Restriction::between(0, 0i64, 10i64),
+                Restriction::eq(1, "zzz"), // second restriction prunes
+            ],
+        ];
+        for restrictions in cases {
+            let plan = plan_scan(&b, &restrictions, &options);
+            assert_eq!(
+                summary.may_match(&restrictions, &options),
+                !plan.is_ruled_out(),
+                "{restrictions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_pruning_disabled_with_sma_off() {
+        let summary = BlockSummary::of(&block());
+        let options = ScanOptions {
+            use_sma: false,
+            ..ScanOptions::default()
+        };
+        assert!(summary.may_match(&[Restriction::between(0, 5000i64, 6000i64)], &options));
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut frame = to_frame(&block());
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff; // flip payload bits
+        assert!(matches!(
+            from_frame(&frame),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        // flipping the stored checksum itself is also caught
+        let mut frame2 = to_frame(&block());
+        frame2[8] ^= 0x01;
+        assert!(matches!(
+            from_frame(&frame2),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_summary_is_rejected_without_payload() {
+        let mut frame = to_frame(&block());
+        frame[FRAME_HEADER_LEN] ^= 0xff; // flip a summary byte (tuple_count)
+        assert!(matches!(
+            read_summary(&frame),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        // the body checksum covers the summary too, so full decode also rejects it
+        assert!(matches!(
+            from_frame(&frame),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_header_offsets_are_rejected_not_panicking() {
+        let mut frame = to_frame(&block());
+        frame[24..28].copy_from_slice(&u32::MAX.to_le_bytes()); // summary_off
+        frame[28..32].copy_from_slice(&1u32.to_le_bytes()); // summary_len
+        assert_eq!(
+            read_header(&frame),
+            Err(FrameError::Corrupt("inconsistent section offsets"))
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let frame = to_frame(&block());
+        for cut in [
+            0,
+            3,
+            FRAME_HEADER_LEN - 1,
+            FRAME_HEADER_LEN + 2,
+            frame.len() - 1,
+        ] {
+            let err = from_frame(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated | FrameError::BadMagic),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut frame = to_frame(&block());
+        frame[4..8].copy_from_slice(&42u32.to_le_bytes());
+        assert_eq!(from_frame(&frame), Err(FrameError::UnsupportedVersion(42)));
+        assert_eq!(
+            read_summary(&frame),
+            Err(FrameError::UnsupportedVersion(42))
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(
+            read_header(b"NOPEnopeNOPEnopeNOPEnopeNOPEnope"),
+            Err(FrameError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn inconsistent_offsets_are_rejected() {
+        let mut frame = to_frame(&block());
+        frame[24..28].copy_from_slice(&7u32.to_le_bytes()); // payload_off != summary end
+        assert_eq!(
+            read_header(&frame),
+            Err(FrameError::Corrupt("inconsistent section offsets"))
+        );
+    }
+
+    #[test]
+    fn single_value_and_null_columns_summarise() {
+        let constant = int_column(vec![9; 500]);
+        let mut nullable = crate::column::Column::new(crate::value::DataType::Int);
+        for _ in 0..500 {
+            nullable.push(Value::Null);
+        }
+        let b = freeze(&[constant, nullable]);
+        let summary = read_summary(&to_frame(&b)).unwrap();
+        assert_eq!(summary.columns[1].sma, Sma::AllNull);
+        // an all-NULL attribute prunes every value restriction
+        assert!(!summary.may_match(&[Restriction::eq(1, 9i64)], &ScanOptions::default()));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(FrameError::BadMagic.to_string().contains("magic"));
+        assert!(FrameError::Truncated.to_string().contains("truncated"));
+        assert!(FrameError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(FrameError::ChecksumMismatch {
+            stored: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("checksum"));
+        assert!(FrameError::Corrupt("x").to_string().contains('x'));
+        let layout_err = FrameError::Layout(LayoutError::BadMagic);
+        assert!(layout_err.to_string().contains("magic"));
+        assert!(std::error::Error::source(&layout_err).is_some());
+    }
+}

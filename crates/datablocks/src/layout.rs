@@ -48,35 +48,35 @@ impl std::fmt::Display for LayoutError {
 
 impl std::error::Error for LayoutError {}
 
-// --- little helpers -------------------------------------------------------------
+// --- little helpers (shared with the frame module) -------------------------------
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Writer {
+    pub(crate) fn new() -> Writer {
         Writer { buf: Vec::new() }
     }
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.bytes(s.as_bytes());
     }
@@ -85,16 +85,16 @@ impl Writer {
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], LayoutError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], LayoutError> {
         if self.pos + n > self.buf.len() {
             return Err(LayoutError::Truncated);
         }
@@ -102,28 +102,28 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, LayoutError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, LayoutError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, LayoutError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, LayoutError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
-    fn u64(&mut self) -> Result<u64, LayoutError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, LayoutError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
-    fn i64(&mut self) -> Result<i64, LayoutError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, LayoutError> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
-    fn f64(&mut self) -> Result<f64, LayoutError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, LayoutError> {
         Ok(f64::from_bits(self.u64()?))
     }
-    fn str(&mut self) -> Result<String, LayoutError> {
+    pub(crate) fn str(&mut self) -> Result<String, LayoutError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| LayoutError::Corrupt("invalid utf-8"))
@@ -223,7 +223,7 @@ fn write_column(w: &mut Writer, column: &BlockColumn, rows: usize) {
     let _ = w.pos();
 }
 
-fn write_sma(w: &mut Writer, sma: &Sma) {
+pub(crate) fn write_sma(w: &mut Writer, sma: &Sma) {
     match sma {
         Sma::Int { min, max } => {
             w.u8(1);
@@ -404,7 +404,7 @@ fn read_column(r: &mut Reader<'_>, rows: usize) -> Result<BlockColumn, LayoutErr
     })
 }
 
-fn read_sma(r: &mut Reader<'_>) -> Result<Sma, LayoutError> {
+pub(crate) fn read_sma(r: &mut Reader<'_>) -> Result<Sma, LayoutError> {
     Ok(match r.u8()? {
         0 => Sma::AllNull,
         1 => Sma::Int {

@@ -51,6 +51,7 @@ pub mod block;
 pub mod builder;
 pub mod column;
 pub mod compression;
+pub mod frame;
 pub mod layout;
 pub mod psma;
 pub mod scan;
@@ -61,6 +62,7 @@ pub mod value;
 pub use block::{BlockColumn, DataBlock, DEFAULT_BLOCK_CAPACITY};
 pub use column::{Column, ColumnData};
 pub use compression::{CodeVec, ColumnCompression, SchemeKind};
+pub use frame::{BlockSummary, ColumnSummary, FrameError, FrameHeader};
 pub use psma::{Psma, ScanRange};
 pub use scan::{
     plan_scan, scan_collect, scan_collect_into, BlockScan, Restriction, ScanOptions, ScanPlan,

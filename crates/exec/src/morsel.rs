@@ -44,7 +44,59 @@
 //! partition `p`, independently of all other partitions, so the merge itself runs in
 //! parallel. The partition of a key is a pure function of its value (leading bits of
 //! its hash, see [`crate::ops::radix_partition`]), never of the thread count or the
-//! morsel schedule.
+//! morsel schedule. Distinct partitions hold disjoint key sets, so the
+//! [`RADIX_PARTITIONS`] merges are independent and are themselves spread over the
+//! workers — this is what keeps the merge phase from re-serialising the pipeline on
+//! many-core machines. The probe/emit tail then runs single-threaded on the merged
+//! state.
+//!
+//! Built on the driver:
+//!
+//! * [`crate::ops::ParallelHashAggregateOp`] — partitioned parallel hash aggregation
+//!   (`over_relation` for pipelines, `over_batches` for intermediates). Output is
+//!   sorted by group key, like the serial operator. Counts, min/max and integer sums
+//!   are byte-identical to serial for every thread count; double sums are a parallel
+//!   FP reduction (equal up to reassociation).
+//! * [`crate::ops::HashJoinOp::with_parallel_build`] — parallel partitioned join
+//!   build. Build rows are tagged with their global stream position and re-sorted
+//!   per key at the merge, so join output is **byte-identical** to the serial build
+//!   for every thread count.
+//!
+//! # Adding a parallel operator
+//!
+//! A new pipeline breaker needs three pieces:
+//!
+//! 1. **A sink** implementing [`MorselSink`] — own the per-worker state, keep it
+//!    partitioned by [`crate::ops::radix_partition`] of whatever key the operator
+//!    groups on, and fold each incoming batch in `consume(morsel_idx, &batch)`. If
+//!    the operator's result depends on input *order* (like join build rows), tag
+//!    entries with `(morsel_idx, position)` so the merge can restore serial order;
+//!    if it is order-insensitive (like aggregation), ignore `morsel_idx`.
+//! 2. **A merge** — a function folding one partition from every worker (worker
+//!    order is deterministic) into the final partition, passed to
+//!    [`merge_partitionwise`].
+//! 3. **A serial tail** — emit from the merged partitions in a deterministic order
+//!    (sort by key, or preserve restored stream order).
+//!
+//! Then drive it: `let (sinks, stats) = drive_pipeline(relation, &spec, make_sink)`
+//! followed by `merge_partitionwise(sinks, threads, merge)`. Differential tests
+//! against the serial operator for threads ∈ {1, 2, 4, 8} — including skewed keys,
+//! NULL keys and inputs that leave partitions empty — are the contract
+//! (`tests/parallel_agg.rs` is the template).
+//!
+//! # Invariants to keep
+//!
+//! * Workers only ever share `&Relation` and the atomic cursor; all per-worker
+//!   state lives in the sink (the compile-time `Send + Sync` assertions below
+//!   enforce the sharing part). Spilled blocks add one more shared object — the
+//!   block store — whose cache index is internally synchronised; workers hold a pin
+//!   per claimed cold morsel, so a block never vanishes mid-scan.
+//! * `threads == 1` must take the same code path and produce the same bytes as the
+//!   dedicated serial operator — thread count may change wall-clock time and
+//!   double-sum ulps only.
+//! * Operators resolve `output_types()` once at construction;
+//!   [`crate::ops::collect_operator`] debug-asserts every emitted batch against the
+//!   declaration.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -60,7 +112,8 @@ use crate::scan::{RelationScanner, ScanConfig, ScanStats};
 /// One unit of scan work handed out by the morsel cursor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Morsel {
-    /// One whole frozen Data Block (index into [`Relation::cold_blocks`]).
+    /// One whole frozen Data Block (resolved through [`Relation::cold_block`],
+    /// which pins spilled blocks for the duration of the morsel).
     ColdBlock(usize),
     /// A row range `[from, to)` of one hot chunk (index into
     /// [`Relation::hot_chunks`]).
@@ -99,9 +152,8 @@ pub fn decompose(relation: &Relation, morsel_rows: usize) -> Vec<Morsel> {
     } else {
         morsel_rows
     };
-    let mut morsels =
-        Vec::with_capacity(relation.cold_blocks().len() + relation.hot_chunks().len());
-    for block_idx in 0..relation.cold_blocks().len() {
+    let mut morsels = Vec::with_capacity(relation.cold_block_count() + relation.hot_chunks().len());
+    for block_idx in 0..relation.cold_block_count() {
         morsels.push(Morsel::ColdBlock(block_idx));
     }
     for (chunk_idx, chunk) in relation.hot_chunks().iter().enumerate() {

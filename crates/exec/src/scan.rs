@@ -23,6 +23,16 @@
 //! them on the calling thread; any other thread count hands the same morsel list to
 //! the dispatcher in [`crate::morsel`] and streams back its (deterministically
 //! ordered) results.
+//!
+//! Cold blocks may live on secondary storage (`storage::blockstore`). The scanner
+//! first consults the relation's in-memory block directory
+//! ([`storage::Relation::cold_block_may_match`]): an SMA-pruned cold block is
+//! counted as skipped **without any disk I/O**, preserving the paper's
+//! scan-skipping for evicted blocks. A block that cannot be pruned is resolved
+//! through [`storage::Relation::cold_block`], and the returned (possibly pinned)
+//! reference is held for the duration of the morsel, so a worker never observes
+//! eviction mid-scan. Scan results are byte-identical whatever tier a block
+//! occupies; only I/O counters change.
 
 use std::collections::VecDeque;
 
@@ -165,7 +175,11 @@ pub struct RelationScanner<'a> {
     morsels: Vec<Morsel>,
     morsel_idx: usize,
     row_cursor: usize,
-    block_scan: Option<datablocks::BlockScan<'a>>,
+    /// Batches of the current cold morsel, produced while the block was pinned and
+    /// streamed out afterwards (see [`Self::enter_cold_morsel`]).
+    cold_pending: VecDeque<Batch>,
+    /// Has the current cold morsel been processed into `cold_pending` yet?
+    cold_entered: bool,
     match_buf: Vec<u32>,
     /// Results of a parallel run, materialised on first `next_batch` call when
     /// `config.threads != 1` and then streamed out.
@@ -236,7 +250,8 @@ impl<'a> RelationScanner<'a> {
             morsels,
             morsel_idx: 0,
             row_cursor: CURSOR_UNSET,
-            block_scan: None,
+            cold_pending: VecDeque::new(),
+            cold_entered: false,
             match_buf: Vec::new(),
             parallel_pending: None,
         }
@@ -249,7 +264,8 @@ impl<'a> RelationScanner<'a> {
         self.morsels.push(morsel);
         self.morsel_idx = 0;
         self.row_cursor = CURSOR_UNSET;
-        self.block_scan = None;
+        self.cold_pending.clear();
+        self.cold_entered = false;
     }
 
     /// Scan statistics accumulated so far (complete once the scan returned `None`).
@@ -269,14 +285,16 @@ impl<'a> RelationScanner<'a> {
         }
         loop {
             let &morsel = self.morsels.get(self.morsel_idx)?;
-            let relation = self.relation;
             let batch = match morsel {
                 Morsel::ColdBlock(block_idx) => {
-                    let block = &relation.cold_blocks()[block_idx];
-                    self.next_from_block(block)
+                    if !self.cold_entered {
+                        self.cold_entered = true;
+                        self.enter_cold_morsel(block_idx);
+                    }
+                    self.cold_pending.pop_front()
                 }
                 Morsel::HotRange { chunk, from, to } => {
-                    let chunk = &relation.hot_chunks()[chunk];
+                    let chunk = &self.relation.hot_chunks()[chunk];
                     self.next_from_hot(chunk, from, to)
                 }
             };
@@ -290,7 +308,7 @@ impl<'a> RelationScanner<'a> {
                     // morsel exhausted, move on
                     self.morsel_idx += 1;
                     self.row_cursor = CURSOR_UNSET;
-                    self.block_scan = None;
+                    self.cold_entered = false;
                 }
             }
         }
@@ -326,55 +344,77 @@ impl<'a> RelationScanner<'a> {
 
     // ------------------------------------------------------------- cold segments
 
-    fn next_from_block(&mut self, block: &'a datablocks::DataBlock) -> Option<Batch> {
-        match self.config.mode {
-            ScanMode::Jit => self.next_from_block_tuple_at_a_time(block),
-            ScanMode::Vectorized { sarg } => self.next_from_block_vectorized(block, sarg),
+    /// Process one whole cold-block morsel into [`Self::cold_pending`].
+    ///
+    /// The block reference (a pin, when the block is spilled) is acquired after
+    /// summary pruning and held exactly for the duration of this call — the morsel's
+    /// batches are fully materialised before the pin is released, so eviction can
+    /// never interleave with the scan of a block. The batches are at most
+    /// `tuple_count / vector_size` position vectors' worth of unpacked rows, i.e.
+    /// bounded by the block size the paper fixes at freeze time.
+    ///
+    /// Trade-off: the pre-spill scanner streamed one `vector_size` batch at a time,
+    /// so an unselective scan's peak working set per worker grows from one vector to
+    /// one block's matching output. Streaming cold morsels while a pin is held (the
+    /// ROADMAP's bounded-channel scan item) would restore that, at the cost of
+    /// either a self-referential scanner or a re-plan per batch.
+    fn enter_cold_morsel(&mut self, block_idx: usize) {
+        self.stats.blocks_total += 1;
+        // SMA pruning against the in-memory block directory, before any I/O. Only
+        // the SARG-pushdown mode prunes: the other modes scan every block (and
+        // count every row as scanned), and pruning would skew their statistics
+        // relative to an all-in-memory run.
+        if matches!(self.config.mode, ScanMode::Vectorized { sarg: true })
+            && !self.relation.cold_block_may_match(
+                block_idx,
+                &self.restrictions,
+                &self.config.options,
+            )
+        {
+            self.stats.blocks_skipped += 1;
+            return;
         }
+        let block = self.relation.cold_block(block_idx);
+        match self.config.mode {
+            ScanMode::Jit => self.collect_cold_tuple_at_a_time(&block),
+            ScanMode::Vectorized { sarg } => self.collect_cold_vectorized(&block, sarg),
+        }
+        // `block` dropped here: the pin is released once the morsel is materialised.
     }
 
-    fn next_from_block_vectorized(
-        &mut self,
-        block: &'a datablocks::DataBlock,
-        sarg: bool,
-    ) -> Option<Batch> {
-        // First call for this morsel: plan the block scan. On every None returned
-        // below the caller advances to the next morsel and clears `block_scan`, so
-        // this branch cannot re-run (and double-count stats) for the same block.
-        if self.block_scan.is_none() {
-            self.stats.blocks_total += 1;
-            let pushed: &[Restriction] = if sarg { &self.restrictions } else { &[] };
-            let scan = datablocks::BlockScan::new(block, pushed, self.config.options);
-            if scan.plan().is_ruled_out() {
-                self.stats.blocks_skipped += 1;
-                return None;
+    fn collect_cold_vectorized(&mut self, block: &datablocks::DataBlock, sarg: bool) {
+        let pushed: &[Restriction] = if sarg { &self.restrictions } else { &[] };
+        let mut scan = datablocks::BlockScan::new(block, pushed, self.config.options);
+        if scan.plan().is_ruled_out() {
+            self.stats.blocks_skipped += 1;
+            return;
+        }
+        self.stats.rows_scanned += scan.plan().scan_range().len() as usize;
+        // The scanner-owned match buffer is moved out for the duration of the morsel
+        // so the block scan can fill it while `self` stays borrowable.
+        let mut matches = std::mem::take(&mut self.match_buf);
+        while let Some(found) = scan.next_matches(&mut matches) {
+            if found == 0 {
+                continue;
             }
-            self.stats.rows_scanned += scan.plan().scan_range().len() as usize;
-            self.block_scan = Some(scan);
-        }
-        let scan = self.block_scan.as_mut().expect("initialised above");
-        let found = scan.next_matches(&mut self.match_buf)?;
-
-        if found == 0 {
-            return Some(Batch::new(&self.output_types));
-        }
-
-        if sarg {
-            // Matches already satisfy every restriction: unpack the projection.
-            let mut columns: Vec<Column> =
-                self.output_types.iter().map(|&t| Column::new(t)).collect();
-            for (slot, &col) in self.projection.iter().enumerate() {
-                unpack_column(block, col, &self.match_buf, &mut columns[slot]);
+            let batch = if sarg {
+                // Matches already satisfy every restriction: unpack the projection.
+                let mut columns: Vec<Column> =
+                    self.output_types.iter().map(|&t| Column::new(t)).collect();
+                for (slot, &col) in self.projection.iter().enumerate() {
+                    unpack_column(block, col, &matches, &mut columns[slot]);
+                }
+                Batch::from_columns(columns)
+            } else {
+                // No push-down: unpack projection and restriction columns, then
+                // evaluate the restrictions tuple at a time on the copied vectors.
+                self.filter_positions_tuple_at_a_time(block, &matches)
+            };
+            if !batch.is_empty() {
+                self.cold_pending.push_back(batch);
             }
-            Some(Batch::from_columns(columns))
-        } else {
-            // No push-down: unpack projection and restriction columns, then evaluate
-            // the restrictions tuple at a time on the copied vectors.
-            let matches = std::mem::take(&mut self.match_buf);
-            let batch = self.filter_positions_tuple_at_a_time(block, &matches);
-            self.match_buf = matches;
-            Some(batch)
         }
+        self.match_buf = matches;
     }
 
     fn filter_positions_tuple_at_a_time(
@@ -398,38 +438,35 @@ impl<'a> RelationScanner<'a> {
         Batch::from_columns(columns)
     }
 
-    fn next_from_block_tuple_at_a_time(
-        &mut self,
-        block: &'a datablocks::DataBlock,
-    ) -> Option<Batch> {
+    fn collect_cold_tuple_at_a_time(&mut self, block: &datablocks::DataBlock) {
         let total = block.tuple_count() as usize;
-        if self.row_cursor == CURSOR_UNSET {
-            self.row_cursor = 0;
-            self.stats.blocks_total += 1;
-            self.stats.rows_scanned += total;
-        }
-        if self.row_cursor >= total {
-            return None;
-        }
+        self.stats.rows_scanned += total;
         let vector_size = self.config.options.vector_size;
-        let end = (self.row_cursor + vector_size).min(total);
-        let mut columns: Vec<Column> = self.output_types.iter().map(|&t| Column::new(t)).collect();
-        for row in self.row_cursor..end {
-            if block.is_deleted(row) {
-                continue;
-            }
-            let qualifies = self
-                .restrictions
-                .iter()
-                .all(|r| r.matches_value(&block.get(row, r.column())));
-            if qualifies {
-                for (slot, &col) in self.projection.iter().enumerate() {
-                    columns[slot].push(block.get(row, col));
+        let mut cursor = 0;
+        while cursor < total {
+            let end = (cursor + vector_size).min(total);
+            let mut columns: Vec<Column> =
+                self.output_types.iter().map(|&t| Column::new(t)).collect();
+            for row in cursor..end {
+                if block.is_deleted(row) {
+                    continue;
+                }
+                let qualifies = self
+                    .restrictions
+                    .iter()
+                    .all(|r| r.matches_value(&block.get(row, r.column())));
+                if qualifies {
+                    for (slot, &col) in self.projection.iter().enumerate() {
+                        columns[slot].push(block.get(row, col));
+                    }
                 }
             }
+            let batch = Batch::from_columns(columns);
+            if !batch.is_empty() {
+                self.cold_pending.push_back(batch);
+            }
+            cursor = end;
         }
-        self.row_cursor = end;
-        Some(Batch::from_columns(columns))
     }
 
     // -------------------------------------------------------------- hot segments
@@ -568,7 +605,7 @@ mod tests {
     fn all_modes_agree_on_mixed_hot_cold_relation() {
         let mut rel = test_relation(2_500, false);
         rel.freeze_full_chunks(); // 2 cold blocks + 1 hot tail chunk
-        assert_eq!(rel.cold_blocks().len(), 2);
+        assert_eq!(rel.cold_block_count(), 2);
         assert_eq!(rel.hot_chunks().len(), 1);
         let restrictions = vec![Restriction::cmp(1, CmpOp::Lt, 10i64)];
         let mut counts = Vec::new();

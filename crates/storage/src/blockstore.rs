@@ -1,0 +1,823 @@
+//! The file-backed block store: cold Data Blocks on secondary storage behind a
+//! pinning, capacity-bounded block cache.
+//!
+//! Data Blocks are self-contained and byte-addressable precisely so cold data can
+//! leave main memory (Lang et al., Section 2); this module is the subsystem that
+//! makes that real. A [`BlockStore`] owns one append-only spill file of
+//! [`datablocks::frame`]-encoded blocks plus, in memory:
+//!
+//! * a **block directory** — for every block id its file offset/length and its
+//!   [`BlockSummary`] (tuple counts and per-attribute SMAs), kept hot so SMA
+//!   block-skipping and size accounting never touch the disk;
+//! * a **block cache** — decoded [`DataBlock`]s up to a configured byte capacity,
+//!   with **pin counts** (a pinned block is never evicted; scans pin for the
+//!   duration of a morsel) and CLOCK second-chance eviction for the rest.
+//!
+//! All I/O is positional (`read_at`/`write_at` via [`std::os::unix::fs::FileExt`]),
+//! so concurrent scan workers loading different blocks never contend on a shared
+//! file cursor. The cache index is behind one [`Mutex`], but the lock is **not**
+//! held across disk reads or frame decoding: a miss records the directory entry
+//! under the lock, performs the read/decode unlocked, and re-takes the lock to
+//! publish the block (two workers racing on the same block both pay the read, one
+//! insert wins — a deliberate trade of occasional duplicate I/O for an uncontended
+//! hot path).
+//!
+//! The store is append-only: deleting a record of a spilled block rewrites the whole
+//! block at the end of the file and repoints the directory entry ([`BlockStore::
+//! rewrite`]), leaving the old frame as dead space. Compaction and crash-consistent
+//! directory persistence are future work; [`BlockStore::open`] can rebuild a
+//! directory from a file of appended frames by reading only headers and summaries.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::ops::Deref;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use datablocks::frame::{self, FRAME_HEADER_LEN};
+use datablocks::{BlockSummary, DataBlock, FrameError};
+
+/// Identifier of a block within one [`BlockStore`] (its directory index).
+pub type BlockId = usize;
+
+/// How a relation spills frozen blocks to secondary storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillPolicy {
+    /// Byte budget of the in-memory block cache. Pinned blocks may push the resident
+    /// set above this bound transiently; unpinned blocks are evicted down to it.
+    pub cache_capacity_bytes: usize,
+    /// Spill file location. `None` creates a per-store temporary file (deleted when
+    /// the store is dropped). For [`crate::Database::enable_spill`] a `Some` path
+    /// names a *directory* receiving one `<relation>.dbs` file per relation; for
+    /// [`crate::Relation::enable_spill`] it names the file itself (kept on drop).
+    pub path: Option<PathBuf>,
+}
+
+impl Default for SpillPolicy {
+    fn default() -> SpillPolicy {
+        SpillPolicy {
+            cache_capacity_bytes: 64 << 20,
+            path: None,
+        }
+    }
+}
+
+impl SpillPolicy {
+    /// A policy with the given cache budget, spilling to a temporary file.
+    pub fn with_cache_capacity(cache_capacity_bytes: usize) -> SpillPolicy {
+        SpillPolicy {
+            cache_capacity_bytes,
+            path: None,
+        }
+    }
+}
+
+/// Errors surfaced by block store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// A frame failed validation (checksum, magic, version, truncation).
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "block store I/O error: {err}"),
+            StoreError::Frame(err) => write!(f, "block store frame error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Frame(err) => Some(err),
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> StoreError {
+        StoreError::Io(err)
+    }
+}
+
+impl From<FrameError> for StoreError {
+    fn from(err: FrameError) -> StoreError {
+        StoreError::Frame(err)
+    }
+}
+
+/// Counters describing what a store actually did. Reads/writes count **disk**
+/// operations only — cache hits and summary-pruned blocks cost zero reads, which is
+/// what the scan-skipping assertions in the differential tests pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Block payloads read from disk.
+    pub block_reads: u64,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+    /// Block frames written to disk (appends and rewrites).
+    pub block_writes: u64,
+    /// Bytes written to disk.
+    pub bytes_written: u64,
+    /// Pins served from the cache.
+    pub cache_hits: u64,
+    /// Pins that had to load from disk.
+    pub cache_misses: u64,
+    /// Cached blocks evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+/// One directory entry: where a block lives in the file, plus its hot summary.
+#[derive(Debug, Clone)]
+struct DirEntry {
+    offset: u64,
+    len: u32,
+    summary: BlockSummary,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    block: Arc<DataBlock>,
+    pins: u32,
+    /// CLOCK reference bit: set on every pin, cleared on the hand's first pass.
+    referenced: bool,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    directory: Vec<DirEntry>,
+    cache: HashMap<BlockId, CacheEntry>,
+    /// Ring of cached block ids the CLOCK hand sweeps (order approximates insertion
+    /// order; eviction uses `swap_remove`, so it is a second-chance clock, not LRU).
+    clock: Vec<BlockId>,
+    hand: usize,
+    cached_bytes: usize,
+    end_offset: u64,
+    stats: IoStats,
+}
+
+/// A file-backed store of frozen Data Blocks with an in-memory directory and a
+/// pinning block cache. See the module docs for the design.
+#[derive(Debug)]
+pub struct BlockStore {
+    file: File,
+    path: PathBuf,
+    delete_on_drop: bool,
+    capacity: usize,
+    inner: Mutex<Inner>,
+    /// Serialises block mutations ([`BlockStore::mutate`]) — never held while
+    /// waiting on `inner` from a non-mutation path, so ordinary pins proceed
+    /// concurrently with a mutation's I/O.
+    mutation: Mutex<()>,
+}
+
+/// Monotonic counter distinguishing temp files of one process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl BlockStore {
+    /// Create a store over a fresh temporary file (deleted when the store drops).
+    pub fn create_temp(capacity: usize) -> io::Result<Arc<BlockStore>> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("datablocks-spill-{}-{n}.dbs", std::process::id()));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        Ok(Arc::new(BlockStore {
+            file,
+            path,
+            delete_on_drop: true,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            mutation: Mutex::new(()),
+        }))
+    }
+
+    /// Create a store over `path`, truncating any existing file. The file is kept
+    /// when the store drops.
+    pub fn create(path: impl AsRef<Path>, capacity: usize) -> io::Result<Arc<BlockStore>> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Arc::new(BlockStore {
+            file,
+            path,
+            delete_on_drop: false,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            mutation: Mutex::new(()),
+        }))
+    }
+
+    /// Reopen a store from an existing file of appended frames, rebuilding the
+    /// directory by reading **only** each frame's header and summary section — block
+    /// payloads are not touched (and not checksummed) until first pinned.
+    ///
+    /// Only valid for files produced by appends: a store that performed
+    /// [`BlockStore::rewrite`]s leaves superseded frames in the file, which this
+    /// walk cannot distinguish from live ones.
+    pub fn open(path: impl AsRef<Path>, capacity: usize) -> Result<Arc<BlockStore>, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut directory = Vec::new();
+        let mut offset = 0u64;
+        while offset < file_len {
+            let mut header_buf = [0u8; FRAME_HEADER_LEN];
+            file.read_exact_at(&mut header_buf, offset)?;
+            let header = frame::read_header(&header_buf)?;
+            let mut prefix = vec![0u8; header.payload_off as usize];
+            file.read_exact_at(&mut prefix, offset)?;
+            let summary = frame::read_summary(&prefix)?;
+            let len = header.frame_len() as u32;
+            directory.push(DirEntry {
+                offset,
+                len,
+                summary,
+            });
+            offset += len as u64;
+        }
+        Ok(Arc::new(BlockStore {
+            file,
+            path,
+            delete_on_drop: false,
+            capacity,
+            inner: Mutex::new(Inner {
+                directory,
+                end_offset: offset,
+                ..Inner::default()
+            }),
+            mutation: Mutex::new(()),
+        }))
+    }
+
+    /// The spill file location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured cache byte budget.
+    pub fn cache_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks in the directory.
+    pub fn block_count(&self) -> usize {
+        self.inner.lock().expect("store lock").directory.len()
+    }
+
+    /// Bytes of decoded blocks currently resident in the cache.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.lock().expect("store lock").cached_bytes
+    }
+
+    /// Snapshot of the I/O and cache counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().expect("store lock").stats
+    }
+
+    /// Reset the I/O and cache counters (the bench harness isolates phases with
+    /// this).
+    pub fn reset_stats(&self) {
+        self.inner.lock().expect("store lock").stats = IoStats::default();
+    }
+
+    /// Serialized size of block `id` on disk, in bytes.
+    pub fn entry_len(&self, id: BlockId) -> usize {
+        self.inner.lock().expect("store lock").directory[id].len as usize
+    }
+
+    /// Consult the hot, in-memory summary of block `id` without any I/O.
+    pub fn with_summary<R>(&self, id: BlockId, f: impl FnOnce(&BlockSummary) -> R) -> R {
+        let inner = self.inner.lock().expect("store lock");
+        f(&inner.directory[id].summary)
+    }
+
+    /// Serialize `block`, append its frame to the spill file and register it in the
+    /// directory. The decoded block is admitted to the cache **unpinned** (so a
+    /// freeze immediately followed by a scan hits memory, while a tiny cache evicts
+    /// it right away — write-out on freeze either way). Returns the new block's id.
+    pub fn append(&self, block: Arc<DataBlock>) -> io::Result<BlockId> {
+        let bytes = frame::to_frame(&block);
+        // Reserve the file range and directory slot under the lock, then write
+        // without it, so cache-hit pins never stall behind spill I/O. Publishing
+        // the directory entry before the bytes are durable is safe: the id is
+        // unreachable by any reader until this call returns it. (If the write
+        // fails, the reserved entry points at unwritten bytes; callers treat a
+        // failed append as fatal and never hand the id out.)
+        let (offset, id) = {
+            let mut inner = self.inner.lock().expect("store lock");
+            let offset = inner.end_offset;
+            inner.end_offset += bytes.len() as u64;
+            let id = inner.directory.len();
+            inner.directory.push(DirEntry {
+                offset,
+                len: bytes.len() as u32,
+                summary: BlockSummary::of(&block),
+            });
+            (offset, id)
+        };
+        self.file.write_all_at(&bytes, offset)?;
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.block_writes += 1;
+        inner.stats.bytes_written += bytes.len() as u64;
+        self.admit(&mut inner, id, block, 0);
+        Ok(id)
+    }
+
+    /// Replace block `id` with a new version: append the new frame at the end of the
+    /// file, repoint the directory entry and refresh the cached copy (the old frame
+    /// becomes dead space). This is how delete flags reach spilled blocks — the
+    /// "update a frozen record" path of the paper, applied to the on-disk tier.
+    pub fn rewrite(&self, id: BlockId, block: Arc<DataBlock>) -> io::Result<()> {
+        let bytes = frame::to_frame(&block);
+        // Reserve the file range under the lock, write without it (same reasoning
+        // as in `append`). The directory is repointed only after the write
+        // completes, so concurrent pins read the old, fully written version until
+        // the rewrite commits — and `pin`'s offset re-check catches the flip.
+        let offset = {
+            let mut inner = self.inner.lock().expect("store lock");
+            let offset = inner.end_offset;
+            inner.end_offset += bytes.len() as u64;
+            offset
+        };
+        self.file.write_all_at(&bytes, offset)?;
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.stats.block_writes += 1;
+        inner.stats.bytes_written += bytes.len() as u64;
+        inner.directory[id] = DirEntry {
+            offset,
+            len: bytes.len() as u32,
+            summary: BlockSummary::of(&block),
+        };
+        if let Some(entry) = inner.cache.get_mut(&id) {
+            // Readers still holding the old Arc keep reading the old version; new
+            // pins observe the rewrite.
+            let new_bytes = block.byte_size();
+            let old_bytes = std::mem::replace(&mut entry.bytes, new_bytes);
+            entry.block = block;
+            inner.cached_bytes = inner.cached_bytes - old_bytes + new_bytes;
+            self.evict_to_capacity(&mut inner);
+        } else {
+            self.admit(&mut inner, id, block, 0);
+        }
+        Ok(())
+    }
+
+    /// Pin block `id` into memory and return a guard that keeps it cached (and the
+    /// underlying `Arc` alive) until dropped. Scans hold one pin per morsel, so a
+    /// worker never observes eviction mid-scan.
+    pub fn pin(self: &Arc<Self>, id: BlockId) -> Result<PinnedBlock, StoreError> {
+        loop {
+            let (offset, len) = {
+                let mut inner = self.inner.lock().expect("store lock");
+                if let Some(entry) = inner.cache.get_mut(&id) {
+                    entry.pins += 1;
+                    entry.referenced = true;
+                    let block = Arc::clone(&entry.block);
+                    inner.stats.cache_hits += 1;
+                    return Ok(PinnedBlock {
+                        store: Arc::clone(self),
+                        id,
+                        block,
+                    });
+                }
+                inner.stats.cache_misses += 1;
+                inner.stats.block_reads += 1;
+                let (offset, len) = {
+                    let entry = &inner.directory[id];
+                    (entry.offset, entry.len as usize)
+                };
+                inner.stats.bytes_read += len as u64;
+                (offset, len)
+            };
+            // Read and decode without holding the lock: misses on different blocks
+            // proceed in parallel.
+            let mut bytes = vec![0u8; len];
+            self.file.read_exact_at(&mut bytes, offset)?;
+            let block = Arc::new(frame::from_frame(&bytes)?);
+
+            let mut inner = self.inner.lock().expect("store lock");
+            if let Some(entry) = inner.cache.get_mut(&id) {
+                // Another worker published the block while we were reading. Any
+                // cached entry passed the directory check below (or came straight
+                // from an append/rewrite), so it is at least as new as our read.
+                entry.pins += 1;
+                entry.referenced = true;
+                let block = Arc::clone(&entry.block);
+                return Ok(PinnedBlock {
+                    store: Arc::clone(self),
+                    id,
+                    block,
+                });
+            }
+            if inner.directory[id].offset != offset {
+                // A rewrite repointed the block while we were reading the old
+                // frame: publishing our copy would resurrect pre-rewrite data for
+                // every later pin. Retry against the new directory entry (the
+                // wasted read is counted — the counters report I/O performed).
+                continue;
+            }
+            self.admit(&mut inner, id, Arc::clone(&block), 1);
+            return Ok(PinnedBlock {
+                store: Arc::clone(self),
+                id,
+                block,
+            });
+        }
+    }
+
+    /// Atomically read-modify-write block `id`: `f` receives the current version
+    /// and returns the replacement block (or `None` to leave it unchanged) plus a
+    /// caller result. The whole load → rebuild → [`BlockStore::rewrite`] sequence
+    /// holds the store's mutation lock, so two relation clones mutating the same
+    /// block through their shared store serialise instead of losing an update.
+    pub fn mutate<R>(
+        self: &Arc<Self>,
+        id: BlockId,
+        f: impl FnOnce(&DataBlock) -> (Option<DataBlock>, R),
+    ) -> Result<R, StoreError> {
+        let _mutation = self.mutation.lock().expect("store mutation lock");
+        let pinned = self.pin(id)?;
+        let (replacement, result) = f(&pinned);
+        drop(pinned);
+        if let Some(block) = replacement {
+            self.rewrite(id, Arc::new(block))?;
+        }
+        Ok(result)
+    }
+
+    /// Drop every unpinned cached block (the bench harness uses this to measure
+    /// cold scans).
+    pub fn clear_cache(&self) {
+        let inner = &mut *self.inner.lock().expect("store lock");
+        let mut freed = 0;
+        inner.cache.retain(|_, entry| {
+            if entry.pins > 0 {
+                true
+            } else {
+                freed += entry.bytes;
+                false
+            }
+        });
+        inner.cached_bytes -= freed;
+        let cache = &inner.cache;
+        inner.clock.retain(|id| cache.contains_key(id));
+        inner.hand = 0;
+    }
+
+    /// Is block `id` currently resident in the cache? (Test/bench introspection.)
+    pub fn is_cached(&self, id: BlockId) -> bool {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .cache
+            .contains_key(&id)
+    }
+
+    fn admit(&self, inner: &mut Inner, id: BlockId, block: Arc<DataBlock>, pins: u32) {
+        let bytes = block.byte_size();
+        inner.cache.insert(
+            id,
+            CacheEntry {
+                block,
+                pins,
+                referenced: true,
+                bytes,
+            },
+        );
+        inner.clock.push(id);
+        inner.cached_bytes += bytes;
+        self.evict_to_capacity(inner);
+    }
+
+    /// CLOCK sweep: evict unpinned, unreferenced blocks until the cache fits the
+    /// capacity. Pinned blocks are skipped; if everything left is pinned the cache
+    /// transiently overshoots (pins are short-lived — one morsel).
+    fn evict_to_capacity(&self, inner: &mut Inner) {
+        let mut wraps = 0u32;
+        while inner.cached_bytes > self.capacity && !inner.clock.is_empty() {
+            if inner.hand >= inner.clock.len() {
+                inner.hand = 0;
+                wraps += 1;
+                if wraps > 2 {
+                    break; // everything pinned: give up, pins drain soon
+                }
+            }
+            let id = inner.clock[inner.hand];
+            let entry = inner.cache.get_mut(&id).expect("clock entry is cached");
+            if entry.pins > 0 {
+                inner.hand += 1;
+            } else if entry.referenced {
+                entry.referenced = false;
+                inner.hand += 1;
+            } else {
+                let entry = inner.cache.remove(&id).expect("checked above");
+                inner.cached_bytes -= entry.bytes;
+                inner.stats.evictions += 1;
+                inner.clock.swap_remove(inner.hand);
+            }
+        }
+    }
+
+    fn unpin(&self, id: BlockId) {
+        let mut inner = self.inner.lock().expect("store lock");
+        if let Some(entry) = inner.cache.get_mut(&id) {
+            debug_assert!(entry.pins > 0, "unpin without pin");
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+    }
+}
+
+impl Drop for BlockStore {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// A pinned, decoded block. Dereferences to [`DataBlock`]; the pin (and therefore
+/// cache residency of the block) is released on drop. Even after an unlikely forced
+/// eviction the `Arc` keeps the data alive, so holding a `PinnedBlock` is always
+/// safe — pinning exists to prevent eviction churn and duplicate loads, not to
+/// uphold memory safety.
+#[derive(Debug)]
+pub struct PinnedBlock {
+    store: Arc<BlockStore>,
+    id: BlockId,
+    block: Arc<DataBlock>,
+}
+
+impl Deref for PinnedBlock {
+    type Target = DataBlock;
+    fn deref(&self) -> &DataBlock {
+        &self.block
+    }
+}
+
+impl Drop for PinnedBlock {
+    fn drop(&mut self) {
+        self.store.unpin(self.id);
+    }
+}
+
+/// A borrowed view of one cold block of a relation, resolving transparently to the
+/// heap-resident block or to a pinned copy paged in from the spill file. Returned by
+/// [`crate::Relation::cold_block`]; dereferences to [`DataBlock`].
+#[derive(Debug)]
+pub struct BlockRef {
+    inner: BlockRefInner,
+}
+
+#[derive(Debug)]
+enum BlockRefInner {
+    Resident(Arc<DataBlock>),
+    Pinned(PinnedBlock),
+}
+
+impl BlockRef {
+    pub(crate) fn resident(block: Arc<DataBlock>) -> BlockRef {
+        BlockRef {
+            inner: BlockRefInner::Resident(block),
+        }
+    }
+
+    pub(crate) fn pinned(block: PinnedBlock) -> BlockRef {
+        BlockRef {
+            inner: BlockRefInner::Pinned(block),
+        }
+    }
+}
+
+impl Deref for BlockRef {
+    type Target = DataBlock;
+    fn deref(&self) -> &DataBlock {
+        match &self.inner {
+            BlockRefInner::Resident(block) => block,
+            BlockRefInner::Pinned(pinned) => pinned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datablocks::builder::{freeze, int_column, str_column};
+    use datablocks::Value;
+
+    fn block(tag: i64, rows: i64) -> Arc<DataBlock> {
+        let ids = int_column((0..rows).map(|i| tag * 10_000 + i).collect());
+        let grp = str_column((0..rows).map(|i| format!("b{tag}-{}", i % 3)).collect());
+        Arc::new(freeze(&[ids, grp]))
+    }
+
+    #[test]
+    fn append_and_pin_roundtrip() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        let b0 = block(0, 1000);
+        let b1 = block(1, 1000);
+        let id0 = store.append(Arc::clone(&b0)).unwrap();
+        let id1 = store.append(Arc::clone(&b1)).unwrap();
+        assert_eq!((id0, id1), (0, 1));
+        assert_eq!(store.block_count(), 2);
+        let pinned = store.pin(id1).unwrap();
+        assert_eq!(pinned.get(5, 0), Value::Int(10_005));
+        // append admits to the cache, so this pin was a hit with zero disk reads
+        let stats = store.stats();
+        assert_eq!(stats.block_reads, 0);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.block_writes, 2);
+        assert!(stats.bytes_written > 0);
+    }
+
+    #[test]
+    fn cache_miss_reads_from_disk_and_verifies_checksum() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        let id = store.append(block(7, 2000)).unwrap();
+        store.clear_cache();
+        assert!(!store.is_cached(id));
+        let pinned = store.pin(id).unwrap();
+        assert_eq!(pinned.get(1999, 0), Value::Int(71_999));
+        let stats = store.stats();
+        assert_eq!(stats.block_reads, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.bytes_read > 0);
+        assert!(store.is_cached(id));
+    }
+
+    #[test]
+    fn tiny_cache_evicts_unpinned_blocks() {
+        let store = BlockStore::create_temp(1).unwrap(); // effectively nothing fits
+        let id0 = store.append(block(0, 1000)).unwrap();
+        let id1 = store.append(block(1, 1000)).unwrap();
+        // appends get evicted immediately (capacity 1 byte)
+        assert!(!store.is_cached(id0) || !store.is_cached(id1));
+        let p0 = store.pin(id0).unwrap();
+        let p1 = store.pin(id1).unwrap();
+        // both pinned: cache overshoots rather than evicting pinned blocks
+        assert_eq!(p0.get(0, 0), Value::Int(0));
+        assert_eq!(p1.get(0, 0), Value::Int(10_000));
+        assert!(store.is_cached(id0) && store.is_cached(id1));
+        drop(p0);
+        drop(p1);
+        // next admission sweeps the now-unpinned blocks out
+        let id2 = store.append(block(2, 1000)).unwrap();
+        let _p2 = store.pin(id2).unwrap();
+        assert!(store.stats().evictions > 0);
+        assert!(!store.is_cached(id0));
+    }
+
+    #[test]
+    fn summaries_answer_without_io() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        let id = store.append(block(3, 500)).unwrap();
+        store.clear_cache();
+        store.reset_stats();
+        let (tuples, live) = store.with_summary(id, |s| (s.tuple_count, s.live_tuple_count()));
+        assert_eq!((tuples, live), (500, 500));
+        assert_eq!(store.stats().block_reads, 0);
+        assert!(store.entry_len(id) > 0);
+    }
+
+    #[test]
+    fn rewrite_repoints_directory_and_cache() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        let original = block(1, 100);
+        let id = store.append(Arc::clone(&original)).unwrap();
+        let mut updated = (*original).clone();
+        updated.delete(42);
+        store.rewrite(id, Arc::new(updated)).unwrap();
+        let pinned = store.pin(id).unwrap();
+        assert!(pinned.is_deleted(42));
+        assert_eq!(store.with_summary(id, |s| s.deleted_count), 1);
+        // cold read after a rewrite decodes the new frame
+        drop(pinned);
+        store.clear_cache();
+        let reloaded = store.pin(id).unwrap();
+        assert!(reloaded.is_deleted(42));
+        assert_eq!(reloaded.live_tuple_count(), 99);
+    }
+
+    #[test]
+    fn concurrent_mutations_do_not_lose_updates() {
+        // Many threads each flag a distinct row of the same block through
+        // `mutate`; the mutation lock must serialise the read-modify-write
+        // cycles so no tombstone is lost.
+        let store = BlockStore::create_temp(1).unwrap(); // thrash: force reloads
+        let id = store.append(block(0, 64)).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    for row in (t..64).step_by(8) {
+                        let deleted = store
+                            .mutate(id, |current| {
+                                if current.is_deleted(row) {
+                                    (None, false)
+                                } else {
+                                    let mut b = current.clone();
+                                    b.delete(row);
+                                    (Some(b), true)
+                                }
+                            })
+                            .unwrap();
+                        assert!(deleted, "row {row} deleted exactly once");
+                    }
+                });
+            }
+        });
+        store.clear_cache();
+        let pinned = store.pin(id).unwrap();
+        assert_eq!(pinned.live_tuple_count(), 0, "all 64 tombstones survived");
+        assert_eq!(store.with_summary(id, |s| s.deleted_count), 64);
+    }
+
+    #[test]
+    fn open_rebuilds_directory_from_summaries_only() {
+        let path = std::env::temp_dir().join(format!(
+            "datablocks-store-reopen-{}-{}.dbs",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let store = BlockStore::create(&path, usize::MAX).unwrap();
+            store.append(block(0, 800)).unwrap();
+            store.append(block(1, 900)).unwrap();
+        }
+        let reopened = BlockStore::open(&path, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 2);
+        assert_eq!(reopened.with_summary(1, |s| s.tuple_count), 900);
+        // rebuilding the directory touched no payloads
+        assert_eq!(reopened.stats().block_reads, 0);
+        let pinned = reopened.pin(0).unwrap();
+        assert_eq!(pinned.get(7, 0), Value::Int(7));
+        drop(pinned);
+        drop(reopened);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_of_empty_file_is_an_empty_store() {
+        let path = std::env::temp_dir().join(format!(
+            "datablocks-store-empty-{}-{}.dbs",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        drop(BlockStore::create(&path, 1024).unwrap());
+        let reopened = BlockStore::open(&path, 1024).unwrap();
+        assert_eq!(reopened.block_count(), 0);
+        assert_eq!(reopened.cached_bytes(), 0);
+        drop(reopened);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_file_is_reported_not_decoded() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        let id = store.append(block(0, 300)).unwrap();
+        store.clear_cache();
+        // flip a payload byte on disk behind the store's back
+        let len = store.entry_len(id) as u64;
+        let mut byte = [0u8; 1];
+        store.file.read_exact_at(&mut byte, len - 1).unwrap();
+        store.file.write_all_at(&[byte[0] ^ 0xff], len - 1).unwrap();
+        match store.pin(id) {
+            Err(StoreError::Frame(FrameError::ChecksumMismatch { .. })) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temp_file_removed_on_drop() {
+        let store = BlockStore::create_temp(1024).unwrap();
+        let path = store.path().to_path_buf();
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn error_display() {
+        let io_err = StoreError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        let frame_err = StoreError::from(FrameError::BadMagic);
+        assert!(frame_err.to_string().contains("magic"));
+    }
+}

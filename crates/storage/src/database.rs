@@ -1,16 +1,21 @@
-//! A minimal catalog: a named collection of relations.
+//! A minimal catalog: a named collection of relations, with an optional
+//! database-wide spill policy.
 
 use std::collections::BTreeMap;
 
+use crate::blockstore::SpillPolicy;
 use crate::relation::Relation;
 use crate::schema::Schema;
 
-/// An in-memory database: a set of named relations sharing no state beyond the
-/// catalog itself. This is the object the workload loaders populate and the query
-/// layer executes against.
+/// A database: a set of named relations sharing no state beyond the catalog itself.
+/// This is the object the workload loaders populate and the query layer executes
+/// against. A spill policy set via [`Database::enable_spill`] applies to every
+/// current and future relation, turning the catalog into a larger-than-memory
+/// store.
 #[derive(Debug, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    spill: Option<SpillPolicy>,
 }
 
 impl Database {
@@ -19,11 +24,58 @@ impl Database {
         Database::default()
     }
 
-    /// Create a new empty relation and return a mutable reference to it.
+    /// Spill every relation's frozen blocks to secondary storage under `policy`.
+    /// Each relation gets its own store file: `policy.path` of `Some(dir)` places
+    /// one `<relation>.dbs` per relation in that directory, `None` uses per-store
+    /// temporary files (deleted on drop). Relations created or added later inherit
+    /// the policy.
+    ///
+    /// Like [`Relation::enable_spill`], reconfiguration is not supported: once the
+    /// database policy is set, a second call fails with
+    /// [`std::io::ErrorKind::AlreadyExists`]. Relations that already spill (enabled
+    /// individually, or by a previous call that failed partway) are left on their
+    /// existing stores and skipped, so a failed call — some relations converted,
+    /// `spill_policy()` still unset — can simply be retried once the underlying
+    /// problem (e.g. directory permissions) is fixed.
+    pub fn enable_spill(&mut self, policy: SpillPolicy) -> std::io::Result<()> {
+        if self.spill.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "database spill policy already set; reconfiguration is not supported",
+            ));
+        }
+        for relation in self.relations.values_mut() {
+            if relation.has_spill() {
+                continue;
+            }
+            relation.enable_spill(&Database::per_relation(&policy, relation.name()))?;
+        }
+        self.spill = Some(policy);
+        Ok(())
+    }
+
+    /// The database-wide spill policy, if one was set.
+    pub fn spill_policy(&self) -> Option<&SpillPolicy> {
+        self.spill.as_ref()
+    }
+
+    fn per_relation(policy: &SpillPolicy, name: &str) -> SpillPolicy {
+        SpillPolicy {
+            cache_capacity_bytes: policy.cache_capacity_bytes,
+            path: policy
+                .path
+                .as_ref()
+                .map(|dir| dir.join(format!("{name}.dbs"))),
+        }
+    }
+
+    /// Create a new empty relation and return a mutable reference to it. Inherits
+    /// the database spill policy, if one is set.
     ///
     /// # Panics
     ///
-    /// Panics if a relation with the same name already exists.
+    /// Panics if a relation with the same name already exists, or if attaching the
+    /// inherited spill store fails.
     pub fn create_relation(&mut self, name: &str, schema: Schema) -> &mut Relation {
         assert!(
             !self.relations.contains_key(name),
@@ -31,16 +83,33 @@ impl Database {
         );
         self.relations
             .insert(name.to_string(), Relation::new(name, schema));
-        self.relations.get_mut(name).expect("just inserted")
+        let relation = self.relations.get_mut(name).expect("just inserted");
+        if let Some(policy) = &self.spill {
+            relation
+                .enable_spill(&Database::per_relation(policy, name))
+                .expect("attach spill store");
+        }
+        relation
     }
 
-    /// Register an already-populated relation (used by bulk loaders).
-    pub fn add_relation(&mut self, relation: Relation) {
+    /// Register an already-populated relation (used by bulk loaders). Inherits the
+    /// database spill policy if the relation does not already spill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a relation with the same name already exists, or if attaching the
+    /// inherited spill store fails.
+    pub fn add_relation(&mut self, mut relation: Relation) {
         assert!(
             !self.relations.contains_key(relation.name()),
             "relation {:?} already exists",
             relation.name()
         );
+        if let (Some(policy), false) = (&self.spill, relation.has_spill()) {
+            relation
+                .enable_spill(&Database::per_relation(policy, relation.name()))
+                .expect("attach spill store");
+        }
         self.relations.insert(relation.name().to_string(), relation);
     }
 
@@ -120,7 +189,28 @@ mod tests {
             db.relation_mut("a").insert(vec![Value::Int(i)]);
         }
         db.freeze_all();
-        assert_eq!(db.relation("a").cold_blocks().len(), 1);
+        assert_eq!(db.relation("a").cold_block_count(), 1);
+        assert!(db.total_bytes() > 0);
+    }
+
+    #[test]
+    fn spill_policy_applies_to_existing_and_future_relations() {
+        let mut db = Database::new();
+        db.create_relation("a", schema());
+        for i in 0..100 {
+            db.relation_mut("a").insert(vec![Value::Int(i)]);
+        }
+        db.enable_spill(crate::blockstore::SpillPolicy::with_cache_capacity(1 << 20))
+            .unwrap();
+        assert!(db.spill_policy().is_some());
+        assert!(db.relation("a").has_spill());
+        // a relation created after the policy inherits it
+        db.create_relation("b", schema());
+        assert!(db.relation("b").has_spill());
+        // frozen blocks land in each relation's own store
+        db.freeze_all();
+        assert_eq!(db.relation("a").spill_store().unwrap().block_count(), 1);
+        assert_eq!(db.relation("a").cold_block_count(), 1);
         assert!(db.total_bytes() > 0);
     }
 

@@ -9,6 +9,12 @@
 //! delete plus a re-insert into the hot tail — the life cycle described in Section 3
 //! of the paper.
 //!
+//! Relations scale past main memory through the [`blockstore`] module: with a
+//! [`SpillPolicy`] attached, frozen blocks are written to a file-backed
+//! [`BlockStore`] at freeze time and paged back in on demand through a pinning,
+//! capacity-bounded block cache, while the block directory keeps SMA summaries hot
+//! in memory so scans can skip cold blocks without any I/O.
+//!
 //! ```
 //! use storage::{ColumnDef, Relation, Schema};
 //! use datablocks::{DataType, Value};
@@ -25,7 +31,7 @@
 //! }
 //! // Cold chunks become compressed Data Blocks; the tail stays hot.
 //! rel.freeze_full_chunks();
-//! assert_eq!(rel.cold_blocks().len(), 2);
+//! assert_eq!(rel.cold_block_count(), 2);
 //!
 //! // OLTP point access works against both hot and frozen data.
 //! let id = rel.lookup_pk(42).unwrap();
@@ -34,11 +40,15 @@
 
 #![warn(missing_docs)]
 
+pub mod blockstore;
 pub mod database;
 pub mod hot;
 pub mod relation;
 pub mod schema;
 
+pub use blockstore::{
+    BlockId, BlockRef, BlockStore, IoStats, PinnedBlock, SpillPolicy, StoreError,
+};
 pub use database::Database;
 pub use hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
 pub use relation::{Relation, RowId, Segment, StorageStats};

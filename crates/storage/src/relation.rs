@@ -7,13 +7,28 @@
 //! internally translated into a delete (flag on the block) followed by an insert into
 //! the hot tail. An optional primary-key hash index maps key values to record
 //! locations for OLTP point accesses.
+//!
+//! # Larger-than-memory relations
+//!
+//! With a [`SpillPolicy`] attached ([`Relation::enable_spill`]), freezing writes each
+//! new Data Block to the relation's [`BlockStore`] instead of retaining it on the
+//! heap: the cold tier then lives on secondary storage, with only the block
+//! directory (offsets + SMA summaries) and a capacity-bounded block cache in memory.
+//! Every cold-block access goes through [`Relation::cold_block`], which returns a
+//! [`BlockRef`] resolving transparently to the heap-resident block or to a pinned
+//! copy paged in from disk — scans, point accesses and index builds are oblivious to
+//! which tier a block currently occupies, and
+//! [`Relation::cold_block_may_match`] lets scans apply SMA skipping to cold blocks
+//! from the in-memory directory without any I/O.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use datablocks::builder::{freeze, freeze_sorted};
 use datablocks::scan::Restriction;
-use datablocks::{DataBlock, Value};
+use datablocks::{DataBlock, ScanOptions, Value};
 
+use crate::blockstore::{BlockId, BlockRef, BlockStore, SpillPolicy};
 use crate::hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
 use crate::schema::Schema;
 
@@ -50,7 +65,8 @@ pub struct StorageStats {
     pub cold_rows: usize,
     /// Records in hot chunks (including deleted).
     pub hot_rows: usize,
-    /// Bytes used by cold blocks (compressed, including SMAs/PSMAs).
+    /// Bytes used by cold blocks: in-memory size (compressed, including SMAs/PSMAs)
+    /// for heap-resident blocks, serialized on-disk frame size for spilled blocks.
     pub cold_bytes: usize,
     /// Bytes used by hot chunks (uncompressed).
     pub hot_bytes: usize,
@@ -74,16 +90,40 @@ impl StorageStats {
     }
 }
 
+/// Where one frozen block of a relation currently lives.
+#[derive(Debug, Clone)]
+enum ColdSlot {
+    /// On the heap (the pre-spill behaviour; also cheap to `Clone` — blocks are
+    /// immutable, so clones share the `Arc`).
+    Resident(Arc<DataBlock>),
+    /// In the relation's [`BlockStore`], identified by its directory id.
+    Spilled(BlockId),
+}
+
 /// A chunked relation with hot and cold storage.
+///
+/// # Clone semantics
+///
+/// Cloning is cheap (frozen blocks are shared via `Arc`) but the two copies are
+/// only fully independent while every cold block is heap-resident: deletes on
+/// resident blocks are copy-on-write and clone-local, whereas once a spill store
+/// is attached the cold tier is *shared mutable state* — a delete on a spilled
+/// block is visible to every clone, and the other clones' primary-key indexes are
+/// not updated. Treat clones of a spilling relation as read-only snapshots of the
+/// hot tier over a shared cold tier.
 #[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     schema: Schema,
-    cold: Vec<DataBlock>,
+    cold: Vec<ColdSlot>,
     cold_uncompressed_bytes: usize,
     hot: Vec<HotChunk>,
     chunk_capacity: usize,
     pk_index: Option<HashMap<i64, RowId>>,
+    /// The spill store, once [`Relation::enable_spill`] ran. Shared by clones of the
+    /// relation (blocks are immutable, so sharing is safe; the delete path rewrites
+    /// through the store, which clones see too).
+    store: Option<Arc<BlockStore>>,
 }
 
 impl Relation {
@@ -110,7 +150,63 @@ impl Relation {
             hot: Vec::new(),
             chunk_capacity,
             pk_index,
+            store: None,
         }
+    }
+
+    // ------------------------------------------------------------------- spilling
+
+    /// Attach a spill store: frozen blocks move to secondary storage, with only the
+    /// block directory (offsets + SMA summaries) and a `cache_capacity_bytes`-bounded
+    /// block cache resident in memory. Already-frozen heap blocks are written out
+    /// immediately; every subsequent freeze spills its blocks instead of retaining
+    /// them. Query results are byte-identical to the all-in-memory relation for any
+    /// cache capacity (the differential tests in `tests/spill_differential.rs` pin
+    /// this down); only I/O counts change.
+    ///
+    /// Reconfiguration is not supported: a second call returns
+    /// [`std::io::ErrorKind::AlreadyExists`] instead of silently keeping the old
+    /// store (and its old path and cache capacity).
+    pub fn enable_spill(&mut self, policy: &SpillPolicy) -> std::io::Result<()> {
+        if self.store.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "spill store already attached; reconfiguring a relation's spill policy is not supported",
+            ));
+        }
+        let store = match &policy.path {
+            Some(path) => BlockStore::create(path, policy.cache_capacity_bytes)?,
+            None => BlockStore::create_temp(policy.cache_capacity_bytes)?,
+        };
+        // Write every block out *before* touching any slot: a failed append (disk
+        // full, ...) must leave the relation exactly as it was — fully in memory,
+        // no store attached — not half-converted to slots pointing into a store
+        // that was never kept.
+        let mut ids = Vec::with_capacity(self.cold.len());
+        for slot in &self.cold {
+            ids.push(match slot {
+                ColdSlot::Resident(block) => Some(store.append(Arc::clone(block))?),
+                ColdSlot::Spilled(_) => None,
+            });
+        }
+        for (slot, id) in self.cold.iter_mut().zip(ids) {
+            if let Some(id) = id {
+                *slot = ColdSlot::Spilled(id);
+            }
+        }
+        self.store = Some(store);
+        Ok(())
+    }
+
+    /// Is a spill store attached?
+    pub fn has_spill(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The spill store, if [`Relation::enable_spill`] ran (benchmarks and tests read
+    /// its I/O counters and drop its cache through this).
+    pub fn spill_store(&self) -> Option<&Arc<BlockStore>> {
+        self.store.as_ref()
     }
 
     /// The relation name.
@@ -140,7 +236,8 @@ impl Relation {
             return;
         };
         let mut index = HashMap::new();
-        for (block_idx, block) in self.cold.iter().enumerate() {
+        for block_idx in 0..self.cold.len() {
+            let block = self.cold_block(block_idx);
             for row in 0..block.tuple_count() as usize {
                 if block.is_deleted(row) {
                     continue;
@@ -206,10 +303,10 @@ impl Relation {
         row_id
     }
 
-    /// Read one attribute of a record.
+    /// Read one attribute of a record (paging the block in if it is spilled).
     pub fn get(&self, id: RowId, col: usize) -> Value {
         match id.segment {
-            Segment::Cold(b) => self.cold[b].get(id.row as usize, col),
+            Segment::Cold(b) => self.cold_block(b).get(id.row as usize, col),
             Segment::Hot(c) => self.hot[c].get(id.row as usize, col),
         }
     }
@@ -224,26 +321,73 @@ impl Relation {
     /// Is the record marked deleted?
     pub fn is_deleted(&self, id: RowId) -> bool {
         match id.segment {
-            Segment::Cold(b) => self.cold[b].is_deleted(id.row as usize),
+            Segment::Cold(b) => self.cold_block(b).is_deleted(id.row as usize),
             Segment::Hot(c) => self.hot[c].is_deleted(id.row as usize),
         }
     }
 
     /// Delete a record (tombstone in hot chunks, delete flag in frozen blocks).
+    ///
+    /// On a **spilled** block the flagged version is rewritten through the store
+    /// (append-new-frame + directory repoint), so the delete is durable on the
+    /// spill file and visible to every clone sharing the store.
+    ///
+    /// Note the tier-dependent clone semantics this implies: deleting a
+    /// heap-resident cold record is copy-on-write (`Arc::make_mut`) and therefore
+    /// clone-local, while deleting a spilled record is observed by every clone
+    /// (whose own primary-key indexes are *not* updated — treat clones of a
+    /// spilling relation as read-only snapshots of the hot tier plus a shared,
+    /// mutable cold tier; see the `Relation` docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill store fails to load or rewrite the block.
     pub fn delete(&mut self, id: RowId) -> bool {
-        let deleted = match id.segment {
-            Segment::Cold(b) => self.cold[b].delete(id.row as usize),
-            Segment::Hot(c) => self.hot[c].delete(id.row as usize),
+        let row = id.row as usize;
+        // The primary-key value is captured on the same access that performs the
+        // delete, so the spilled path never pages the block in a second time.
+        let pk_col = if self.pk_index.is_some() {
+            self.schema.primary_key()
+        } else {
+            None
+        };
+        let (deleted, key) = match id.segment {
+            Segment::Cold(b) => match &mut self.cold[b] {
+                ColdSlot::Resident(block) => {
+                    let block = Arc::make_mut(block);
+                    let deleted = block.delete(row);
+                    let key = pk_col.map(|col| block.get(row, col));
+                    (deleted, key)
+                }
+                ColdSlot::Spilled(block_id) => {
+                    // `mutate` holds the store's mutation lock across the whole
+                    // load → flag → rewrite sequence, so concurrent deletes from
+                    // relation clones sharing the store serialise (no lost
+                    // tombstones).
+                    let store = self.store.as_ref().expect("spilled slot without store");
+                    store
+                        .mutate(*block_id, |current| {
+                            if current.is_deleted(row) {
+                                (None, (false, None))
+                            } else {
+                                let key = pk_col.map(|col| current.get(row, col));
+                                let mut block = current.clone();
+                                block.delete(row);
+                                (Some(block), (true, key))
+                            }
+                        })
+                        .expect("rewrite spilled block")
+                }
+            },
+            Segment::Hot(c) => {
+                let deleted = self.hot[c].delete(row);
+                let key = pk_col.map(|col| self.hot[c].get(row, col));
+                (deleted, key)
+            }
         };
         if deleted {
-            if let (Some(index), Some(pk_col)) = (&mut self.pk_index, self.schema.primary_key()) {
-                let key = match id.segment {
-                    Segment::Cold(b) => self.cold[b].get(id.row as usize, pk_col),
-                    Segment::Hot(c) => self.hot[c].get(id.row as usize, pk_col),
-                };
-                if let Value::Int(key) = key {
-                    index.remove(&key);
-                }
+            if let (Some(index), Some(Value::Int(key))) = (&mut self.pk_index, key) {
+                index.remove(&key);
             }
         }
         deleted
@@ -304,10 +448,16 @@ impl Relation {
         // One scratch + one result buffer reused across every block and chunk.
         let mut scratch = Vec::new();
         let mut matches = Vec::new();
-        for (block_idx, block) in self.cold.iter().enumerate() {
+        for block_idx in 0..self.cold.len() {
+            // SMA pruning from the in-memory directory: a spilled block whose
+            // summary rules the key out is never read from disk.
+            if !self.cold_block_may_match(block_idx, &restriction, &options) {
+                continue;
+            }
+            let block = self.cold_block(block_idx);
             matches.clear();
             datablocks::scan::scan_collect_into(
-                block,
+                &block,
                 &restriction,
                 options,
                 &mut scratch,
@@ -338,6 +488,8 @@ impl Relation {
     /// Freeze every *full* hot chunk into a Data Block, leaving the (possibly
     /// partially filled) tail chunk hot. This is the steady-state behaviour of the
     /// system: cold data migrates to compressed blocks, the hot tail stays mutable.
+    /// With a spill store attached the new blocks are written out to disk instead of
+    /// retained on the heap.
     pub fn freeze_full_chunks(&mut self) {
         self.freeze_internal(false, None)
     }
@@ -357,11 +509,17 @@ impl Relation {
     fn freeze_internal(&mut self, include_partial: bool, sort_by: Option<usize>) {
         let mut remaining = Vec::new();
         let hot = std::mem::take(&mut self.hot);
+        // Where each old hot chunk's records end up, in old-chunk order: either the
+        // new cold block (rows preserved by an unsorted freeze) or the chunk's new
+        // hot index. Lets the PK index be remapped in place instead of rebuilt.
+        let mut remap = Vec::with_capacity(hot.len());
         for chunk in hot {
             if chunk.is_empty() || (!include_partial && !chunk.is_full()) {
+                remap.push(Segment::Hot(remaining.len()));
                 remaining.push(chunk);
                 continue;
             }
+            remap.push(Segment::Cold(self.cold.len()));
             self.cold_uncompressed_bytes += chunk.byte_size();
             let block = match sort_by {
                 Some(col) => freeze_sorted(chunk.columns(), col),
@@ -383,21 +541,82 @@ impl Relation {
                     }
                 }
             }
-            self.cold.push(block);
+            let block = Arc::new(block);
+            let slot = match &self.store {
+                Some(store) => {
+                    let id = store.append(block).expect("spill frozen block");
+                    ColdSlot::Spilled(id)
+                }
+                None => ColdSlot::Resident(block),
+            };
+            self.cold.push(slot);
         }
         self.hot = remaining;
-        // Record locations changed (hot chunk index -> cold block index), so rebuild
-        // the PK index if one exists.
-        if self.pk_index.is_some() {
-            self.build_pk_index();
+        // Record locations changed (hot chunk index -> cold block index / shifted
+        // hot index). Unsorted freezes preserve row positions, so index entries are
+        // remapped in place — no block is touched, which matters once cold blocks
+        // live on disk (a full rebuild would page the whole cold tier back in on
+        // every freeze). A sorted freeze permutes rows and takes the full rebuild.
+        if sort_by.is_some() {
+            if self.pk_index.is_some() {
+                self.build_pk_index();
+            }
+        } else if let Some(index) = &mut self.pk_index {
+            for row_id in index.values_mut() {
+                if let Segment::Hot(old_idx) = row_id.segment {
+                    row_id.segment = remap[old_idx];
+                }
+            }
         }
     }
 
     // ------------------------------------------------------------------ inspection
 
-    /// The frozen Data Blocks.
-    pub fn cold_blocks(&self) -> &[DataBlock] {
-        &self.cold
+    /// Number of frozen Data Blocks (heap-resident and spilled).
+    pub fn cold_block_count(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Borrow cold block `idx`, paging it in (and pinning it in the block cache)
+    /// when it is spilled. The returned [`BlockRef`] dereferences to [`DataBlock`];
+    /// holding it keeps a spilled block pinned, so scans hold one per morsel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the spill store fails to load the block
+    /// (I/O error or checksum mismatch).
+    pub fn cold_block(&self, idx: usize) -> BlockRef {
+        match &self.cold[idx] {
+            ColdSlot::Resident(block) => BlockRef::resident(Arc::clone(block)),
+            ColdSlot::Spilled(block_id) => {
+                let store = self.store.as_ref().expect("spilled slot without store");
+                BlockRef::pinned(store.pin(*block_id).expect("load spilled block"))
+            }
+        }
+    }
+
+    /// Can any record of cold block `idx` match all `restrictions`?
+    ///
+    /// For a spilled block this consults the SMA summary in the store's in-memory
+    /// directory — **zero I/O** — replicating exactly the scan planner's SMA
+    /// block-skipping gate (see [`datablocks::BlockSummary::may_match`]; the
+    /// planner's non-SMA rule-outs, e.g. dictionary probes, still require loading
+    /// the block). For a heap-resident block it returns `true` and leaves the
+    /// decision to the scan planner, which has the full block at hand; either way
+    /// the scan's result and its skip counters are identical.
+    pub fn cold_block_may_match(
+        &self,
+        idx: usize,
+        restrictions: &[Restriction],
+        options: &ScanOptions,
+    ) -> bool {
+        match &self.cold[idx] {
+            ColdSlot::Resident(_) => true,
+            ColdSlot::Spilled(block_id) => {
+                let store = self.store.as_ref().expect("spilled slot without store");
+                store.with_summary(*block_id, |s| s.may_match(restrictions, options))
+            }
+        }
     }
 
     /// The hot chunks.
@@ -405,11 +624,28 @@ impl Relation {
         &self.hot
     }
 
+    /// Tuple count of one cold slot, answered from the directory summary for
+    /// spilled blocks (no I/O).
+    fn cold_slot_tuples(&self, slot: &ColdSlot) -> (usize, usize) {
+        match slot {
+            ColdSlot::Resident(block) => (
+                block.tuple_count() as usize,
+                block.live_tuple_count() as usize,
+            ),
+            ColdSlot::Spilled(block_id) => {
+                let store = self.store.as_ref().expect("spilled slot without store");
+                store.with_summary(*block_id, |s| {
+                    (s.tuple_count as usize, s.live_tuple_count() as usize)
+                })
+            }
+        }
+    }
+
     /// Total number of records (live and deleted) across all segments.
     pub fn row_count(&self) -> usize {
         self.cold
             .iter()
-            .map(|b| b.tuple_count() as usize)
+            .map(|slot| self.cold_slot_tuples(slot).0)
             .sum::<usize>()
             + self.hot.iter().map(|c| c.len()).sum::<usize>()
     }
@@ -418,28 +654,48 @@ impl Relation {
     pub fn live_row_count(&self) -> usize {
         self.cold
             .iter()
-            .map(|b| b.live_tuple_count() as usize)
+            .map(|slot| self.cold_slot_tuples(slot).1)
             .sum::<usize>()
             + self.hot.iter().map(|c| c.live_len()).sum::<usize>()
     }
 
     /// Distinct storage-layout combinations across the frozen blocks (each one would
-    /// be a separate code path for a JIT-compiled scan — Figure 5).
+    /// be a separate code path for a JIT-compiled scan — Figure 5). Loads spilled
+    /// blocks through the cache.
     pub fn layout_combinations(&self) -> usize {
-        let mut layouts: Vec<_> = self.cold.iter().map(|b| b.layout_combination()).collect();
+        let mut layouts: Vec<_> = (0..self.cold.len())
+            .map(|idx| self.cold_block(idx).layout_combination())
+            .collect();
         layouts.sort();
         layouts.dedup();
         layouts.len()
     }
 
-    /// Storage statistics for size/compression reporting.
+    /// Storage statistics for size/compression reporting. For spilled blocks
+    /// `cold_bytes` reports the serialized on-disk frame size (answered from the
+    /// directory, no I/O).
     pub fn storage_stats(&self) -> StorageStats {
+        let cold_bytes = self
+            .cold
+            .iter()
+            .map(|slot| match slot {
+                ColdSlot::Resident(block) => block.byte_size(),
+                ColdSlot::Spilled(block_id) => {
+                    let store = self.store.as_ref().expect("spilled slot without store");
+                    store.entry_len(*block_id)
+                }
+            })
+            .sum();
         StorageStats {
             cold_blocks: self.cold.len(),
             hot_chunks: self.hot.len(),
-            cold_rows: self.cold.iter().map(|b| b.tuple_count() as usize).sum(),
+            cold_rows: self
+                .cold
+                .iter()
+                .map(|slot| self.cold_slot_tuples(slot).0)
+                .sum(),
             hot_rows: self.hot.iter().map(|c| c.len()).sum(),
-            cold_bytes: self.cold.iter().map(|b| b.byte_size()).sum(),
+            cold_bytes,
             hot_bytes: self.hot.iter().map(|c| c.byte_size()).sum(),
             cold_bytes_uncompressed: self.cold_uncompressed_bytes,
         }
@@ -487,7 +743,7 @@ mod tests {
         let mut rel = filled_relation(2_500, 1000);
         assert_eq!(rel.hot_chunks().len(), 3);
         rel.freeze_full_chunks();
-        assert_eq!(rel.cold_blocks().len(), 2);
+        assert_eq!(rel.cold_block_count(), 2);
         assert_eq!(rel.hot_chunks().len(), 1);
         // indexed lookup finds rows in both cold and hot segments
         let cold_id = rel.lookup_pk(500).unwrap();
@@ -504,7 +760,7 @@ mod tests {
     fn freeze_all_includes_partial_tail() {
         let mut rel = filled_relation(1_500, 1000);
         rel.freeze_all();
-        assert_eq!(rel.cold_blocks().len(), 2);
+        assert_eq!(rel.cold_block_count(), 2);
         assert!(rel.hot_chunks().is_empty());
         assert_eq!(rel.live_row_count(), 1_500);
     }
@@ -598,13 +854,97 @@ mod tests {
     }
 
     #[test]
+    fn enable_spill_moves_existing_and_future_blocks_to_disk() {
+        let mut rel = filled_relation(2_500, 1000);
+        rel.freeze_full_chunks(); // 2 resident blocks + hot tail
+        assert!(!rel.has_spill());
+        rel.enable_spill(&SpillPolicy::with_cache_capacity(usize::MAX))
+            .unwrap();
+        assert!(rel.has_spill());
+        let store = rel.spill_store().unwrap().clone();
+        assert_eq!(store.block_count(), 2, "existing blocks written out");
+        // subsequent freezes spill instead of retaining
+        for i in 2_500..4_000 {
+            rel.insert(vec![
+                Value::Int(i),
+                Value::Str(format!("g{}", i % 4)),
+                Value::Int(i * 10),
+            ]);
+        }
+        rel.freeze_all();
+        assert_eq!(store.block_count(), rel.cold_block_count());
+        // everything still readable after dropping the cache (true cold reads)
+        store.clear_cache();
+        let id = rel.lookup_pk(3_999).unwrap();
+        assert_eq!(rel.get(id, 2), Value::Int(39_990));
+        assert!(store.stats().block_reads > 0);
+    }
+
+    #[test]
+    fn enable_spill_twice_is_rejected() {
+        let mut rel = filled_relation(100, 100);
+        rel.enable_spill(&SpillPolicy::default()).unwrap();
+        let err = rel.enable_spill(&SpillPolicy::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn spilled_delete_is_durable_across_cache_drops() {
+        let mut rel = filled_relation(200, 100);
+        rel.freeze_all();
+        rel.enable_spill(&SpillPolicy::with_cache_capacity(1))
+            .unwrap();
+        let id = rel.lookup_pk(42).unwrap();
+        assert!(rel.delete(id));
+        assert!(!rel.delete(id), "double delete reports false");
+        rel.spill_store().unwrap().clear_cache();
+        assert!(rel.is_deleted(id));
+        assert!(rel.lookup_pk(42).is_none());
+        assert_eq!(rel.live_row_count(), 199);
+    }
+
+    #[test]
+    fn spilled_stats_report_on_disk_bytes_without_io() {
+        let mut rel = filled_relation(3_000, 1000);
+        rel.freeze_all();
+        let resident_stats = rel.storage_stats();
+        rel.enable_spill(&SpillPolicy::with_cache_capacity(0))
+            .unwrap();
+        let store = rel.spill_store().unwrap().clone();
+        store.clear_cache();
+        store.reset_stats();
+        let spilled_stats = rel.storage_stats();
+        assert_eq!(spilled_stats.cold_blocks, resident_stats.cold_blocks);
+        assert_eq!(spilled_stats.cold_rows, resident_stats.cold_rows);
+        assert!(spilled_stats.cold_bytes > 0);
+        assert_eq!(rel.row_count(), 3_000);
+        assert_eq!(rel.live_row_count(), 3_000);
+        // counts and sizes came from the directory, not the payloads
+        assert_eq!(store.stats().block_reads, 0);
+    }
+
+    #[test]
+    fn clones_share_the_spill_store() {
+        let mut rel = filled_relation(1_000, 500);
+        rel.freeze_all();
+        rel.enable_spill(&SpillPolicy::default()).unwrap();
+        let clone = rel.clone();
+        assert!(Arc::ptr_eq(
+            rel.spill_store().unwrap(),
+            clone.spill_store().unwrap()
+        ));
+        let id = clone.lookup_pk(123).unwrap();
+        assert_eq!(clone.get(id, 2), Value::Int(1_230));
+    }
+
+    #[test]
     fn sorted_freeze_orders_block_contents() {
         let mut rel = Relation::with_chunk_capacity("t", schema(), 1000);
         for i in (0..1000i64).rev() {
             rel.insert(vec![Value::Int(i), Value::Str("g".into()), Value::Int(i)]);
         }
         rel.freeze_all_sorted_by(0);
-        let block = &rel.cold_blocks()[0];
+        let block = rel.cold_block(0);
         assert_eq!(block.get(0, 0), Value::Int(0));
         assert_eq!(block.get(999, 0), Value::Int(999));
         // index still finds the right record after the permutation

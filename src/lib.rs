@@ -9,7 +9,9 @@
 //! * [`dbsimd`] — SSE/AVX2 predicate-evaluation kernels with precomputed positions
 //!   tables (find-matches / reduce-matches).
 //! * [`storage`] — chunked hybrid relations: hot uncompressed chunks, cold frozen
-//!   Data Blocks, primary-key index, delete/update semantics.
+//!   Data Blocks, primary-key index, delete/update semantics, and the file-backed
+//!   block store (spill on freeze, pinning block cache, SMA summaries kept hot)
+//!   that takes relations past main memory.
 //! * [`exec`] — the interpreted vectorized scan subsystem feeding (simulated)
 //!   JIT-compiled tuple-at-a-time query pipelines, plus relational operators.
 //! * [`bitpack`] — the horizontal bit-packing and heavy-compression baselines the
@@ -17,8 +19,10 @@
 //! * [`workloads`] — TPC-H, TPC-C, IMDB cast_info and flights generators and the
 //!   reproduced query set.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and experiment
-//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `ARCHITECTURE.md` at the repository root for the crate map, the
+//! hot-chunk → frozen-block → spilled-frame lifecycle, the morsel pipeline driver
+//! and the paper sections each subsystem reproduces;
+//! `crates/datablocks/README.md` specifies the on-disk formats byte-exactly.
 //!
 //! ```
 //! use data_blocks::datablocks::builder::{freeze, int_column};
@@ -28,6 +32,8 @@
 //! let hits = scan_collect(&block, &[Restriction::between(0, 100i64, 199i64)], ScanOptions::default());
 //! assert_eq!(hits.len(), 100);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use bitpack;
 pub use datablocks;

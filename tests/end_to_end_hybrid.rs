@@ -33,7 +33,7 @@ fn orders_relation(rows: i64, chunk: usize) -> Relation {
 fn freeze_scan_update_delete_lifecycle() {
     let mut rel = orders_relation(30_000, 8_192);
     rel.freeze_full_chunks();
-    assert!(rel.cold_blocks().len() >= 3);
+    assert!(rel.cold_block_count() >= 3);
     assert_eq!(rel.hot_chunks().len(), 1);
 
     // OLAP: aggregate over hot + cold with SARG push-down.
@@ -121,7 +121,8 @@ fn scan_modes_and_isa_levels_agree_end_to_end() {
 fn serialized_blocks_answer_the_same_queries() {
     let mut rel = orders_relation(10_000, 2_048);
     rel.freeze_all();
-    for block in rel.cold_blocks() {
+    for idx in 0..rel.cold_block_count() {
+        let block = &*rel.cold_block(idx);
         let bytes = data_blocks::datablocks::layout::to_bytes(block);
         let restored = data_blocks::datablocks::layout::from_bytes(&bytes).expect("roundtrip");
         let restriction = [Restriction::cmp(2, CmpOp::Ge, 900i64)];

@@ -115,10 +115,10 @@ fn parallel_block_scan_matches_scan_collect_reference() {
                 });
             }
         }
-        assert_eq!(rel.cold_blocks().len(), 1);
+        assert_eq!(rel.cold_block_count(), 1);
 
         let restrictions = random_restrictions(&mut rng, rows);
-        let block = &rel.cold_blocks()[0];
+        let block = &*rel.cold_block(0);
         let expected: Vec<i64> = scan_collect(
             block,
             &restrictions,
@@ -209,7 +209,7 @@ fn parallel_scan_with_psma_narrowed_ranges() {
     let restrictions = vec![Restriction::eq(1, 100i64)];
 
     let expected: Vec<i64> = scan_collect(
-        &rel.cold_blocks()[0],
+        &rel.cold_block(0),
         &restrictions,
         data_blocks::datablocks::ScanOptions::default(),
     )

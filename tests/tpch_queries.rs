@@ -65,7 +65,8 @@ fn q6_revenue_matches_brute_force() {
     let lo = data_blocks::datablocks::date_to_days(1994, 1, 1);
     let hi = data_blocks::datablocks::date_to_days(1995, 1, 1) - 1;
     let mut expected = 0.0f64;
-    for block in lineitem.cold_blocks() {
+    for idx in 0..lineitem.cold_block_count() {
+        let block = lineitem.cold_block(idx);
         for row in 0..block.tuple_count() as usize {
             let d = block.get(row, ship).as_int().unwrap();
             let discount = block.get(row, disc).as_int().unwrap();
