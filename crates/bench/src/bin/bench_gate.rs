@@ -1,0 +1,86 @@
+//! Perf regression gate: compare the benchmark results of this run against the
+//! most recent `BENCH_trajectory.jsonl` entry for the same (benchmark, shape,
+//! threads) and **warn** — non-fatally — on drops of more than
+//! [`REGRESSION_THRESHOLD`].
+//!
+//! CI runs this between restoring the trajectory cache and appending the new
+//! points, so every comparison is against the previous push to main. Warnings use
+//! the GitHub Actions `::warning::` workflow-command syntax, which surfaces them
+//! as annotations on the run without failing it — shared-runner noise makes a
+//! hard gate on wall-clock numbers flakier than it is useful, but a >25% drop is
+//! worth a visible flag.
+//!
+//! Comparisons use the same best-per-shape folding as `bench_trajectory` and skip
+//! shapes whose previous entry was recorded at a different thread count (a runner
+//! with different hardware parallelism is not comparable). Exit code is always 0
+//! unless the current benchmark files are unreadable garbage.
+
+use db_bench::{fold_best_per_shape, parse_bench_results, parse_trajectory_line, BENCHMARK_FILES};
+
+/// Fractional drop in `rows_per_s` that triggers a warning annotation.
+const REGRESSION_THRESHOLD: f64 = 0.25;
+
+const TRAJECTORY_PATH: &str = "BENCH_trajectory.jsonl";
+
+fn main() {
+    let Ok(trajectory) = std::fs::read_to_string(TRAJECTORY_PATH) else {
+        println!("note: no {TRAJECTORY_PATH} to compare against (first run?) — gate passes");
+        return;
+    };
+    let history: Vec<(String, String, usize, f64)> = trajectory
+        .lines()
+        .filter_map(parse_trajectory_line)
+        .collect();
+    if history.is_empty() {
+        println!("note: {TRAJECTORY_PATH} holds no comparable points — gate passes");
+        return;
+    }
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for &(benchmark, path) in BENCHMARK_FILES {
+        let Ok(json) = std::fs::read_to_string(path) else {
+            continue; // bench_trajectory enforces presence; the gate only compares
+        };
+        for (shape, threads, current) in fold_best_per_shape(parse_bench_results(&json)) {
+            // Most recent prior entry for the same benchmark + shape.
+            let Some(&(_, _, prev_threads, previous)) = history
+                .iter()
+                .rev()
+                .find(|(b, s, _, _)| *b == benchmark && *s == shape)
+            else {
+                println!("{benchmark}/{shape}: no history yet");
+                continue;
+            };
+            if prev_threads != threads {
+                println!(
+                    "{benchmark}/{shape}: previous entry used {prev_threads} threads, \
+                     current best is at {threads} — not comparable, skipping"
+                );
+                continue;
+            }
+            compared += 1;
+            let ratio = current / previous;
+            if ratio < 1.0 - REGRESSION_THRESHOLD {
+                regressions += 1;
+                println!(
+                    "::warning title=Perf regression: {benchmark}/{shape}::rows_per_s fell \
+                     {:.1}% ({previous:.0} -> {current:.0} at {threads} threads) vs the last \
+                     trajectory entry",
+                    (1.0 - ratio) * 100.0,
+                );
+            } else {
+                println!(
+                    "{benchmark}/{shape}: {current:.0} rows/s vs {previous:.0} previously \
+                     ({:+.1}%) — ok",
+                    (ratio - 1.0) * 100.0,
+                );
+            }
+        }
+    }
+    println!(
+        "gate: compared {compared} shapes, {regressions} regression warning(s) \
+         (threshold {:.0}%, non-fatal)",
+        REGRESSION_THRESHOLD * 100.0
+    );
+}

@@ -8,6 +8,14 @@
 //! disk-read counters from the store are recorded alongside, so the trajectory log
 //! distinguishes "faster because cached" from "faster because pruned".
 //!
+//! Pin accounting: scans pin each cold block only for its morsel — the streaming
+//! parallel scan releases a pin as soon as the morsel's batches are handed to the
+//! channel, so at most `threads` pins are live at once. Each block is still one
+//! morsel, pinned (and therefore read) at most once per scan, which keeps
+//! `block_reads` exact for the cold phase: it equals the non-pruned block count
+//! whatever the thread count or channel capacity
+//! (`tests/spill_differential.rs` asserts this).
+//!
 //! Emits `BENCH_io.json` (one entry per configuration, folded into
 //! `BENCH_trajectory.jsonl` by `bench_trajectory`). Knobs:
 //!

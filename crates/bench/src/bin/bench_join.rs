@@ -1,0 +1,188 @@
+//! Parallel-join throughput benchmark: rows/s of morsel-parallel partitioned hash
+//! joins over a frozen TPC-H database, serial vs 2/4/8 build workers.
+//!
+//! Two join shapes bracket the design space:
+//!
+//! * `orders_lineitem` — the Q3 core: a restricted orders scan builds, the (much
+//!   larger) lineitem side probes; the build is mid-sized, so both the parallel
+//!   partitioned build and the probe stream matter;
+//! * `part_lineitem` — the Q14 core: a small unrestricted part build probed by a
+//!   date-restricted lineitem scan, where the probe stream dominates and SMA/PSMA
+//!   narrowing of the probe scan does most of the work.
+//!
+//! Both sides scan through the streaming morsel pipeline; the build runs
+//! partition-parallel (`HashJoinOp::with_parallel_build`). Reported rows/s is
+//! probe-side input rows over wall time — the driving stream of the pipeline.
+//!
+//! Emits `BENCH_join.json` (machine-readable, one entry per shape × thread count)
+//! which the CI trajectory step folds into `BENCH_trajectory.jsonl`. Knobs:
+//!
+//! * `TPCH_SF` — scale factor; the default 0.2 yields ≥ 1.2 M lineitem rows.
+//! * `--threads N` / `THREADS` — appends an extra thread count to the sweep.
+
+use std::io::Write as _;
+
+use db_bench::{fmt_duration, print_table_header, print_table_row, threads_arg, time_median};
+use exec::prelude::*;
+use workloads::tpch::TpchDb;
+
+use datablocks::date_to_days;
+
+fn main() {
+    let sf = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    println!("generating TPC-H scale factor {sf} ...");
+    let mut db = TpchDb::generate(sf);
+    db.freeze();
+    let lineitem = db.relation("lineitem");
+    let probe_rows = lineitem.row_count();
+    println!(
+        "lineitem: {probe_rows} rows, {} blocks; orders: {} rows; part: {} rows",
+        lineitem.cold_block_count(),
+        db.relation("orders").row_count(),
+        db.relation("part").row_count(),
+    );
+
+    // `0 = all hardware threads` is resolved before recording, so BENCH_join.json
+    // always names the actual worker count.
+    let mut sweep = vec![1usize, 2, 4, 8];
+    let extra = exec::morsel::effective_threads(threads_arg());
+    if !sweep.contains(&extra) {
+        sweep.push(extra);
+    }
+
+    let widths = [18usize, 10, 12, 14, 12, 10];
+    print_table_header(
+        "Parallel hash joins (probe side: lineitem)",
+        &["join", "threads", "median", "rows/s", "rows out", "speedup"],
+        &widths,
+    );
+
+    // The Q3 core: orders (restricted) ⋈ lineitem (restricted) on orderkey.
+    let q3_cutoff = date_to_days(1995, 3, 15);
+    let orders_lineitem = |threads: usize| -> usize {
+        let config = ScanConfig::default().with_threads(threads);
+        let orders = db.relation("orders");
+        let os = orders.schema();
+        let build = RelationScanner::new(
+            orders,
+            vec![os.idx("o_orderkey"), os.idx("o_custkey")],
+            vec![Restriction::cmp(
+                os.idx("o_orderdate"),
+                CmpOp::Lt,
+                q3_cutoff,
+            )],
+            config,
+        );
+        let lineitem = db.relation("lineitem");
+        let ls = lineitem.schema();
+        let probe = RelationScanner::new(
+            lineitem,
+            vec![ls.idx("l_orderkey"), ls.idx("l_extendedprice")],
+            vec![Restriction::cmp(ls.idx("l_shipdate"), CmpOp::Gt, q3_cutoff)],
+            config,
+        );
+        let mut join = HashJoinOp::new(
+            Box::new(ScanOp::new(build)),
+            Box::new(ScanOp::new(probe)),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+        .with_parallel_build(threads);
+        let mut out = 0usize;
+        while let Some(batch) = join.next_batch() {
+            out += batch.len();
+        }
+        out
+    };
+
+    // The Q14 core: part (small, unrestricted) ⋈ lineitem (one shipdate month).
+    let month_lo = date_to_days(1995, 9, 1);
+    let month_hi = date_to_days(1995, 10, 1) - 1;
+    let part_lineitem = |threads: usize| -> usize {
+        let config = ScanConfig::default().with_threads(threads);
+        let part = db.relation("part");
+        let ps = part.schema();
+        let build = RelationScanner::new(part, vec![ps.idx("p_partkey")], vec![], config);
+        let lineitem = db.relation("lineitem");
+        let ls = lineitem.schema();
+        let probe = RelationScanner::new(
+            lineitem,
+            vec![ls.idx("l_partkey"), ls.idx("l_extendedprice")],
+            vec![Restriction::between(
+                ls.idx("l_shipdate"),
+                month_lo,
+                month_hi,
+            )],
+            config,
+        );
+        let mut join = HashJoinOp::new(
+            Box::new(ScanOp::new(build)),
+            Box::new(ScanOp::new(probe)),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+        .with_parallel_build(threads)
+        .with_early_probe(true);
+        let mut out = 0usize;
+        while let Some(batch) = join.next_batch() {
+            out += batch.len();
+        }
+        out
+    };
+
+    type JoinRun<'a> = (&'static str, &'a dyn Fn(usize) -> usize);
+    let shapes: [JoinRun<'_>; 2] = [
+        ("orders_lineitem", &orders_lineitem),
+        ("part_lineitem", &part_lineitem),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, run) in shapes {
+        let mut serial_secs = None;
+        for &threads in &sweep {
+            let (rows_out, elapsed) = time_median(3, || run(threads));
+            assert!(rows_out > 0, "{name} must produce rows");
+            let secs = elapsed.as_secs_f64();
+            let rows_per_s = probe_rows as f64 / secs;
+            let base = *serial_secs.get_or_insert(secs);
+            let speedup = base / secs;
+            print_table_row(
+                &[
+                    name.to_string(),
+                    format!("{threads}"),
+                    fmt_duration(elapsed),
+                    format!("{rows_per_s:.2e}"),
+                    format!("{rows_out}"),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths,
+            );
+            entries.push(format!(
+                "    {{\"join\": \"{name}\", \"threads\": {threads}, \
+                 \"elapsed_ms\": {:.3}, \"rows_per_s\": {rows_per_s:.0}, \
+                 \"rows_out\": {rows_out}, \"speedup_vs_serial\": {speedup:.3}}}",
+                secs * 1e3,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_join\",\n  \"probe_relation\": \"lineitem\",\n  \
+         \"scale_factor\": {sf},\n  \"rows\": {probe_rows},\n  \"hardware_threads\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries.join(",\n"),
+    );
+    let path = "BENCH_join.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_join.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_join.json");
+    println!("\nwrote {path}");
+}

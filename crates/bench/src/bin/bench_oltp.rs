@@ -1,0 +1,120 @@
+//! OLTP throughput benchmark: TPC-C style transactions per second against the
+//! hybrid storage layer, in the two regimes the paper's Section 5.3 compares:
+//!
+//! * `new_order_hot` / `new_order_frozen_history` — the write-heavy new-order
+//!   transaction on an all-hot database vs one whose old neworder/orderline
+//!   records were frozen into Data Blocks (the paper's claim: freezing history
+//!   costs almost nothing on the write path);
+//! * `read_mix_hot` / `read_mix_frozen` — the read-only order-status + stock-level
+//!   mix on an all-hot vs fully frozen database (point lookups through the PK
+//!   index plus a SARGable stock scan against compressed blocks).
+//!
+//! Emits `BENCH_oltp.json` — `rows_per_s` carries transactions/second so the
+//! entries fold into `BENCH_trajectory.jsonl` with the same reader as every other
+//! benchmark (OLTP transactions are single-threaded against `&mut` storage, so
+//! `threads` is always 1). Knobs:
+//!
+//! * `TPCC_WAREHOUSES` — warehouse count (default 2; the paper uses 5).
+//! * `TPCC_TXNS` — write transactions per phase (default 8000).
+
+use std::io::Write as _;
+
+use db_bench::{print_table_header, print_table_row};
+use workloads::TpccDb;
+
+fn main() {
+    let warehouses: i64 = std::env::var("TPCC_WAREHOUSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let write_txns: usize = std::env::var("TPCC_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8_000);
+    let read_txns = write_txns / 2;
+    println!("generating TPC-C with {warehouses} warehouses ...");
+
+    let widths = [26usize, 14, 14];
+    print_table_header(
+        "TPC-C transaction throughput",
+        &["shape", "txns", "txns/s"],
+        &widths,
+    );
+
+    let mut entries = Vec::new();
+    let mut emit = |shape: &str, txns: usize, secs: f64| {
+        let tps = txns as f64 / secs;
+        print_table_row(
+            &[shape.to_string(), format!("{txns}"), format!("{tps:.0}")],
+            &widths,
+        );
+        entries.push(format!(
+            "    {{\"oltp\": \"{shape}\", \"threads\": 1, \"elapsed_ms\": {:.3}, \
+             \"rows_per_s\": {tps:.0}, \"transactions\": {txns}}}",
+            secs * 1e3,
+        ));
+    };
+
+    // Both databases ingest `write_txns` of (unmeasured) order history first, so
+    // the measured write phases — and later the read phases — run against the
+    // same data volume; the only difference between the shapes is whether that
+    // history is hot or frozen.
+    let mut hot = TpccDb::generate(warehouses);
+    for _ in 0..write_txns {
+        hot.new_order();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..write_txns {
+        hot.new_order();
+    }
+    emit("new_order_hot", write_txns, start.elapsed().as_secs_f64());
+
+    // Same history, frozen into Data Blocks before the measured phase.
+    let mut frozen = TpccDb::generate(warehouses);
+    for _ in 0..write_txns {
+        frozen.new_order();
+    }
+    frozen.freeze_old_neworders();
+    let start = std::time::Instant::now();
+    for _ in 0..write_txns {
+        frozen.new_order();
+    }
+    emit(
+        "new_order_frozen_history",
+        write_txns,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // Read-only mix (order-status + stock-level), hot vs fully frozen.
+    let run_reads = |db: &mut TpccDb| -> f64 {
+        let start = std::time::Instant::now();
+        for i in 0..read_txns {
+            if i % 2 == 0 {
+                std::hint::black_box(db.order_status());
+            } else {
+                std::hint::black_box(db.stock_level());
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let hot_secs = run_reads(&mut hot);
+    emit("read_mix_hot", read_txns, hot_secs);
+    frozen.freeze_everything();
+    let frozen_secs = run_reads(&mut frozen);
+    emit("read_mix_frozen", read_txns, frozen_secs);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"tpcc_oltp\",\n  \"warehouses\": {warehouses},\n  \
+         \"write_txns\": {write_txns},\n  \"read_txns\": {read_txns},\n  \
+         \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries.join(",\n"),
+    );
+    let path = "BENCH_oltp.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_oltp.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_oltp.json");
+    println!("\nwrote {path}");
+}

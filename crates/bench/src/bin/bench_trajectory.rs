@@ -18,10 +18,14 @@
 //!   `"unknown"`).
 //! * `TRAJECTORY_DATE` — timestamp to record (CI passes `date -u`; defaults to the
 //!   UNIX epoch seconds at run time).
+//! * `TRAJECTORY_REQUIRE` — comma-separated benchmark names (e.g.
+//!   `scan,agg,io,join,oltp`) whose JSON **must** be present and parsable; a
+//!   missing or empty file fails the run loudly instead of silently recording a
+//!   thinner trajectory. CI sets this to every benchmark it just ran.
 
 use std::io::Write as _;
 
-use db_bench::parse_bench_results;
+use db_bench::{fold_best_per_shape, parse_bench_results, BENCHMARK_FILES};
 
 const TRAJECTORY_PATH: &str = "BENCH_trajectory.jsonl";
 
@@ -34,32 +38,43 @@ fn main() {
             .unwrap_or(0);
         format!("unix:{secs}")
     });
+    let required: Vec<String> = std::env::var("TRAJECTORY_REQUIRE")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let known: Vec<&str> = BENCHMARK_FILES.iter().map(|(name, _)| *name).collect();
+    for name in &required {
+        assert!(
+            known.contains(&name.as_str()),
+            "error: TRAJECTORY_REQUIRE names unknown benchmark {name:?} (known: {known:?})"
+        );
+    }
 
     let mut lines = Vec::new();
-    for (benchmark, path) in [
-        ("scan", "BENCH_scan.json"),
-        ("agg", "BENCH_agg.json"),
-        ("io", "BENCH_io.json"),
-    ] {
+    for &(benchmark, path) in BENCHMARK_FILES {
+        let is_required = required.iter().any(|r| r == benchmark);
         let Ok(json) = std::fs::read_to_string(path) else {
+            if is_required {
+                eprintln!("error: required benchmark output {path} is missing — did the {benchmark} bench step run?");
+                std::process::exit(1);
+            }
             eprintln!("note: {path} not found, skipping the {benchmark} data point");
             continue;
         };
         let entries = parse_bench_results(&json);
         if entries.is_empty() {
+            if is_required {
+                eprintln!("error: required benchmark output {path} holds no parsable results");
+                std::process::exit(1);
+            }
             eprintln!("warning: {path} holds no parsable results, skipping");
             continue;
         }
-        // best rows/s per shape, in first-seen (emission) order
-        let mut shapes: Vec<(String, usize, f64)> = Vec::new();
-        for (shape, threads, rows_per_s) in entries {
-            match shapes.iter_mut().find(|(s, _, _)| *s == shape) {
-                Some(best) if best.2 >= rows_per_s => {}
-                Some(best) => *best = (shape, threads, rows_per_s),
-                None => shapes.push((shape, threads, rows_per_s)),
-            }
-        }
-        for (shape, threads, rows_per_s) in shapes {
+        for (shape, threads, rows_per_s) in fold_best_per_shape(entries) {
             lines.push((
                 benchmark,
                 shape.clone(),

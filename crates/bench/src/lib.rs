@@ -142,6 +142,44 @@ pub fn fmt_bytes(bytes: usize) -> String {
     format!("{value:.2} {}", UNITS[unit])
 }
 
+/// Every trajectory benchmark and the JSON file its binary emits, in the order the
+/// CI job runs them. `bench_trajectory` folds these into `BENCH_trajectory.jsonl`;
+/// `bench_gate` compares them against the last trajectory entry.
+pub const BENCHMARK_FILES: &[(&str, &str)] = &[
+    ("scan", "BENCH_scan.json"),
+    ("agg", "BENCH_agg.json"),
+    ("io", "BENCH_io.json"),
+    ("join", "BENCH_join.json"),
+    ("oltp", "BENCH_oltp.json"),
+];
+
+/// Fold raw `(shape, threads, rows_per_s)` measurements down to the best rows/s
+/// per shape, in first-seen (emission) order. This is THE folding both
+/// `bench_trajectory` (when recording points) and `bench_gate` (when comparing
+/// against them) apply, so the gate always compares like against like.
+pub fn fold_best_per_shape(entries: Vec<(String, usize, f64)>) -> Vec<(String, usize, f64)> {
+    let mut shapes: Vec<(String, usize, f64)> = Vec::new();
+    for (shape, threads, rows_per_s) in entries {
+        match shapes.iter_mut().find(|(s, _, _)| *s == shape) {
+            Some(best) if best.2 >= rows_per_s => {}
+            Some(best) => *best = (shape, threads, rows_per_s),
+            None => shapes.push((shape, threads, rows_per_s)),
+        }
+    }
+    shapes
+}
+
+/// One parsed `BENCH_trajectory.jsonl` entry:
+/// `(benchmark, shape, threads, rows_per_s)`. Returns `None` for lines that are
+/// not trajectory points (blank lines, corrupt cache entries).
+pub fn parse_trajectory_line(line: &str) -> Option<(String, String, usize, f64)> {
+    let benchmark = json_string_value(line, "\"benchmark\":")?;
+    let shape = json_string_value(line, "\"shape\":")?;
+    let threads = json_number(line, "\"threads\":")? as usize;
+    let rows_per_s = json_number(line, "\"rows_per_s\":")?;
+    Some((benchmark, shape, threads, rows_per_s))
+}
+
 /// `(shape, threads, rows_per_s)` measurements extracted from a benchmark JSON
 /// file. The shape is the value of the line's first string-valued field (the bench
 /// binaries label each result object that way: `"scan": "tpch_q6"`,
@@ -178,6 +216,15 @@ fn json_first_string_value(line: &str) -> Option<String> {
     let start = line.find(": \"")? + 3;
     let end = line[start..].find('"')?;
     Some(line[start..start + end].to_string())
+}
+
+/// Extract the string value following `key` in a single JSON line.
+fn json_string_value(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
 }
 
 /// Print a header row followed by a separator, for the fixed-width tables the
@@ -263,6 +310,46 @@ mod tests {
             ]
         );
         assert!(parse_bench_results("not json at all").is_empty());
+    }
+
+    #[test]
+    fn fold_best_per_shape_keeps_peak_and_order() {
+        let folded = fold_best_per_shape(vec![
+            ("q6".into(), 1, 100.0),
+            ("agg".into(), 1, 50.0),
+            ("q6".into(), 4, 400.0),
+            ("q6".into(), 8, 300.0),
+        ]);
+        assert_eq!(
+            folded,
+            vec![("q6".to_string(), 4, 400.0), ("agg".to_string(), 1, 50.0)]
+        );
+        assert!(fold_best_per_shape(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn parse_trajectory_line_roundtrip() {
+        let line = "{\"commit\": \"abc\", \"date\": \"2026-07-28\", \"benchmark\": \"join\", \
+                    \"shape\": \"orders_lineitem\", \"threads\": 4, \"rows_per_s\": 1500000}";
+        assert_eq!(
+            parse_trajectory_line(line),
+            Some((
+                "join".to_string(),
+                "orders_lineitem".to_string(),
+                4,
+                1_500_000.0
+            ))
+        );
+        assert_eq!(parse_trajectory_line(""), None);
+        assert_eq!(parse_trajectory_line("{\"benchmark\": \"scan\"}"), None);
+    }
+
+    #[test]
+    fn benchmark_files_are_unique() {
+        let mut names: Vec<&str> = BENCHMARK_FILES.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BENCHMARK_FILES.len());
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub use batch::Batch;
 pub use expr::{arith, ArithOp, Expr};
 pub use jit::{JitCostModel, ScanCodegen};
 pub use morsel::{
-    drive_batches, drive_pipeline, merge_partitionwise, scan_relation_parallel, Morsel, MorselSink,
-    PipelineSpec, PipelineStep, RADIX_BITS, RADIX_PARTITIONS,
+    drive_batches, drive_pipeline, drive_streaming, merge_partitionwise, scan_relation_parallel,
+    Morsel, MorselSink, PipelineSpec, PipelineStep, ScanStream, RADIX_BITS, RADIX_PARTITIONS,
 };
 pub use ops::{
     collect_operator, radix_partition, AggFunc, AggSpec, BoxedOperator, FilterOp, HashAggregateOp,

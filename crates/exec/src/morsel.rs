@@ -23,13 +23,46 @@
 //! or per vector (the "allocation-free hot path" the paper's throughput numbers
 //! assume).
 //!
+//! # The bounded streaming pipeline
+//!
+//! A parallel scan does **not** materialise its result. [`drive_streaming`] runs
+//! the workers on plain (non-scoped) threads over an owned
+//! [`storage::ScanSnapshot`] and connects them to the consumer through a
+//! capacity-bounded **reorder channel** (std-only: a `Mutex<VecDeque>` per morsel
+//! plus two `Condvar`s):
+//!
+//! * **Backpressure.** A worker that finishes a batch while the channel holds
+//!   [`ScanConfig::channel_cap`] batches *suspends* on a condition variable instead
+//!   of buffering — a stalled consumer stops the workers, it does not grow the
+//!   resident set. Peak buffering is `O(channel_cap × batch)` plus the single batch
+//!   each worker is currently producing, instead of `O(relation)`.
+//! * **Ordering.** The reorder stage releases batches to the consumer in
+//!   (morsel index, emission order) — exactly the order a serial scan visits them —
+//!   so the stream is **byte-identical to the serial scan** for every thread count,
+//!   morsel size and channel capacity.
+//! * **Deadlock freedom.** One channel slot is reserved for the *head-of-line*
+//!   morsel (the one the consumer must receive next): its owner may push one batch
+//!   past the shared budget whenever the consumer is starved, so the consumer can
+//!   always be fed no matter how the other workers filled the channel. The
+//!   in-flight count still never exceeds `channel_cap`
+//!   ([`ScanStream::max_in_flight`] exposes the high-water mark, and the
+//!   backpressure tests assert the bound).
+//! * **Pin lifetime.** A worker resolves a cold block via
+//!   [`storage::ScanSource::cold_block`] when it claims the morsel and drops the
+//!   returned [`storage::BlockRef`] (the pin guard) as soon as the morsel's last
+//!   batch has been handed to the channel — so at most one pin per worker is live,
+//!   even while a worker is suspended on backpressure.
+//!
+//! [`RelationScanner`] pulls from this stream when `config.threads != 1`;
+//! [`scan_relation_parallel`] drains it for callers that do want the materialised
+//! result.
+//!
 //! # Determinism guarantee
 //!
-//! Each emitted batch is tagged with the index of the morsel that produced it.
-//! After all workers join, batches are concatenated in (morsel index, emission
-//! order) — which is exactly the order a serial scan visits them. A parallel scan
-//! therefore produces **byte-identical output to the serial scan** for every thread
-//! count and morsel size; only wall-clock time changes. The differential test
+//! Batches reach the consumer in (morsel index, emission order) — which is exactly
+//! the order a serial scan visits them. A parallel scan therefore produces
+//! **byte-identical output to the serial scan** for every thread count and morsel
+//! size; only wall-clock time changes. The differential test
 //! `tests/parallel_scan.rs` (and `parallel_scan_agrees_with_serial_in_every_mode` in
 //! `scan.rs`) pin this property down.
 //!
@@ -86,11 +119,19 @@
 //!
 //! # Invariants to keep
 //!
-//! * Workers only ever share `&Relation` and the atomic cursor; all per-worker
-//!   state lives in the sink (the compile-time `Send + Sync` assertions below
-//!   enforce the sharing part). Spilled blocks add one more shared object — the
-//!   block store — whose cache index is internally synchronised; workers hold a pin
-//!   per claimed cold morsel, so a block never vanishes mid-scan.
+//! * Pipeline workers only ever share `&Relation` and the atomic cursor; streaming
+//!   scan workers share one `Arc` holding the owned snapshot, the cursor and the
+//!   reorder channel — in both cases all per-worker state lives in the sink or the
+//!   worker's scanner (the compile-time `Send + Sync` assertions below enforce the
+//!   sharing part). Spilled blocks add one more shared object — the block store —
+//!   whose cache index is internally synchronised; a worker holds one pin per
+//!   *claimed* cold morsel (released when the morsel's batches are handed off), so
+//!   a block never vanishes mid-scan and pins never accumulate across a scan.
+//! * The reorder channel's in-flight batch count never exceeds
+//!   [`ScanConfig::channel_cap`]; a worker that cannot push suspends (it must not
+//!   buffer locally), and the head-of-line morsel's owner must always be admitted
+//!   when the consumer is starved — that pair of rules is what makes the bound
+//!   safe *and* deadlock-free.
 //! * `threads == 1` must take the same code path and produce the same bytes as the
 //!   dedicated serial operator — thread count may change wall-clock time and
 //!   double-sum ulps only.
@@ -98,11 +139,13 @@
 //!   [`crate::ops::collect_operator`] debug-asserts every emitted batch against the
 //!   declaration.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use datablocks::scan::Restriction;
 use datablocks::{DataBlock, DataType};
-use storage::Relation;
+use storage::{Relation, ScanSnapshot, ScanSource};
 
 use crate::batch::Batch;
 use crate::expr::Expr;
@@ -135,6 +178,7 @@ pub enum Morsel {
 const _: () = {
     const fn assert_shareable<T: Send + Sync>() {}
     assert_shareable::<Relation>();
+    assert_shareable::<ScanSnapshot>();
     assert_shareable::<DataBlock>();
     assert_shareable::<Restriction>();
     assert_shareable::<ScanConfig>();
@@ -142,21 +186,21 @@ const _: () = {
     assert_shareable::<PipelineSpec>();
 };
 
-/// Decompose a relation into scan morsels, in serial scan order: every cold block
+/// Decompose a scan source into morsels, in serial scan order: every cold block
 /// first (whole blocks), then every hot chunk split into `morsel_rows`-sized ranges.
 /// `morsel_rows == 0` falls back to [`crate::DEFAULT_MORSEL_ROWS`], matching the
 /// [`ScanConfig::morsel_rows`] contract.
-pub fn decompose(relation: &Relation, morsel_rows: usize) -> Vec<Morsel> {
+pub fn decompose<S: ScanSource>(source: &S, morsel_rows: usize) -> Vec<Morsel> {
     let morsel_rows = if morsel_rows == 0 {
         crate::DEFAULT_MORSEL_ROWS
     } else {
         morsel_rows
     };
-    let mut morsels = Vec::with_capacity(relation.cold_block_count() + relation.hot_chunks().len());
-    for block_idx in 0..relation.cold_block_count() {
+    let mut morsels = Vec::with_capacity(source.cold_block_count() + source.hot_chunks().len());
+    for block_idx in 0..source.cold_block_count() {
         morsels.push(Morsel::ColdBlock(block_idx));
     }
-    for (chunk_idx, chunk) in relation.hot_chunks().iter().enumerate() {
+    for (chunk_idx, chunk) in source.hot_chunks().iter().enumerate() {
         let mut from = 0;
         while from < chunk.len() {
             let to = (from + morsel_rows).min(chunk.len());
@@ -186,88 +230,366 @@ pub fn effective_threads(requested: usize) -> usize {
 /// Scan `relation` with `config.threads` workers and return all result batches in
 /// deterministic (serial-scan) order, plus the merged scan statistics.
 ///
-/// This is the entry point [`RelationScanner`] delegates to when
-/// `config.threads != 1`; it can also be called directly when a caller wants the
-/// fully materialised result rather than a stream.
+/// A convenience wrapper draining [`drive_streaming`] — for callers that want the
+/// fully materialised result rather than the bounded stream [`RelationScanner`]
+/// pulls from.
 pub fn scan_relation_parallel(
     relation: &Relation,
     projection: &[usize],
     restrictions: &[Restriction],
     config: ScanConfig,
 ) -> (Vec<Batch>, ScanStats) {
-    let morsels = decompose(relation, config.morsel_rows);
-    let workers = effective_threads(config.threads).min(morsels.len()).max(1);
-    let cursor = AtomicUsize::new(0);
-
-    let worker_results: Vec<(Vec<(usize, Batch)>, ScanStats)> = if workers == 1 {
-        vec![run_worker(
-            relation,
-            projection,
-            restrictions,
-            config,
-            &morsels,
-            &cursor,
-        )]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        run_worker(
-                            relation,
-                            projection,
-                            restrictions,
-                            config,
-                            &morsels,
-                            &cursor,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("scan worker panicked"))
-                .collect()
-        })
-    };
-
-    // Deterministic merge: batches keyed by morsel index; each morsel was scanned by
-    // exactly one worker, which emitted its batches in order.
-    let mut per_morsel: Vec<Vec<Batch>> = (0..morsels.len()).map(|_| Vec::new()).collect();
-    let mut stats = ScanStats::default();
-    for (tagged_batches, worker_stats) in worker_results {
-        stats.merge(&worker_stats);
-        for (morsel_idx, batch) in tagged_batches {
-            per_morsel[morsel_idx].push(batch);
-        }
+    let mut stream = drive_streaming(
+        relation.scan_snapshot(),
+        projection.to_vec(),
+        restrictions.to_vec(),
+        config,
+    );
+    let mut batches = Vec::new();
+    while let Some(batch) = stream.next_batch() {
+        batches.push(batch);
     }
-    let batches = per_morsel.into_iter().flatten().collect();
-    (batches, stats)
+    (batches, stream.stats())
 }
 
-/// One worker's life: claim morsels off the shared cursor until none are left,
-/// scanning each to completion with a single reused [`RelationScanner`].
-fn run_worker(
-    relation: &Relation,
-    projection: &[usize],
-    restrictions: &[Restriction],
+// ----------------------------------------------------------- streaming pipeline
+
+/// Everything the streaming workers and the consumer share. Workers hold it through
+/// an `Arc`, so the stream is sound even if the consumer leaks the handle — nothing
+/// in here borrows from the caller.
+struct StreamShared {
+    snapshot: ScanSnapshot,
+    morsels: Vec<Morsel>,
+    projection: Vec<usize>,
+    restrictions: Vec<Restriction>,
     config: ScanConfig,
-    morsels: &[Morsel],
-    cursor: &AtomicUsize,
-) -> (Vec<(usize, Batch)>, ScanStats) {
-    let mut scanner = RelationScanner::for_worker(relation, projection, restrictions, config);
-    let mut out = Vec::new();
-    loop {
-        let morsel_idx = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(&morsel) = morsels.get(morsel_idx) else {
-            break;
-        };
-        scanner.reset_to_morsel(morsel);
-        while let Some(batch) = scanner.next_batch() {
-            out.push((morsel_idx, batch));
+    /// The morsel cursor: each worker claims the next unclaimed index.
+    cursor: AtomicUsize,
+    /// Channel capacity in batches (≥ 1). One slot is implicitly reserved for the
+    /// head-of-line morsel: ordinary pushes stop at `cap - 1` in-flight batches,
+    /// and the head morsel's owner may push the `cap`-th whenever the consumer is
+    /// starved — that keeps the reorder stage deadlock-free while `in_flight`
+    /// never exceeds `cap`.
+    cap: usize,
+    state: Mutex<StreamState>,
+    /// Workers wait here for channel space (or for their morsel to become the
+    /// starved head-of-line).
+    space: Condvar,
+    /// The consumer waits here for the next in-order batch.
+    ready: Condvar,
+}
+
+/// The reorder stage: per-morsel batch queues released in morsel order.
+struct StreamState {
+    /// Batches buffered per morsel, in emission order.
+    queues: Vec<VecDeque<Batch>>,
+    /// Has the owning worker finished scanning this morsel?
+    finished: Vec<bool>,
+    /// The morsel whose batches the consumer receives next.
+    next_morsel: usize,
+    /// Batches currently buffered across all queues.
+    in_flight: usize,
+    /// High-water mark of `in_flight` (asserted ≤ `cap` by the backpressure tests).
+    max_in_flight: usize,
+    /// Consumer gone: workers drop their output and exit.
+    cancelled: bool,
+    /// A worker panicked: the consumer must not wait for its morsels.
+    failed: bool,
+    /// Scan statistics merged in by exiting workers.
+    stats: ScanStats,
+}
+
+impl StreamShared {
+    /// Poison-tolerant lock: worker panics are reported through `failed`, not
+    /// through mutex poisoning, so a panicked worker must not wedge the consumer
+    /// (or the other workers) on a poisoned lock.
+    fn lock_state(&self) -> MutexGuard<'_, StreamState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Hand one batch of `morsel_idx` to the reorder stage, suspending while the
+    /// channel is at capacity (backpressure). Returns `false` when the stream was
+    /// cancelled and the worker should stop scanning.
+    fn push(&self, morsel_idx: usize, batch: Batch) -> bool {
+        let mut state = self.lock_state();
+        loop {
+            if state.cancelled {
+                return false;
+            }
+            // The consumer is starved on exactly this morsel: it must be fed even
+            // if the rest of the channel is full, or reordering could deadlock
+            // (the consumer can only release the head-of-line morsel's batches).
+            let head_starved =
+                morsel_idx == state.next_morsel && state.queues[morsel_idx].is_empty();
+            if head_starved || state.in_flight + 1 < self.cap {
+                break;
+            }
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        state.queues[morsel_idx].push_back(batch);
+        state.in_flight += 1;
+        state.max_in_flight = state.max_in_flight.max(state.in_flight);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Mark `morsel_idx` fully scanned, letting the consumer advance past it.
+    fn finish_morsel(&self, morsel_idx: usize) {
+        self.lock_state().finished[morsel_idx] = true;
+        self.ready.notify_one();
+    }
+
+    /// Has the consumer cancelled the stream? Workers that emit nothing for long
+    /// stretches (SMA-pruned or zero-match morsels) check this between morsel
+    /// claims, so a dropped stream never keeps scanning — and paging in — the
+    /// rest of the relation.
+    fn is_cancelled(&self) -> bool {
+        self.lock_state().cancelled
+    }
+
+    /// A worker is exiting (normally): fold its statistics in.
+    fn worker_exit(&self, stats: ScanStats) {
+        let mut state = self.lock_state();
+        state.stats.merge(&stats);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// The consumer side: the next batch in (morsel, emission) order, or `None`
+    /// when every morsel is finished and drained.
+    fn pop(&self) -> Option<Batch> {
+        let total = self.morsels.len();
+        let mut state = self.lock_state();
+        loop {
+            let mut advanced = false;
+            while state.next_morsel < total
+                && state.finished[state.next_morsel]
+                && state.queues[state.next_morsel].is_empty()
+            {
+                state.next_morsel += 1;
+                advanced = true;
+            }
+            if advanced {
+                // The head-of-line morsel changed: its owner may be waiting for
+                // the starvation slot.
+                self.space.notify_all();
+            }
+            assert!(!state.failed, "streaming scan worker panicked");
+            if state.next_morsel >= total {
+                return None;
+            }
+            let head = state.next_morsel;
+            if let Some(batch) = state.queues[head].pop_front() {
+                state.in_flight -= 1;
+                drop(state);
+                self.space.notify_all();
+                return Some(batch);
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
-    (out, scanner.stats())
+}
+
+/// Marks the stream failed if the worker unwinds before disarming (a panic in scan
+/// code), so the consumer errors out instead of waiting forever.
+struct WorkerGuard {
+    shared: Arc<StreamShared>,
+    armed: bool,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.shared.lock_state().failed = true;
+        self.shared.ready.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+/// One streaming worker's life: claim morsels off the shared cursor and stream each
+/// one's batches into the reorder channel with a single reused scanner.
+fn stream_worker(shared: &StreamShared) -> ScanStats {
+    let mut scanner = RelationScanner::for_worker(
+        &shared.snapshot,
+        &shared.projection,
+        &shared.restrictions,
+        shared.config,
+    );
+    loop {
+        // `push` observes cancellation too, but a run of morsels that emit no
+        // batches (pruned or match-free blocks) would never call it — this check
+        // keeps a dropped stream from scanning (and paging in) the whole tail.
+        if shared.is_cancelled() {
+            break;
+        }
+        let morsel_idx = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(&morsel) = shared.morsels.get(morsel_idx) else {
+            break;
+        };
+        let keep_going = scanner.stream_morsel(morsel, &mut |batch| shared.push(morsel_idx, batch));
+        shared.finish_morsel(morsel_idx);
+        if !keep_going {
+            break; // cancelled
+        }
+    }
+    scanner.stats()
+}
+
+/// A bounded, in-order stream of scan batches produced by morsel workers (see the
+/// module docs for the channel design). Obtained from [`drive_streaming`];
+/// [`RelationScanner`] wraps one when `config.threads != 1`.
+///
+/// Dropping the stream before exhaustion cancels the workers (they observe the
+/// flag at their next push and exit); the drop joins them, so no worker outlives
+/// the handle.
+pub struct ScanStream {
+    shared: Arc<StreamShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: ScanStats,
+    done: bool,
+}
+
+impl ScanStream {
+    /// The next batch in serial-scan order, or `None` once the scan is exhausted
+    /// (at which point the workers have been joined and [`ScanStream::stats`] is
+    /// final).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scan worker panicked.
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        match self.shared.pop() {
+            Some(batch) => Some(batch),
+            None => {
+                self.finish();
+                None
+            }
+        }
+    }
+
+    /// Merged scan statistics — complete once [`ScanStream::next_batch`] returned
+    /// `None`; a snapshot of the workers' progress before that.
+    pub fn stats(&self) -> ScanStats {
+        if self.done {
+            self.stats
+        } else {
+            self.shared.lock_state().stats
+        }
+    }
+
+    /// High-water mark of batches buffered in the reorder channel — never exceeds
+    /// the configured [`ScanConfig::channel_cap`] (the backpressure tests assert
+    /// this).
+    pub fn max_in_flight(&self) -> usize {
+        self.shared.lock_state().max_in_flight
+    }
+
+    /// Join all workers and capture the final statistics.
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let mut panicked = false;
+        for handle in self.workers.drain(..) {
+            panicked |= handle.join().is_err();
+        }
+        self.stats = self.shared.lock_state().stats;
+        assert!(!panicked, "streaming scan worker panicked");
+    }
+}
+
+impl Drop for ScanStream {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        self.shared.lock_state().cancelled = true;
+        self.shared.space.notify_all();
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            // Worker panics were either already surfaced by `pop` (failed flag) or
+            // the caller is unwinding — don't double-panic in drop.
+            let _ = handle.join();
+        }
+        self.done = true;
+    }
+}
+
+/// Start a bounded streaming parallel scan over an owned snapshot: `config.threads`
+/// workers claim morsels off a shared cursor and stream their batches through a
+/// `config.channel_cap`-bounded reorder channel; the returned [`ScanStream`] yields
+/// them in serial-scan order. Peak buffering is the channel capacity — a stalled
+/// consumer suspends the workers instead of growing the resident set.
+pub fn drive_streaming(
+    snapshot: ScanSnapshot,
+    projection: Vec<usize>,
+    restrictions: Vec<Restriction>,
+    config: ScanConfig,
+) -> ScanStream {
+    let morsels = decompose(&snapshot, config.morsel_rows);
+    let workers = effective_threads(config.threads).min(morsels.len());
+    let cap = if config.channel_cap == 0 {
+        workers * 2 + 2
+    } else {
+        config.channel_cap.max(1)
+    };
+    let total = morsels.len();
+    let shared = Arc::new(StreamShared {
+        snapshot,
+        morsels,
+        projection,
+        restrictions,
+        config,
+        cursor: AtomicUsize::new(0),
+        cap,
+        state: Mutex::new(StreamState {
+            queues: (0..total).map(|_| VecDeque::new()).collect(),
+            finished: vec![false; total],
+            next_morsel: 0,
+            in_flight: 0,
+            max_in_flight: 0,
+            cancelled: false,
+            failed: false,
+            stats: ScanStats::default(),
+        }),
+        space: Condvar::new(),
+        ready: Condvar::new(),
+    });
+    let handles = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut guard = WorkerGuard {
+                    shared,
+                    armed: true,
+                };
+                let stats = stream_worker(&guard.shared);
+                guard.armed = false;
+                guard.shared.worker_exit(stats);
+            })
+        })
+        .collect();
+    ScanStream {
+        shared,
+        workers: handles,
+        stats: ScanStats::default(),
+        done: false,
+    }
 }
 
 // --------------------------------------------------------------- pipeline driver
@@ -360,11 +682,11 @@ impl PipelineSpec {
     }
 
     /// The column types of the batches the workers feed their sinks.
-    pub fn output_types(&self, relation: &Relation) -> Vec<DataType> {
+    pub fn output_types<S: ScanSource>(&self, source: &S) -> Vec<DataType> {
         let mut types: Vec<DataType> = self
             .projection
             .iter()
-            .map(|&col| relation.schema().column(col).data_type)
+            .map(|&col| source.column_type(col))
             .collect();
         for step in &self.steps {
             types = step.output_types(types);
@@ -426,13 +748,16 @@ where
             let Some(&morsel) = morsels.get(morsel_idx) else {
                 break;
             };
-            scanner.reset_to_morsel(morsel);
-            while let Some(batch) = scanner.next_batch() {
+            // Batches flow scan → steps → sink inside the worker, one at a time —
+            // a cold morsel is never materialised, and its pin is released when
+            // the last batch left the scanner.
+            scanner.stream_morsel(morsel, &mut |batch| {
                 let batch = spec.apply_steps(batch);
                 if !batch.is_empty() {
                     sink.consume(morsel_idx, &batch);
                 }
-            }
+                true
+            });
         }
         scanner.stats()
     };
@@ -682,6 +1007,51 @@ mod tests {
             }
             assert_eq!(stats.rows_matched, serial.len());
         }
+    }
+
+    #[test]
+    fn drive_streaming_cap_one_fully_serialises_the_reorder_stage() {
+        // The tightest legal channel: only the head-of-line morsel's starvation
+        // slot ever admits a batch, so the stream degenerates to a rendezvous —
+        // order and content must still match the serial scan exactly.
+        let rel = relation(3_210, 1000, true);
+        let serial =
+            RelationScanner::new(&rel, vec![0, 1], vec![], ScanConfig::default()).collect_all();
+        for threads in [1usize, 4] {
+            let config = ScanConfig::default()
+                .with_threads(threads)
+                .with_morsel_rows(100)
+                .with_channel_cap(1);
+            let mut stream = drive_streaming(rel.scan_snapshot(), vec![0, 1], vec![], config);
+            let mut merged = Batch::new(&[DataType::Int, DataType::Int]);
+            while let Some(batch) = stream.next_batch() {
+                merged.append(&batch);
+            }
+            assert_eq!(merged.len(), serial.len(), "threads {threads}");
+            for row in 0..serial.len() {
+                assert_eq!(merged.row(row), serial.row(row), "threads {threads}");
+            }
+            assert_eq!(stream.max_in_flight(), 1, "threads {threads}");
+            assert_eq!(stream.stats().rows_matched, serial.len());
+        }
+    }
+
+    #[test]
+    fn drive_streaming_stats_match_before_and_after_completion() {
+        let rel = relation(2_000, 500, true);
+        let config = ScanConfig::default().with_threads(2);
+        let mut stream = drive_streaming(rel.scan_snapshot(), vec![0], vec![], config);
+        // Partial stats are a snapshot (just don't panic); final stats are exact.
+        let _ = stream.stats();
+        let mut rows = 0usize;
+        while let Some(batch) = stream.next_batch() {
+            rows += batch.len();
+        }
+        assert_eq!(rows, 2_000);
+        assert_eq!(stream.stats().rows_matched, 2_000);
+        assert_eq!(stream.stats().blocks_total, 4);
+        // Exhausted stream keeps answering None.
+        assert!(stream.next_batch().is_none());
     }
 
     #[test]

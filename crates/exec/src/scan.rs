@@ -20,29 +20,36 @@
 //!
 //! Internally the scanner walks a list of [`Morsel`]s — one frozen block, or a row
 //! range of a hot chunk. A serial scan ([`ScanConfig::threads`] `== 1`) walks all of
-//! them on the calling thread; any other thread count hands the same morsel list to
-//! the dispatcher in [`crate::morsel`] and streams back its (deterministically
-//! ordered) results.
+//! them on the calling thread; any other thread count starts the **bounded
+//! streaming morsel pipeline** of [`crate::morsel::drive_streaming`] and pulls its
+//! (deterministically ordered) batches off the reorder channel one at a time — peak
+//! buffering is the configured [`ScanConfig::channel_cap`], never the whole
+//! relation.
+//!
+//! The scanner is generic over [`ScanSource`]: a borrowed [`Relation`] for the
+//! serial path and the scoped pipeline workers, or an owned
+//! [`storage::ScanSnapshot`] inside the streaming workers.
 //!
 //! Cold blocks may live on secondary storage (`storage::blockstore`). The scanner
 //! first consults the relation's in-memory block directory
-//! ([`storage::Relation::cold_block_may_match`]): an SMA-pruned cold block is
-//! counted as skipped **without any disk I/O**, preserving the paper's
-//! scan-skipping for evicted blocks. A block that cannot be pruned is resolved
-//! through [`storage::Relation::cold_block`], and the returned (possibly pinned)
-//! reference is held for the duration of the morsel, so a worker never observes
-//! eviction mid-scan. Scan results are byte-identical whatever tier a block
-//! occupies; only I/O counters change.
+//! ([`ScanSource::cold_block_may_match`]): an SMA-pruned cold block is counted as
+//! skipped **without any disk I/O**, preserving the paper's scan-skipping for
+//! evicted blocks. A block that cannot be pruned is resolved through
+//! [`ScanSource::cold_block`], and the returned (possibly pinned) reference is held
+//! exactly for the duration of the morsel — released as soon as the morsel's
+//! batches have been handed off, so at most one pin per scan worker is ever live.
+//! Scan results are byte-identical whatever tier a block occupies; only I/O
+//! counters change.
 
 use std::collections::VecDeque;
 
 use datablocks::scan::Restriction;
 use datablocks::unpack::unpack_column;
 use datablocks::{Column, DataType, ScanOptions};
-use storage::{HotChunk, Relation};
+use storage::{HotChunk, Relation, ScanSource};
 
 use crate::batch::Batch;
-use crate::morsel::{self, Morsel};
+use crate::morsel::{self, Morsel, ScanStream};
 
 /// How the scan executes (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +80,12 @@ pub struct ScanConfig {
     /// Rows of a hot chunk per morsel (frozen blocks are always one morsel each;
     /// their size is fixed at freeze time). `0` falls back to the default.
     pub morsel_rows: usize,
+    /// Capacity, in batches, of the streaming scan's reorder channel (the bound on
+    /// batches buffered between the morsel workers and the consumer). One slot is
+    /// reserved for the head-of-line morsel so the reorder stage can never
+    /// deadlock; `0` picks a default of `2 × workers + 2`. Ignored by serial
+    /// scans, which buffer at most one cold morsel's output.
+    pub channel_cap: usize,
 }
 
 /// Default number of hot-chunk rows handed out per morsel (matches the Data Block
@@ -86,6 +99,7 @@ impl Default for ScanConfig {
             options: ScanOptions::default(),
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            channel_cap: 0,
         }
     }
 }
@@ -124,6 +138,13 @@ impl ScanConfig {
         self.morsel_rows = morsel_rows;
         self
     }
+
+    /// The same configuration with a specific streaming-channel capacity (see
+    /// [`ScanConfig::channel_cap`]).
+    pub fn with_channel_cap(mut self, channel_cap: usize) -> ScanConfig {
+        self.channel_cap = channel_cap;
+        self
+    }
 }
 
 /// Counters describing what a scan actually did (block skipping, range narrowing).
@@ -154,16 +175,17 @@ impl ScanStats {
 const CURSOR_UNSET: usize = usize::MAX;
 
 /// Resolve a projection to its output column types once, at scanner construction.
-fn projection_types(relation: &Relation, projection: &[usize]) -> Vec<DataType> {
+fn projection_types<S: ScanSource>(source: &S, projection: &[usize]) -> Vec<DataType> {
     projection
         .iter()
-        .map(|&col| relation.schema().column(col).data_type)
+        .map(|&col| source.column_type(col))
         .collect()
 }
 
-/// A streaming scan over one relation.
-pub struct RelationScanner<'a> {
-    relation: &'a Relation,
+/// A streaming scan over one relation (or an owned snapshot of one — see
+/// [`ScanSource`]).
+pub struct RelationScanner<'a, S: ScanSource = Relation> {
+    source: &'a S,
     projection: Vec<usize>,
     /// Output column types of the projection — invariant for the scanner's lifetime,
     /// computed once so the per-window paths never walk the schema or allocate.
@@ -175,53 +197,57 @@ pub struct RelationScanner<'a> {
     morsels: Vec<Morsel>,
     morsel_idx: usize,
     row_cursor: usize,
-    /// Batches of the current cold morsel, produced while the block was pinned and
-    /// streamed out afterwards (see [`Self::enter_cold_morsel`]).
+    /// Batches of the current cold morsel on the serial path, produced while the
+    /// block was pinned and streamed out afterwards (see
+    /// [`Self::enter_cold_morsel`]). The streaming workers bypass this buffer and
+    /// emit into the bounded channel while the pin is held.
     cold_pending: VecDeque<Batch>,
     /// Has the current cold morsel been processed into `cold_pending` yet?
     cold_entered: bool,
     match_buf: Vec<u32>,
-    /// Results of a parallel run, materialised on first `next_batch` call when
-    /// `config.threads != 1` and then streamed out.
-    parallel_pending: Option<VecDeque<Batch>>,
+    /// The bounded streaming pipeline, started on the first `next_batch` call when
+    /// `config.threads != 1`. Owns its workers; joined when the stream ends (or on
+    /// drop, cancelling the workers).
+    stream: Option<ScanStream>,
 }
 
-impl<'a> RelationScanner<'a> {
-    /// Start a scan of `relation` producing the attributes in `projection` for every
+impl<'a, S: ScanSource> RelationScanner<'a, S> {
+    /// Start a scan of `source` producing the attributes in `projection` for every
     /// record satisfying all `restrictions`.
     pub fn new(
-        relation: &'a Relation,
+        source: &'a S,
         projection: Vec<usize>,
         restrictions: Vec<Restriction>,
         mut config: ScanConfig,
     ) -> Self {
         // Resolve `threads: 0` (= all hardware threads) up front: when that comes to
-        // 1 — a single-core machine — the scan takes the streaming serial path
-        // instead of paying the dispatcher's full materialisation for no parallelism.
+        // 1 — a single-core machine — the scan takes the serial path instead of
+        // paying the streaming pipeline's thread and channel overhead for no
+        // parallelism.
         config.threads = morsel::effective_threads(config.threads);
-        // The parallel path never reads this list — the dispatcher decomposes for
+        // The streaming path never reads this list — the pipeline decomposes for
         // itself — so only the serial scan pays for it.
         let morsels = if config.threads == 1 {
-            morsel::decompose(relation, config.morsel_rows)
+            morsel::decompose(source, config.morsel_rows)
         } else {
             Vec::new()
         };
-        Self::from_parts(relation, projection, restrictions, config, morsels)
+        Self::from_parts(source, projection, restrictions, config, morsels)
     }
 
     /// A scanner for a morsel worker: identical configuration but an initially empty
-    /// work list (the worker feeds claimed morsels in via [`Self::reset_to_morsel`])
+    /// work list (the worker feeds claimed morsels in via [`Self::stream_morsel`])
     /// and serial execution, whatever `config.threads` says. The worker's scratch
     /// buffers (match vector and its growth) live in this scanner and are reused
     /// across every morsel the worker processes.
     pub(crate) fn for_worker(
-        relation: &'a Relation,
+        source: &'a S,
         projection: &[usize],
         restrictions: &[Restriction],
         config: ScanConfig,
     ) -> Self {
         Self::from_parts(
-            relation,
+            source,
             projection.to_vec(),
             restrictions.to_vec(),
             ScanConfig {
@@ -234,15 +260,15 @@ impl<'a> RelationScanner<'a> {
 
     /// Shared field initialiser for [`Self::new`] and [`Self::for_worker`].
     fn from_parts(
-        relation: &'a Relation,
+        source: &'a S,
         projection: Vec<usize>,
         restrictions: Vec<Restriction>,
         config: ScanConfig,
         morsels: Vec<Morsel>,
     ) -> Self {
         RelationScanner {
-            relation,
-            output_types: projection_types(relation, &projection),
+            source,
+            output_types: projection_types(source, &projection),
             projection,
             restrictions,
             config,
@@ -253,24 +279,18 @@ impl<'a> RelationScanner<'a> {
             cold_pending: VecDeque::new(),
             cold_entered: false,
             match_buf: Vec::new(),
-            parallel_pending: None,
+            stream: None,
         }
     }
 
-    /// Point the scanner at a single morsel, keeping its scratch buffers and its
-    /// accumulated statistics. Used by the morsel workers between claims.
-    pub(crate) fn reset_to_morsel(&mut self, morsel: Morsel) {
-        self.morsels.clear();
-        self.morsels.push(morsel);
-        self.morsel_idx = 0;
-        self.row_cursor = CURSOR_UNSET;
-        self.cold_pending.clear();
-        self.cold_entered = false;
-    }
-
     /// Scan statistics accumulated so far (complete once the scan returned `None`).
+    /// While a streaming parallel scan is still in flight this is the workers'
+    /// live snapshot, not zeros.
     pub fn stats(&self) -> ScanStats {
-        self.stats
+        match &self.stream {
+            Some(stream) => stream.stats(),
+            None => self.stats,
+        }
     }
 
     /// The output column types of the batches this scanner produces.
@@ -281,7 +301,7 @@ impl<'a> RelationScanner<'a> {
     /// Produce the next non-empty batch, or `None` when the relation is exhausted.
     pub fn next_batch(&mut self) -> Option<Batch> {
         if self.config.threads != 1 {
-            return self.next_parallel_batch();
+            return self.next_streamed_batch();
         }
         loop {
             let &morsel = self.morsels.get(self.morsel_idx)?;
@@ -294,7 +314,8 @@ impl<'a> RelationScanner<'a> {
                     self.cold_pending.pop_front()
                 }
                 Morsel::HotRange { chunk, from, to } => {
-                    let chunk = &self.relation.hot_chunks()[chunk];
+                    let source = self.source;
+                    let chunk = &source.hot_chunks()[chunk];
                     self.next_from_hot(chunk, from, to)
                 }
             };
@@ -314,22 +335,84 @@ impl<'a> RelationScanner<'a> {
         }
     }
 
-    /// Run the morsel dispatcher once, then stream its precomputed batches.
-    fn next_parallel_batch(&mut self) -> Option<Batch> {
-        if self.parallel_pending.is_none() {
-            let (batches, stats) = morsel::scan_relation_parallel(
-                self.relation,
-                &self.projection,
-                &self.restrictions,
+    /// Start the bounded streaming pipeline on first use, then pull one batch per
+    /// call off its reorder channel. Workers are joined (and the final statistics
+    /// captured) when the stream reports exhaustion.
+    fn next_streamed_batch(&mut self) -> Option<Batch> {
+        if self.stream.is_none() {
+            self.stream = Some(morsel::drive_streaming(
+                self.source.snapshot(),
+                self.projection.clone(),
+                self.restrictions.clone(),
                 self.config,
-            );
-            self.stats = stats;
-            self.parallel_pending = Some(batches.into());
+            ));
         }
-        self.parallel_pending
-            .as_mut()
-            .expect("materialised above")
-            .pop_front()
+        let stream = self.stream.as_mut().expect("started above");
+        match stream.next_batch() {
+            Some(batch) => Some(batch),
+            None => {
+                self.stats = stream.stats();
+                None
+            }
+        }
+    }
+
+    /// Scan one morsel to completion, handing every non-empty batch to `emit` as it
+    /// is produced — no per-morsel materialisation. For a cold morsel the block
+    /// reference (the pin, when the block is spilled) is held across the `emit`
+    /// calls and released as soon as the last batch has been handed off, so a
+    /// backpressured worker holds at most one pin while it waits. Returns `false`
+    /// if `emit` asked to stop (a cancelled stream).
+    ///
+    /// This is the workers' entry point — [`crate::morsel::drive_streaming`] and
+    /// [`crate::morsel::drive_pipeline`] both feed their sinks through it.
+    pub(crate) fn stream_morsel(
+        &mut self,
+        morsel: Morsel,
+        emit: &mut dyn FnMut(Batch) -> bool,
+    ) -> bool {
+        match morsel {
+            Morsel::ColdBlock(block_idx) => {
+                self.stats.blocks_total += 1;
+                if self.prune_cold_block(block_idx) {
+                    self.stats.blocks_skipped += 1;
+                    return true;
+                }
+                let block = self.source.cold_block(block_idx);
+                let mut matched = 0usize;
+                let keep_going = {
+                    let mut counted = |batch: Batch| {
+                        matched += batch.len();
+                        emit(batch)
+                    };
+                    self.scan_cold_block(&block, &mut counted)
+                };
+                self.stats.rows_matched += matched;
+                keep_going
+                // `block` dropped here: the pin is released the moment the morsel's
+                // batches have been handed off.
+            }
+            Morsel::HotRange { chunk, from, to } => {
+                let source = self.source;
+                let chunk = &source.hot_chunks()[chunk];
+                self.row_cursor = CURSOR_UNSET;
+                loop {
+                    match self.next_from_hot(chunk, from, to) {
+                        None => {
+                            self.row_cursor = CURSOR_UNSET;
+                            return true;
+                        }
+                        Some(batch) if batch.is_empty() => continue,
+                        Some(batch) => {
+                            self.stats.rows_matched += batch.len();
+                            if !emit(batch) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Drain the whole scan into a single batch (convenience for tests and small
@@ -344,50 +427,70 @@ impl<'a> RelationScanner<'a> {
 
     // ------------------------------------------------------------- cold segments
 
-    /// Process one whole cold-block morsel into [`Self::cold_pending`].
-    ///
-    /// The block reference (a pin, when the block is spilled) is acquired after
-    /// summary pruning and held exactly for the duration of this call — the morsel's
-    /// batches are fully materialised before the pin is released, so eviction can
-    /// never interleave with the scan of a block. The batches are at most
-    /// `tuple_count / vector_size` position vectors' worth of unpacked rows, i.e.
-    /// bounded by the block size the paper fixes at freeze time.
-    ///
-    /// Trade-off: the pre-spill scanner streamed one `vector_size` batch at a time,
-    /// so an unselective scan's peak working set per worker grows from one vector to
-    /// one block's matching output. Streaming cold morsels while a pin is held (the
-    /// ROADMAP's bounded-channel scan item) would restore that, at the cost of
-    /// either a self-referential scanner or a re-plan per batch.
-    fn enter_cold_morsel(&mut self, block_idx: usize) {
-        self.stats.blocks_total += 1;
-        // SMA pruning against the in-memory block directory, before any I/O. Only
-        // the SARG-pushdown mode prunes: the other modes scan every block (and
-        // count every row as scanned), and pruning would skew their statistics
-        // relative to an all-in-memory run.
-        if matches!(self.config.mode, ScanMode::Vectorized { sarg: true })
-            && !self.relation.cold_block_may_match(
+    /// Should cold block `block_idx` be skipped from the in-memory directory
+    /// summary, before any I/O? Only the SARG-pushdown mode prunes: the other modes
+    /// scan every block (and count every row as scanned), and pruning would skew
+    /// their statistics relative to an all-in-memory run.
+    fn prune_cold_block(&self, block_idx: usize) -> bool {
+        matches!(self.config.mode, ScanMode::Vectorized { sarg: true })
+            && !self.source.cold_block_may_match(
                 block_idx,
                 &self.restrictions,
                 &self.config.options,
             )
-        {
+    }
+
+    /// Process one whole cold-block morsel into [`Self::cold_pending`] (the serial
+    /// path's per-morsel buffer).
+    ///
+    /// The block reference (a pin, when the block is spilled) is acquired after
+    /// summary pruning and held exactly for the duration of this call — the morsel's
+    /// batches are fully materialised before the pin is released, so eviction can
+    /// never interleave with the scan of a block. The buffered batches are bounded
+    /// by one block's matching output (the block size is fixed at freeze time); the
+    /// streaming workers avoid even that by emitting into the bounded channel while
+    /// the pin is held ([`Self::stream_morsel`]).
+    fn enter_cold_morsel(&mut self, block_idx: usize) {
+        self.stats.blocks_total += 1;
+        // SMA pruning against the in-memory block directory, before any I/O.
+        if self.prune_cold_block(block_idx) {
             self.stats.blocks_skipped += 1;
             return;
         }
-        let block = self.relation.cold_block(block_idx);
-        match self.config.mode {
-            ScanMode::Jit => self.collect_cold_tuple_at_a_time(&block),
-            ScanMode::Vectorized { sarg } => self.collect_cold_vectorized(&block, sarg),
-        }
+        let block = self.source.cold_block(block_idx);
+        let mut pending = std::mem::take(&mut self.cold_pending);
+        self.scan_cold_block(&block, &mut |batch| {
+            pending.push_back(batch);
+            true
+        });
+        self.cold_pending = pending;
         // `block` dropped here: the pin is released once the morsel is materialised.
     }
 
-    fn collect_cold_vectorized(&mut self, block: &datablocks::DataBlock, sarg: bool) {
+    /// Scan one (non-pruned) cold block in the configured mode, handing each
+    /// non-empty result batch to `emit`. Returns `false` if `emit` asked to stop.
+    fn scan_cold_block(
+        &mut self,
+        block: &datablocks::DataBlock,
+        emit: &mut dyn FnMut(Batch) -> bool,
+    ) -> bool {
+        match self.config.mode {
+            ScanMode::Jit => self.collect_cold_tuple_at_a_time(block, emit),
+            ScanMode::Vectorized { sarg } => self.collect_cold_vectorized(block, sarg, emit),
+        }
+    }
+
+    fn collect_cold_vectorized(
+        &mut self,
+        block: &datablocks::DataBlock,
+        sarg: bool,
+        emit: &mut dyn FnMut(Batch) -> bool,
+    ) -> bool {
         let pushed: &[Restriction] = if sarg { &self.restrictions } else { &[] };
         let mut scan = datablocks::BlockScan::new(block, pushed, self.config.options);
         if scan.plan().is_ruled_out() {
             self.stats.blocks_skipped += 1;
-            return;
+            return true;
         }
         self.stats.rows_scanned += scan.plan().scan_range().len() as usize;
         // The scanner-owned match buffer is moved out for the duration of the morsel
@@ -410,11 +513,13 @@ impl<'a> RelationScanner<'a> {
                 // evaluate the restrictions tuple at a time on the copied vectors.
                 self.filter_positions_tuple_at_a_time(block, &matches)
             };
-            if !batch.is_empty() {
-                self.cold_pending.push_back(batch);
+            if !batch.is_empty() && !emit(batch) {
+                self.match_buf = matches;
+                return false;
             }
         }
         self.match_buf = matches;
+        true
     }
 
     fn filter_positions_tuple_at_a_time(
@@ -438,7 +543,11 @@ impl<'a> RelationScanner<'a> {
         Batch::from_columns(columns)
     }
 
-    fn collect_cold_tuple_at_a_time(&mut self, block: &datablocks::DataBlock) {
+    fn collect_cold_tuple_at_a_time(
+        &mut self,
+        block: &datablocks::DataBlock,
+        emit: &mut dyn FnMut(Batch) -> bool,
+    ) -> bool {
         let total = block.tuple_count() as usize;
         self.stats.rows_scanned += total;
         let vector_size = self.config.options.vector_size;
@@ -462,11 +571,12 @@ impl<'a> RelationScanner<'a> {
                 }
             }
             let batch = Batch::from_columns(columns);
-            if !batch.is_empty() {
-                self.cold_pending.push_back(batch);
+            if !batch.is_empty() && !emit(batch) {
+                return false;
             }
             cursor = end;
         }
+        true
     }
 
     // -------------------------------------------------------------- hot segments

@@ -481,6 +481,19 @@ impl BlockStore {
         inner.hand = 0;
     }
 
+    /// Number of cached blocks with at least one live pin. Streaming scans hold one
+    /// pin per in-flight cold morsel, so this never exceeds the worker count — the
+    /// tests of the bounded streaming scan assert exactly that.
+    pub fn pinned_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("store lock")
+            .cache
+            .values()
+            .filter(|entry| entry.pins > 0)
+            .count()
+    }
+
     /// Is block `id` currently resident in the cache? (Test/bench introspection.)
     pub fn is_cached(&self, id: BlockId) -> bool {
         self.inner
@@ -602,6 +615,12 @@ impl BlockRef {
         BlockRef {
             inner: BlockRefInner::Pinned(block),
         }
+    }
+
+    /// Does this reference hold a block-cache pin (i.e. the block was paged in from
+    /// a spill store)? Heap-resident blocks need no pin.
+    pub fn is_pinned(&self) -> bool {
+        matches!(self.inner, BlockRefInner::Pinned(_))
     }
 }
 

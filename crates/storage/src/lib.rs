@@ -51,5 +51,5 @@ pub use blockstore::{
 };
 pub use database::Database;
 pub use hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
-pub use relation::{Relation, RowId, Segment, StorageStats};
+pub use relation::{Relation, RowId, ScanSnapshot, ScanSource, Segment, StorageStats};
 pub use schema::{ColumnDef, Schema};

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use datablocks::builder::{freeze, freeze_sorted};
 use datablocks::scan::Restriction;
-use datablocks::{DataBlock, ScanOptions, Value};
+use datablocks::{DataBlock, DataType, ScanOptions, Value};
 
 use crate::blockstore::{BlockId, BlockRef, BlockStore, SpillPolicy};
 use crate::hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
@@ -100,6 +100,158 @@ enum ColdSlot {
     Spilled(BlockId),
 }
 
+/// Resolve one cold slot to a borrowable block, pinning spilled blocks.
+fn resolve_cold_slot(slot: &ColdSlot, store: Option<&Arc<BlockStore>>) -> BlockRef {
+    match slot {
+        ColdSlot::Resident(block) => BlockRef::resident(Arc::clone(block)),
+        ColdSlot::Spilled(block_id) => {
+            let store = store.expect("spilled slot without store");
+            BlockRef::pinned(store.pin(*block_id).expect("load spilled block"))
+        }
+    }
+}
+
+/// SMA gate for one cold slot: answered from the store's in-memory directory for
+/// spilled blocks (zero I/O), always `true` for heap-resident blocks (the scan
+/// planner decides with the full block at hand).
+fn cold_slot_may_match(
+    slot: &ColdSlot,
+    store: Option<&Arc<BlockStore>>,
+    restrictions: &[Restriction],
+    options: &ScanOptions,
+) -> bool {
+    match slot {
+        ColdSlot::Resident(_) => true,
+        ColdSlot::Spilled(block_id) => {
+            let store = store.expect("spilled slot without store");
+            store.with_summary(*block_id, |s| s.may_match(restrictions, options))
+        }
+    }
+}
+
+/// Anything a scan can read: a live [`Relation`] borrow or an owned
+/// [`ScanSnapshot`]. The trait is the seam that lets the streaming parallel scan
+/// run its morsel workers on plain (non-scoped) threads — workers capture an owned
+/// snapshot instead of borrowing the relation across an unknowable lifetime — while
+/// the serial scanner and the scoped pipeline driver keep borrowing the relation
+/// directly.
+pub trait ScanSource: Send + Sync {
+    /// Declared type of column `col`.
+    fn column_type(&self, col: usize) -> DataType;
+
+    /// The hot, uncompressed tail chunks.
+    fn hot_chunks(&self) -> &[Arc<HotChunk>];
+
+    /// Number of frozen Data Blocks.
+    fn cold_block_count(&self) -> usize;
+
+    /// Borrow cold block `idx`, pinning it when it lives on secondary storage. The
+    /// returned [`BlockRef`] *is* the per-morsel pin guard: holding it keeps a
+    /// spilled block cached, dropping it releases the pin — so a streaming scan
+    /// acquires and releases pins one morsel at a time.
+    fn cold_block(&self, idx: usize) -> BlockRef;
+
+    /// Can any record of cold block `idx` match all `restrictions`? Zero I/O for
+    /// spilled blocks (answered from the directory summary).
+    fn cold_block_may_match(
+        &self,
+        idx: usize,
+        restrictions: &[Restriction],
+        options: &ScanOptions,
+    ) -> bool;
+
+    /// An owned, cheaply-cloneable snapshot of the scannable state (see
+    /// [`ScanSnapshot`]).
+    fn snapshot(&self) -> ScanSnapshot;
+}
+
+/// An owned point-in-time view of a relation's scannable state, safe to move onto
+/// worker threads that outlive the borrow a scan started from.
+///
+/// Taking a snapshot is cheap: cold blocks are `Arc`-shared (spilled ones stay in
+/// the shared [`BlockStore`]), hot chunks are `Arc`-shared with copy-on-write
+/// mutation on the relation side (an insert/delete/update after the snapshot copies
+/// the affected chunk, leaving the snapshot's version untouched), and only the
+/// column-type vector is cloned outright.
+///
+/// Caveat (same as relation clones): the cold tier of a *spilling* relation is
+/// shared mutable state — a delete that rewrites a spilled block through the shared
+/// store is visible to snapshots taken before it.
+#[derive(Debug, Clone)]
+pub struct ScanSnapshot {
+    types: Vec<DataType>,
+    cold: Vec<ColdSlot>,
+    hot: Vec<Arc<HotChunk>>,
+    store: Option<Arc<BlockStore>>,
+}
+
+impl ScanSource for ScanSnapshot {
+    fn column_type(&self, col: usize) -> DataType {
+        self.types[col]
+    }
+
+    fn hot_chunks(&self) -> &[Arc<HotChunk>] {
+        &self.hot
+    }
+
+    fn cold_block_count(&self) -> usize {
+        self.cold.len()
+    }
+
+    fn cold_block(&self, idx: usize) -> BlockRef {
+        resolve_cold_slot(&self.cold[idx], self.store.as_ref())
+    }
+
+    fn cold_block_may_match(
+        &self,
+        idx: usize,
+        restrictions: &[Restriction],
+        options: &ScanOptions,
+    ) -> bool {
+        cold_slot_may_match(&self.cold[idx], self.store.as_ref(), restrictions, options)
+    }
+
+    fn snapshot(&self) -> ScanSnapshot {
+        self.clone()
+    }
+}
+
+impl ScanSource for Relation {
+    fn column_type(&self, col: usize) -> DataType {
+        self.schema.column(col).data_type
+    }
+
+    fn hot_chunks(&self) -> &[Arc<HotChunk>] {
+        &self.hot
+    }
+
+    fn cold_block_count(&self) -> usize {
+        self.cold.len()
+    }
+
+    fn cold_block(&self, idx: usize) -> BlockRef {
+        Relation::cold_block(self, idx)
+    }
+
+    fn cold_block_may_match(
+        &self,
+        idx: usize,
+        restrictions: &[Restriction],
+        options: &ScanOptions,
+    ) -> bool {
+        Relation::cold_block_may_match(self, idx, restrictions, options)
+    }
+
+    fn snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            types: self.schema.columns().iter().map(|c| c.data_type).collect(),
+            cold: self.cold.clone(),
+            hot: self.hot.clone(),
+            store: self.store.clone(),
+        }
+    }
+}
+
 /// A chunked relation with hot and cold storage.
 ///
 /// # Clone semantics
@@ -117,7 +269,10 @@ pub struct Relation {
     schema: Schema,
     cold: Vec<ColdSlot>,
     cold_uncompressed_bytes: usize,
-    hot: Vec<HotChunk>,
+    /// Hot chunks are `Arc`-shared with [`ScanSnapshot`]s (and clones); mutation
+    /// goes through `Arc::make_mut`, so a chunk is copied only when a snapshot of
+    /// it is still alive — the common case (no snapshot) mutates in place.
+    hot: Vec<Arc<HotChunk>>,
     chunk_capacity: usize,
     pk_index: Option<HashMap<i64, RowId>>,
     /// The spill store, once [`Relation::enable_spill`] ran. Shared by clones of the
@@ -289,10 +444,10 @@ impl Relation {
         let pk_value = self.schema.primary_key().map(|col| values[col].clone());
         if self.hot.last().map(|c| c.is_full()).unwrap_or(true) {
             let chunk = HotChunk::new(&self.schema, self.chunk_capacity);
-            self.hot.push(chunk);
+            self.hot.push(Arc::new(chunk));
         }
         let chunk_idx = self.hot.len() - 1;
-        let row = self.hot[chunk_idx].insert(values);
+        let row = Arc::make_mut(&mut self.hot[chunk_idx]).insert(values);
         let row_id = RowId {
             segment: Segment::Hot(chunk_idx),
             row: row as u32,
@@ -380,8 +535,9 @@ impl Relation {
                 }
             },
             Segment::Hot(c) => {
-                let deleted = self.hot[c].delete(row);
-                let key = pk_col.map(|col| self.hot[c].get(row, col));
+                let chunk = Arc::make_mut(&mut self.hot[c]);
+                let deleted = chunk.delete(row);
+                let key = pk_col.map(|col| chunk.get(row, col));
                 (deleted, key)
             }
         };
@@ -409,8 +565,9 @@ impl Relation {
             Segment::Hot(c) => {
                 let pk_col = self.schema.primary_key();
                 let old_key = pk_col.map(|col| self.hot[c].get(id.row as usize, col));
+                let chunk = Arc::make_mut(&mut self.hot[c]);
                 for (col, value) in values.iter().enumerate() {
-                    self.hot[c].update_in_place(id.row as usize, col, value.clone());
+                    chunk.update_in_place(id.row as usize, col, value.clone());
                 }
                 if let (Some(index), Some(col)) = (&mut self.pk_index, pk_col) {
                     if let Some(Value::Int(old)) = old_key {
@@ -586,13 +743,7 @@ impl Relation {
     /// Panics if `idx` is out of range or the spill store fails to load the block
     /// (I/O error or checksum mismatch).
     pub fn cold_block(&self, idx: usize) -> BlockRef {
-        match &self.cold[idx] {
-            ColdSlot::Resident(block) => BlockRef::resident(Arc::clone(block)),
-            ColdSlot::Spilled(block_id) => {
-                let store = self.store.as_ref().expect("spilled slot without store");
-                BlockRef::pinned(store.pin(*block_id).expect("load spilled block"))
-            }
-        }
+        resolve_cold_slot(&self.cold[idx], self.store.as_ref())
     }
 
     /// Can any record of cold block `idx` match all `restrictions`?
@@ -610,18 +761,17 @@ impl Relation {
         restrictions: &[Restriction],
         options: &ScanOptions,
     ) -> bool {
-        match &self.cold[idx] {
-            ColdSlot::Resident(_) => true,
-            ColdSlot::Spilled(block_id) => {
-                let store = self.store.as_ref().expect("spilled slot without store");
-                store.with_summary(*block_id, |s| s.may_match(restrictions, options))
-            }
-        }
+        cold_slot_may_match(&self.cold[idx], self.store.as_ref(), restrictions, options)
     }
 
-    /// The hot chunks.
-    pub fn hot_chunks(&self) -> &[HotChunk] {
+    /// The hot chunks (`Arc`-shared with any live [`ScanSnapshot`]s).
+    pub fn hot_chunks(&self) -> &[Arc<HotChunk>] {
         &self.hot
+    }
+
+    /// An owned point-in-time view of the scannable state (see [`ScanSnapshot`]).
+    pub fn scan_snapshot(&self) -> ScanSnapshot {
+        ScanSource::snapshot(self)
     }
 
     /// Tuple count of one cold slot, answered from the directory summary for

@@ -1,10 +1,13 @@
 //! Differential test: the morsel-driven parallel scan must produce **byte-identical**
 //! results to the single-threaded `scan_collect` reference — for random blocks,
 //! random restriction sets, every tested thread count (1, 2, 8) and morsel size,
-//! including NULLs, deleted rows and PSMA-narrowed ranges.
+//! including NULLs, deleted rows and PSMA-narrowed ranges. The parallel path is the
+//! bounded streaming pipeline, so the same cases also pin down that tight channel
+//! capacities change neither results nor statistics and that the in-flight bound
+//! holds.
 
 use data_blocks::datablocks::{scan_collect, CmpOp, DataType, Restriction, Value};
-use data_blocks::exec::{RelationScanner, ScanConfig, ScanMode};
+use data_blocks::exec::{drive_streaming, RelationScanner, ScanConfig, ScanMode};
 use data_blocks::storage::{ColumnDef, Relation, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -187,6 +190,52 @@ fn parallel_scan_matches_serial_on_mixed_relations() {
                          morsel_rows {morsel_rows}, restrictions {restrictions:?}"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Random mixed relations through the explicit streaming entry point, with a
+/// deliberately tight channel: results byte-identical to serial for every thread
+/// count and the reorder channel never buffers past its bound.
+#[test]
+fn streaming_scan_matches_serial_under_tight_channel_caps() {
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x057A_EA11 ^ case);
+        let rows = rng.gen_range(1_500..6_000usize);
+        let chunk = rng.gen_range(400..1_200usize);
+        let mut rel = random_relation(&mut rng, rows, chunk);
+        rel.freeze_full_chunks();
+        let restrictions = random_restrictions(&mut rng, rows);
+        let expected = collect_ids(RelationScanner::new(
+            &rel,
+            vec![0],
+            restrictions.clone(),
+            ScanConfig::default(),
+        ));
+        for &threads in THREAD_COUNTS {
+            for cap in [1usize, 3] {
+                let config = ScanConfig::default()
+                    .with_threads(threads)
+                    .with_morsel_rows(256)
+                    .with_channel_cap(cap);
+                let mut stream =
+                    drive_streaming(rel.scan_snapshot(), vec![0], restrictions.clone(), config);
+                let mut got = Vec::new();
+                while let Some(batch) = stream.next_batch() {
+                    for row in 0..batch.len() {
+                        got.push(batch.value(row, 0).as_int().unwrap());
+                    }
+                }
+                assert_eq!(
+                    got, expected,
+                    "case {case}: threads {threads}, cap {cap}, restrictions {restrictions:?}"
+                );
+                assert!(
+                    stream.max_in_flight() <= cap,
+                    "case {case}: threads {threads}, cap {cap}: high-water {}",
+                    stream.max_in_flight()
+                );
             }
         }
     }

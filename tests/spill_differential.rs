@@ -6,7 +6,7 @@
 //! blocks are never read from disk (asserted on the store's I/O counters).
 
 use data_blocks::datablocks::{date_to_days, CmpOp, Restriction, Value};
-use data_blocks::exec::{RelationScanner, ScanConfig};
+use data_blocks::exec::{drive_streaming, RelationScanner, ScanConfig};
 use data_blocks::storage::{Relation, SpillPolicy};
 use data_blocks::workloads::tpch::{run_query, TpchDb};
 
@@ -100,6 +100,93 @@ fn tpch_scan_byte_identical_across_cache_configs_and_threads() {
                 reference_stats,
                 "cache {name} threads {threads}"
             );
+        }
+    }
+}
+
+/// The streaming scan (tentpole of the bounded-memory pipeline) against all four
+/// cache regimes — {memory, all-fits, half-fits, thrash} × threads {1, 2, 4, 8} —
+/// with a tight channel: rows byte-identical to the in-memory serial reference,
+/// in-flight batches never past the bound, and `block_reads` exact under
+/// incremental per-morsel pin release (each non-pruned cold block is pinned once
+/// and read exactly once per scan; Q6 restrictions prune nothing here, so every
+/// block is read).
+#[test]
+fn streaming_scan_byte_identical_across_cache_configs_with_exact_reads() {
+    let db = tpch();
+    let lineitem = db.relation("lineitem");
+    let restrictions = q6_restrictions(lineitem);
+    let s = lineitem.schema();
+    let projection = vec![s.idx("l_orderkey"), s.idx("l_extendedprice")];
+    let reference = scan_rows(lineitem, &restrictions, ScanConfig::default());
+    let blocks = lineitem.cold_block_count();
+    let cap = 2usize;
+
+    // "memory" regime: no store attached, streaming straight off the heap.
+    for &threads in THREAD_COUNTS {
+        let config = ScanConfig::default()
+            .with_threads(threads)
+            .with_channel_cap(cap);
+        let mut stream = drive_streaming(
+            lineitem.scan_snapshot(),
+            projection.clone(),
+            restrictions.clone(),
+            config,
+        );
+        let mut rows = Vec::new();
+        while let Some(batch) = stream.next_batch() {
+            for row in 0..batch.len() {
+                rows.push(batch.row(row));
+            }
+        }
+        assert_eq!(rows, reference, "memory threads {threads}");
+        assert!(stream.max_in_flight() <= cap, "memory threads {threads}");
+    }
+
+    let cold_bytes = lineitem.storage_stats().cold_bytes;
+    for (name, capacity) in cache_configs(cold_bytes) {
+        let mut spilled = lineitem.clone();
+        spilled
+            .enable_spill(&SpillPolicy::with_cache_capacity(capacity))
+            .expect("enable spill");
+        let store = spilled.spill_store().expect("store attached").clone();
+
+        for &threads in THREAD_COUNTS {
+            store.clear_cache();
+            store.reset_stats();
+            let config = ScanConfig::default()
+                .with_threads(threads)
+                .with_channel_cap(cap);
+            let mut stream = drive_streaming(
+                spilled.scan_snapshot(),
+                projection.clone(),
+                restrictions.clone(),
+                config,
+            );
+            let mut rows = Vec::new();
+            while let Some(batch) = stream.next_batch() {
+                for row in 0..batch.len() {
+                    rows.push(batch.row(row));
+                }
+            }
+            assert_eq!(rows, reference, "cache {name} threads {threads}");
+            assert!(
+                stream.max_in_flight() <= cap,
+                "cache {name} threads {threads}: high-water {}",
+                stream.max_in_flight()
+            );
+            let stats = stream.stats();
+            assert_eq!(stats.blocks_total, blocks, "cache {name} threads {threads}");
+            assert_eq!(stats.blocks_skipped, 0, "Q6 is not SMA-prunable here");
+            // Pins are per-morsel now, not per-scan — yet each cold block is still
+            // read from disk exactly once per scan (pinned while scanned, released
+            // after), so the I/O accounting stays exact even while thrashing.
+            let io = store.stats();
+            assert_eq!(
+                io.block_reads, blocks as u64,
+                "cache {name} threads {threads}: every block read exactly once: {io:?}"
+            );
+            assert_eq!(store.pinned_count(), 0, "cache {name} threads {threads}");
         }
     }
 }
