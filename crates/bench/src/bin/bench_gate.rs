@@ -1,26 +1,69 @@
 //! Perf regression gate: compare the benchmark results of this run against the
-//! most recent `BENCH_trajectory.jsonl` entry for the same (benchmark, shape,
-//! threads) and **warn** — non-fatally — on drops of more than
-//! [`REGRESSION_THRESHOLD`].
+//! **best of the last [`GATE_WINDOW`] = 5** `BENCH_trajectory.jsonl` entries for
+//! the same (benchmark, shape) at the same thread count, and **warn** —
+//! non-fatally — on drops of more than [`REGRESSION_THRESHOLD`].
 //!
 //! CI runs this between restoring the trajectory cache and appending the new
-//! points, so every comparison is against the previous push to main. Warnings use
-//! the GitHub Actions `::warning::` workflow-command syntax, which surfaces them
-//! as annotations on the run without failing it — shared-runner noise makes a
-//! hard gate on wall-clock numbers flakier than it is useful, but a >25% drop is
-//! worth a visible flag.
+//! points, so the window covers the five most recent pushes to main. Comparing
+//! against the window's *peak* rather than just the previous push keeps
+//! shared-runner noise from flapping the gate: one slow previous run neither
+//! hides a real regression (the peak is still in the window) nor manufactures a
+//! phantom one (a recovered run is compared against the same peak it already
+//! matched). Warnings use the GitHub Actions `::warning::` workflow-command
+//! syntax, which surfaces them as annotations on the run without failing it —
+//! a hard gate on wall-clock numbers is flakier than it is useful, but a >25%
+//! drop below the recent best is worth a visible flag.
 //!
-//! Comparisons use the same best-per-shape folding as `bench_trajectory` and skip
-//! shapes whose previous entry was recorded at a different thread count (a runner
-//! with different hardware parallelism is not comparable). Exit code is always 0
-//! unless the current benchmark files are unreadable garbage.
+//! When `GITHUB_STEP_SUMMARY` names a writable file (as it does inside a
+//! workflow step), the per-shape gate results are also appended there as a
+//! markdown table, so the run's summary page shows what was compared without
+//! digging through logs.
+//!
+//! Comparisons use the same best-per-shape folding as `bench_trajectory` and
+//! skip shapes whose recent window holds no entry at the current thread count
+//! (a runner with different hardware parallelism is not comparable). Exit code
+//! is always 0 unless the current benchmark files are unreadable garbage.
 
-use db_bench::{fold_best_per_shape, parse_bench_results, parse_trajectory_line, BENCHMARK_FILES};
+use std::io::Write as _;
 
-/// Fractional drop in `rows_per_s` that triggers a warning annotation.
+use db_bench::{
+    best_of_recent, fold_best_per_shape, parse_bench_results, parse_trajectory_line,
+    BENCHMARK_FILES,
+};
+
+/// Fractional drop in `rows_per_s` (vs the recent best) that triggers a warning
+/// annotation.
 const REGRESSION_THRESHOLD: f64 = 0.25;
 
+/// How many recent trajectory entries per (benchmark, shape) the gate considers.
+const GATE_WINDOW: usize = 5;
+
 const TRAJECTORY_PATH: &str = "BENCH_trajectory.jsonl";
+
+/// Append the gate's result table to `$GITHUB_STEP_SUMMARY`, if set (a no-op
+/// outside CI).
+fn publish_step_summary(rows: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("note: cannot append gate results to {path}");
+        return;
+    };
+    let mut text = String::from(
+        "\n## Perf gate\n\n| benchmark/shape | threads | current rows/s | recent best | Δ | verdict |\n\
+         |---|---:|---:|---:|---:|---|\n",
+    );
+    for row in rows {
+        text.push_str(row);
+        text.push('\n');
+    }
+    let _ = file.write_all(text.as_bytes());
+}
 
 fn main() {
     let Ok(trajectory) = std::fs::read_to_string(TRAJECTORY_PATH) else {
@@ -38,49 +81,54 @@ fn main() {
 
     let mut compared = 0usize;
     let mut regressions = 0usize;
+    let mut summary_rows: Vec<String> = Vec::new();
     for &(benchmark, path) in BENCHMARK_FILES {
         let Ok(json) = std::fs::read_to_string(path) else {
             continue; // bench_trajectory enforces presence; the gate only compares
         };
         for (shape, threads, current) in fold_best_per_shape(parse_bench_results(&json)) {
-            // Most recent prior entry for the same benchmark + shape.
-            let Some(&(_, _, prev_threads, previous)) = history
-                .iter()
-                .rev()
-                .find(|(b, s, _, _)| *b == benchmark && *s == shape)
+            let Some(previous) = best_of_recent(&history, benchmark, &shape, threads, GATE_WINDOW)
             else {
-                println!("{benchmark}/{shape}: no history yet");
+                println!(
+                    "{benchmark}/{shape}: no entry at {threads} threads in the last \
+                     {GATE_WINDOW} points — not comparable, skipping"
+                );
+                summary_rows.push(format!(
+                    "| {benchmark}/{shape} | {threads} | {current:.0} | — | — | no history |"
+                ));
                 continue;
             };
-            if prev_threads != threads {
-                println!(
-                    "{benchmark}/{shape}: previous entry used {prev_threads} threads, \
-                     current best is at {threads} — not comparable, skipping"
-                );
-                continue;
-            }
             compared += 1;
             let ratio = current / previous;
+            let delta = format!("{:+.1}%", (ratio - 1.0) * 100.0);
             if ratio < 1.0 - REGRESSION_THRESHOLD {
                 regressions += 1;
                 println!(
                     "::warning title=Perf regression: {benchmark}/{shape}::rows_per_s fell \
-                     {:.1}% ({previous:.0} -> {current:.0} at {threads} threads) vs the last \
-                     trajectory entry",
+                     {:.1}% ({previous:.0} -> {current:.0} at {threads} threads) vs the best \
+                     of the last {GATE_WINDOW} trajectory entries",
                     (1.0 - ratio) * 100.0,
                 );
+                summary_rows.push(format!(
+                    "| {benchmark}/{shape} | {threads} | {current:.0} | {previous:.0} | {delta} | \
+                     ⚠️ regression |"
+                ));
             } else {
                 println!(
-                    "{benchmark}/{shape}: {current:.0} rows/s vs {previous:.0} previously \
-                     ({:+.1}%) — ok",
-                    (ratio - 1.0) * 100.0,
+                    "{benchmark}/{shape}: {current:.0} rows/s vs {previous:.0} recent best \
+                     ({delta}) — ok"
                 );
+                summary_rows.push(format!(
+                    "| {benchmark}/{shape} | {threads} | {current:.0} | {previous:.0} | {delta} | \
+                     ok |"
+                ));
             }
         }
     }
     println!(
-        "gate: compared {compared} shapes, {regressions} regression warning(s) \
-         (threshold {:.0}%, non-fatal)",
+        "gate: compared {compared} shapes against the best of the last {GATE_WINDOW} \
+         entries, {regressions} regression warning(s) (threshold {:.0}%, non-fatal)",
         REGRESSION_THRESHOLD * 100.0
     );
+    publish_step_summary(&summary_rows);
 }

@@ -16,6 +16,19 @@
 //! whatever the thread count or channel capacity
 //! (`tests/spill_differential.rs` asserts this).
 //!
+//! Beyond the cache-capacity sweep, three durability phases measure the PR-5
+//! block-store hardening:
+//!
+//! * **readahead** — the same cold scan with [`exec::ScanConfig::with_readahead`]
+//!   staging the next blocks of the scan order on the store's prefetch thread;
+//!   the JSON records demand `block_reads` vs `prefetch_reads` separately.
+//! * **reopen** — the relation is spilled to a named file, closed (manifest
+//!   checkpoint), reopened via `Relation::reopen_spilled` (directory replayed
+//!   from the manifest, zero payload I/O), and cold-scanned.
+//! * **compact** — one row per block is deleted (rewriting every block, i.e.
+//!   ~50% garbage), the store is compacted into a fresh generation file, and the
+//!   compacted store is cold-scanned.
+//!
 //! Emits `BENCH_io.json` (one entry per configuration, folded into
 //! `BENCH_trajectory.jsonl` by `bench_trajectory`). Knobs:
 //!
@@ -26,7 +39,7 @@ use std::io::Write as _;
 
 use db_bench::{fmt_bytes, fmt_duration, print_table_header, print_table_row, threads_arg};
 use exec::{RelationScanner, ScanConfig};
-use storage::SpillPolicy;
+use storage::{BlockStore, Relation, RowId, Segment, SpillPolicy};
 use workloads::tpch::TpchDb;
 
 use datablocks::scan::Restriction;
@@ -86,6 +99,10 @@ fn main() {
     );
 
     let mut entries = Vec::new();
+    // Non-measurement JSON lines (reopen/compaction metadata); merged into the
+    // output after the phases, because `emit` holds `entries` borrowed.
+    let mut meta_entries: Vec<String> = Vec::new();
+    #[allow(clippy::too_many_arguments)]
     let mut emit = |config_name: &str,
                     threads: usize,
                     phase: &str,
@@ -93,7 +110,8 @@ fn main() {
                     capacity: usize,
                     reads: u64,
                     hits: u64,
-                    misses: u64| {
+                    misses: u64,
+                    prefetch_reads: u64| {
         let rows_per_s = rows as f64 / secs;
         print_table_row(
             &[
@@ -117,19 +135,16 @@ fn main() {
             "    {{\"io\": \"q6_{config_name}_{phase}\", \"threads\": {threads}, \
              \"cache_capacity_bytes\": {capacity_field}, \"elapsed_ms\": {:.3}, \
              \"rows_per_s\": {rows_per_s:.0}, \"block_reads\": {reads}, \
-             \"cache_hits\": {hits}, \"cache_misses\": {misses}}}",
+             \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
+             \"prefetch_reads\": {prefetch_reads}}}",
             secs * 1e3,
         ));
     };
 
-    let run_scan = |relation: &storage::Relation, threads: usize| -> f64 {
+    let run_scan = |relation: &Relation, config: ScanConfig| -> f64 {
         let start = std::time::Instant::now();
-        let mut scanner = RelationScanner::new(
-            relation,
-            projection.clone(),
-            restrictions.clone(),
-            ScanConfig::default().with_threads(threads),
-        );
+        let mut scanner =
+            RelationScanner::new(relation, projection.clone(), restrictions.clone(), config);
         let mut matched = 0usize;
         while let Some(batch) = scanner.next_batch() {
             matched += batch.len();
@@ -140,8 +155,8 @@ fn main() {
 
     // All-in-memory baseline (no store attached).
     for &threads in &sweep {
-        let secs = run_scan(lineitem, threads);
-        emit("memory", threads, "warm", secs, usize::MAX, 0, 0, 0);
+        let secs = run_scan(lineitem, ScanConfig::default().with_threads(threads));
+        emit("memory", threads, "warm", secs, usize::MAX, 0, 0, 0, 0);
     }
 
     for (config_name, capacity) in capacities {
@@ -157,7 +172,7 @@ fn main() {
             // cold: drop the cache, then one timed scan paying all disk reads
             store.clear_cache();
             store.reset_stats();
-            let secs = run_scan(&spilled, threads);
+            let secs = run_scan(&spilled, ScanConfig::default().with_threads(threads));
             let io = store.stats();
             emit(
                 config_name,
@@ -168,6 +183,7 @@ fn main() {
                 io.block_reads,
                 io.cache_hits,
                 io.cache_misses,
+                io.prefetch_reads,
             );
 
             // warm: median of three scans against the steady-state cache. The
@@ -178,7 +194,10 @@ fn main() {
                 if i == 2 {
                     store.reset_stats();
                 }
-                times.push(run_scan(&spilled, threads));
+                times.push(run_scan(
+                    &spilled,
+                    ScanConfig::default().with_threads(threads),
+                ));
             }
             times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let io = store.stats();
@@ -191,10 +210,158 @@ fn main() {
                 io.block_reads,
                 io.cache_hits,
                 io.cache_misses,
+                io.prefetch_reads,
             );
         }
     }
 
+    // ---------------------------------------------------------------- readahead
+    // Cold scan with the next READAHEAD blocks staged on the store's prefetch
+    // thread ahead of the pinning morsel. block_reads + prefetch_reads together
+    // cover every block (a demand read racing an in-flight prefetch can read a
+    // block twice — counted under both, honestly).
+    const READAHEAD: usize = 4;
+    {
+        let mut spilled = lineitem.clone();
+        spilled
+            .enable_spill(&SpillPolicy::with_cache_capacity(cold_bytes))
+            .expect("enable spill");
+        let store = spilled.spill_store().expect("store attached").clone();
+        for &threads in &sweep {
+            store.clear_cache();
+            store.reset_stats();
+            let secs = run_scan(
+                &spilled,
+                ScanConfig::default()
+                    .with_threads(threads)
+                    .with_readahead(READAHEAD),
+            );
+            let io = store.stats();
+            emit(
+                "readahead",
+                threads,
+                "cold",
+                secs,
+                cold_bytes,
+                io.block_reads,
+                io.cache_hits,
+                io.cache_misses,
+                io.prefetch_reads,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------- reopen
+    // Spill to a named file, close (manifest checkpoint), reopen from disk: the
+    // directory is replayed from the manifest without touching block payloads,
+    // then the reopened relation is cold-scanned.
+    {
+        let path = std::env::temp_dir().join(format!("bench-io-reopen-{}.dbs", std::process::id()));
+        let policy = SpillPolicy {
+            cache_capacity_bytes: cold_bytes,
+            path: Some(path.clone()),
+            ..SpillPolicy::default()
+        };
+        {
+            let mut spilled = lineitem.clone();
+            spilled.enable_spill(&policy).expect("enable spill");
+        } // drop = clean close: the manifest is checkpointed
+        let reopen_start = std::time::Instant::now();
+        let reopened = Relation::reopen_spilled("lineitem", lineitem.schema().clone(), &policy)
+            .expect("reopen spilled relation");
+        let reopen_secs = reopen_start.elapsed().as_secs_f64();
+        let store = reopened.spill_store().expect("store attached").clone();
+        println!(
+            "reopen: directory of {} blocks replayed in {} ({} payload reads)",
+            store.block_count(),
+            fmt_duration(std::time::Duration::from_secs_f64(reopen_secs)),
+            store.stats().block_reads,
+        );
+        for &threads in &sweep {
+            store.clear_cache();
+            store.reset_stats();
+            let secs = run_scan(&reopened, ScanConfig::default().with_threads(threads));
+            let io = store.stats();
+            emit(
+                "reopen",
+                threads,
+                "cold",
+                secs,
+                cold_bytes,
+                io.block_reads,
+                io.cache_hits,
+                io.cache_misses,
+                io.prefetch_reads,
+            );
+        }
+        meta_entries.push(format!(
+            "    {{\"io_meta\": \"reopen\", \"blocks\": {}, \"reopen_ms\": {:.3}}}",
+            store.block_count(),
+            reopen_secs * 1e3,
+        ));
+        drop(reopened);
+        // tidy the named spill file and its manifest/generation siblings
+        let _ = BlockStore::remove_files(&path);
+    }
+
+    // ------------------------------------------------------------------ compact
+    // Delete one row per block (rewriting every block: ~50% of the file becomes
+    // dead frames), compact into a fresh generation, then cold-scan the
+    // compacted store.
+    {
+        let mut spilled = lineitem.clone();
+        spilled
+            .enable_spill(&SpillPolicy::with_cache_capacity(cold_bytes))
+            .expect("enable spill");
+        let store = spilled.spill_store().expect("store attached").clone();
+        store.set_garbage_threshold(1.0); // hold garbage for one explicit pass
+        let blocks = spilled.cold_block_count();
+        for block in 0..blocks {
+            spilled.delete(RowId {
+                segment: Segment::Cold(block),
+                row: 0,
+            });
+        }
+        let dead_before = store.dead_bytes();
+        let compact_start = std::time::Instant::now();
+        store.compact().expect("compact store");
+        let compact_secs = compact_start.elapsed().as_secs_f64();
+        let io = store.stats();
+        println!(
+            "compact: reclaimed {} across {} frames in {} ({} pinned skipped)",
+            fmt_bytes(dead_before as usize),
+            io.compacted_frames,
+            fmt_duration(std::time::Duration::from_secs_f64(compact_secs)),
+            io.compaction_pinned_skipped,
+        );
+        meta_entries.push(format!(
+            "    {{\"io_meta\": \"compact\", \"compacted_frames\": {}, \
+             \"compacted_bytes\": {}, \"dead_bytes_before\": {dead_before}, \
+             \"compact_ms\": {:.3}}}",
+            io.compacted_frames,
+            io.compacted_bytes,
+            compact_secs * 1e3,
+        ));
+        for &threads in &sweep {
+            store.clear_cache();
+            store.reset_stats();
+            let secs = run_scan(&spilled, ScanConfig::default().with_threads(threads));
+            let io = store.stats();
+            emit(
+                "compact",
+                threads,
+                "cold",
+                secs,
+                cold_bytes,
+                io.block_reads,
+                io.cache_hits,
+                io.cache_misses,
+                io.prefetch_reads,
+            );
+        }
+    }
+
+    entries.extend(meta_entries);
     let json = format!(
         "{{\n  \"benchmark\": \"blockstore_io\",\n  \"relation\": \"lineitem\",\n  \
          \"scale_factor\": {sf},\n  \"rows\": {rows},\n  \"cold_bytes\": {cold_bytes},\n  \

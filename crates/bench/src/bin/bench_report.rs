@@ -1,0 +1,143 @@
+//! Render the per-push benchmark trajectory (`BENCH_trajectory.jsonl`) into a
+//! human-readable report: one markdown table per benchmark with the rows/s of
+//! every shape — latest value, recent deltas, all-time best — plus an inline
+//! unicode sparkline of the whole series, so a perf cliff (or win) is visible at
+//! a glance on the workflow run page.
+//!
+//! Output goes three places:
+//!
+//! * **stdout** — so a local run (or the CI log) shows the report;
+//! * **`BENCH_report.md`** — uploaded as a CI artifact next to the raw jsonl;
+//! * **`$GITHUB_STEP_SUMMARY`** — when set (inside a workflow step), the report
+//!   is appended to the run's summary page. This is the CI trajectory
+//!   visualisation: every push to main renders the accumulated history.
+//!
+//! The sparkline covers up to the last [`SPARK_POINTS`] entries per shape (the
+//! full history stays in the jsonl artifact). Entries recorded at different
+//! thread counts are rendered in the same series but the table lists the thread
+//! count of the *latest* entry — CI runners are homogeneous in practice, and
+//! the gate (not this report) is what skips thread-mismatched comparisons.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use db_bench::{parse_trajectory_line, sparkline, BENCHMARK_FILES};
+
+const TRAJECTORY_PATH: &str = "BENCH_trajectory.jsonl";
+const REPORT_PATH: &str = "BENCH_report.md";
+
+/// Sparkline width: how many of the most recent points each shape renders.
+const SPARK_POINTS: usize = 40;
+
+fn human(rows_per_s: f64) -> String {
+    if rows_per_s >= 1e9 {
+        format!("{:.2}G", rows_per_s / 1e9)
+    } else if rows_per_s >= 1e6 {
+        format!("{:.2}M", rows_per_s / 1e6)
+    } else if rows_per_s >= 1e3 {
+        format!("{:.1}k", rows_per_s / 1e3)
+    } else {
+        format!("{rows_per_s:.0}")
+    }
+}
+
+fn main() {
+    let trajectory = match std::fs::read_to_string(TRAJECTORY_PATH) {
+        Ok(text) => text,
+        Err(err) => {
+            // A report with nothing to draw is not an error in CI's first run,
+            // but say so loudly rather than writing an empty artifact silently.
+            eprintln!("note: cannot read {TRAJECTORY_PATH} ({err}) — nothing to report");
+            return;
+        }
+    };
+    let history: Vec<(String, String, usize, f64)> = trajectory
+        .lines()
+        .filter_map(parse_trajectory_line)
+        .collect();
+    if history.is_empty() {
+        eprintln!("note: {TRAJECTORY_PATH} holds no parsable points — nothing to report");
+        return;
+    }
+
+    let mut report = String::from("## Benchmark trajectory\n");
+    let _ = writeln!(
+        report,
+        "\n{} data points across the history; sparklines cover the last {SPARK_POINTS} \
+         per shape (▁ = series min, █ = series max; rows/s, higher is better).\n",
+        history.len()
+    );
+
+    // Render benchmarks in the canonical CI order, shapes in first-seen order.
+    for &(benchmark, _) in BENCHMARK_FILES {
+        let mut shapes: Vec<&str> = Vec::new();
+        for (b, shape, _, _) in &history {
+            if b == benchmark && !shapes.contains(&shape.as_str()) {
+                shapes.push(shape);
+            }
+        }
+        if shapes.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            report,
+            "### {benchmark}\n\n| shape | threads | points | latest rows/s | vs prev | best | trend |\n\
+             |---|---:|---:|---:|---:|---:|---|"
+        );
+        for shape in shapes {
+            let series: Vec<f64> = history
+                .iter()
+                .filter(|(b, s, _, _)| b == benchmark && s == shape)
+                .map(|(_, _, _, v)| *v)
+                .collect();
+            let threads = history
+                .iter()
+                .rev()
+                .find(|(b, s, _, _)| b == benchmark && s == shape)
+                .map(|(_, _, t, _)| *t)
+                .unwrap_or(1);
+            let latest = *series.last().expect("non-empty series");
+            let best = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let vs_prev = if series.len() >= 2 {
+                let prev = series[series.len() - 2];
+                if prev > 0.0 {
+                    format!("{:+.1}%", (latest / prev - 1.0) * 100.0)
+                } else {
+                    "—".to_string()
+                }
+            } else {
+                "—".to_string()
+            };
+            let tail = &series[series.len().saturating_sub(SPARK_POINTS)..];
+            let _ = writeln!(
+                report,
+                "| {shape} | {threads} | {} | {} | {vs_prev} | {} | `{}` |",
+                series.len(),
+                human(latest),
+                human(best),
+                sparkline(tail),
+            );
+        }
+        report.push('\n');
+    }
+
+    print!("{report}");
+    if let Err(err) = std::fs::write(REPORT_PATH, &report) {
+        eprintln!("error: cannot write {REPORT_PATH}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {REPORT_PATH}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = file.write_all(report.as_bytes());
+                println!("appended report to step summary");
+            }
+            Err(err) => eprintln!("note: cannot append to GITHUB_STEP_SUMMARY ({err})"),
+        }
+    }
+}

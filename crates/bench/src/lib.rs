@@ -169,6 +169,52 @@ pub fn fold_best_per_shape(entries: Vec<(String, usize, f64)>) -> Vec<(String, u
     shapes
 }
 
+/// Unicode-block sparkline of a series, one glyph per value, scaled min→max
+/// (`▁` for the minimum, `█` for the maximum; a flat series renders mid-height).
+/// This is what the CI trajectory report embeds next to each benchmark shape.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            if !min.is_finite() || !max.is_finite() || max <= min {
+                LEVELS[3] // flat (or degenerate) series: mid-height bar
+            } else {
+                let t = (v - min) / (max - min);
+                LEVELS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// The gate's baseline: the **best** rows/s among the last `k` trajectory
+/// entries for `(benchmark, shape)` that were recorded at `threads` — comparing
+/// against a small window's peak instead of just the previous push keeps one
+/// noisy run from raising (or burying) a warning. Entries at other thread
+/// counts are skipped (different hardware parallelism is not comparable);
+/// `None` means nothing comparable in the window.
+pub fn best_of_recent(
+    history: &[(String, String, usize, f64)],
+    benchmark: &str,
+    shape: &str,
+    threads: usize,
+    k: usize,
+) -> Option<f64> {
+    history
+        .iter()
+        .filter(|(b, s, _, _)| b == benchmark && s == shape)
+        .rev()
+        .take(k)
+        .filter(|(_, _, t, _)| *t == threads)
+        .map(|(_, _, _, rows_per_s)| *rows_per_s)
+        .fold(None, |best, v| Some(best.map_or(v, |b: f64| b.max(v))))
+}
+
 /// One parsed `BENCH_trajectory.jsonl` entry:
 /// `(benchmark, shape, threads, rows_per_s)`. Returns `None` for lines that are
 /// not trajectory points (blank lines, corrupt cache entries).
@@ -342,6 +388,35 @@ mod tests {
         );
         assert_eq!(parse_trajectory_line(""), None);
         assert_eq!(parse_trajectory_line("{\"benchmark\": \"scan\"}"), None);
+    }
+
+    #[test]
+    fn sparkline_scales_min_to_max() {
+        assert_eq!(sparkline(&[1.0, 2.0, 3.0]), "▁▅█");
+        assert_eq!(sparkline(&[3.0, 1.0]), "█▁");
+        // flat and degenerate series stay readable
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▄▄▄");
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[42.0]), "▄");
+    }
+
+    #[test]
+    fn best_of_recent_takes_window_peak_at_matching_threads() {
+        let history: Vec<(String, String, usize, f64)> = vec![
+            ("scan".into(), "q6".into(), 4, 900.0), // outside the window of 5
+            ("scan".into(), "q6".into(), 4, 100.0),
+            ("scan".into(), "q6".into(), 4, 300.0),
+            ("scan".into(), "q6".into(), 8, 999.0), // thread mismatch: skipped
+            ("scan".into(), "q6".into(), 4, 200.0),
+            ("scan".into(), "other".into(), 4, 777.0), // different shape
+            ("scan".into(), "q6".into(), 4, 250.0),
+        ];
+        assert_eq!(best_of_recent(&history, "scan", "q6", 4, 5), Some(300.0));
+        // a window of 1 degenerates to "previous entry only"
+        assert_eq!(best_of_recent(&history, "scan", "q6", 4, 1), Some(250.0));
+        // nothing comparable: wrong threads everywhere in the window
+        assert_eq!(best_of_recent(&history, "scan", "q6", 2, 5), None);
+        assert_eq!(best_of_recent(&history, "agg", "q6", 4, 5), None);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub const FRAME_VERSION: u32 = 1;
 /// Size of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 40;
 
+/// Magic bytes identifying a block-store *manifest* record.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"DBMF";
+/// Current version of the manifest record format.
+pub const MANIFEST_VERSION: u32 = 1;
+/// Size of the fixed manifest record header (magic, version, checksum, body
+/// length) in bytes.
+pub const MANIFEST_HEADER_LEN: usize = 20;
+
 /// Errors produced when decoding a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
@@ -322,6 +330,163 @@ pub fn from_frame(bytes: &[u8]) -> Result<DataBlock, FrameError> {
     Ok(layout::from_bytes(payload)?)
 }
 
+// ------------------------------------------------------------- manifest records
+
+/// One record of a block-store **manifest**: the append-only log from which
+/// [`crate::frame`]-aware stores rebuild their directory on reopen without
+/// scanning block payloads.
+///
+/// A manifest file is a plain concatenation of records, each wrapped in a
+/// fixed [`MANIFEST_HEADER_LEN`]-byte header (magic, version, FNV-1a 64 body
+/// checksum, body length). The checksum makes a torn final record — the bytes a
+/// crash leaves behind mid-append — detectable: replay stops at the first record
+/// that is truncated or fails validation and discards the tail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestRecord {
+    /// Set directory entry `block_id`: the block's frame lives at `offset`/`len`
+    /// of generation file `generation`, with the given hot summary. Emitted for
+    /// appends *and* rewrites — replay is last-writer-wins per `block_id`, so the
+    /// latest `Put` for an id (including its tombstone counts, carried in the
+    /// summary) defines the reopened directory.
+    Put {
+        /// Directory index of the block.
+        block_id: u32,
+        /// Generation file holding the frame (0 is the store's base file).
+        generation: u32,
+        /// Byte offset of the frame within the generation file.
+        offset: u64,
+        /// Length of the frame in bytes.
+        len: u32,
+        /// The block's directory summary (tuple/deleted counts, per-column SMAs).
+        summary: BlockSummary,
+    },
+    /// Directory reset marking the start of a **checkpoint**: the `entries`
+    /// [`ManifestRecord::Put`]s that follow form the complete directory, and
+    /// `generation` is the store's current append generation. Written as the
+    /// first record of a freshly checkpointed manifest (close, compaction).
+    Snapshot {
+        /// Append generation at checkpoint time.
+        generation: u32,
+        /// Number of `Put` records that follow.
+        entries: u32,
+    },
+}
+
+const MANIFEST_KIND_PUT: u8 = 1;
+const MANIFEST_KIND_SNAPSHOT: u8 = 2;
+
+/// Serialize one manifest record (header + body).
+pub fn manifest_record_to_bytes(record: &ManifestRecord) -> Vec<u8> {
+    let mut body = Writer::new();
+    match record {
+        ManifestRecord::Put {
+            block_id,
+            generation,
+            offset,
+            len,
+            summary,
+        } => {
+            body.u8(MANIFEST_KIND_PUT);
+            body.u32(*block_id);
+            body.u32(*generation);
+            body.u64(*offset);
+            body.u32(*len);
+            body.bytes(&write_summary(summary));
+        }
+        ManifestRecord::Snapshot {
+            generation,
+            entries,
+        } => {
+            body.u8(MANIFEST_KIND_SNAPSHOT);
+            body.u32(*generation);
+            body.u32(*entries);
+        }
+    }
+    let mut w = Writer::new();
+    w.bytes(MANIFEST_MAGIC);
+    w.u32(MANIFEST_VERSION);
+    w.u64(fnv1a64(&body.buf));
+    w.u32(body.buf.len() as u32);
+    debug_assert_eq!(w.buf.len(), MANIFEST_HEADER_LEN);
+    w.bytes(&body.buf);
+    w.buf
+}
+
+/// Decode the manifest record at the start of `bytes`, returning it together with
+/// the total number of bytes it occupies (header + body) so a caller can walk a
+/// concatenated record log. A record that is cut short, carries a wrong checksum
+/// or fails structural validation is an error — replay treats the first such
+/// record as the torn tail of the log.
+pub fn read_manifest_record(bytes: &[u8]) -> Result<(ManifestRecord, usize), FrameError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4)? != MANIFEST_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let checksum = r.u64()?;
+    let body_len = r.u32()? as usize;
+    let total = MANIFEST_HEADER_LEN
+        .checked_add(body_len)
+        .ok_or(FrameError::Corrupt("manifest body length overflows"))?;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let body = &bytes[MANIFEST_HEADER_LEN..total];
+    let actual = fnv1a64(body);
+    if actual != checksum {
+        return Err(FrameError::ChecksumMismatch {
+            stored: checksum,
+            actual,
+        });
+    }
+    let mut b = Reader::new(body);
+    let record = match b.u8()? {
+        MANIFEST_KIND_PUT => {
+            let block_id = b.u32()?;
+            let generation = b.u32()?;
+            let offset = b.u64()?;
+            let len = b.u32()?;
+            let summary = parse_summary(&body[1 + 4 + 4 + 8 + 4..])?;
+            ManifestRecord::Put {
+                block_id,
+                generation,
+                offset,
+                len,
+                summary,
+            }
+        }
+        MANIFEST_KIND_SNAPSHOT => ManifestRecord::Snapshot {
+            generation: b.u32()?,
+            entries: b.u32()?,
+        },
+        _ => return Err(FrameError::Corrupt("unknown manifest record kind")),
+    };
+    Ok((record, total))
+}
+
+/// Walk a manifest byte log from the front, collecting every valid record, and
+/// report the length of the **valid prefix**. Replay stops at the first record
+/// that fails to decode — a torn final record from a crashed append, or
+/// trailing corruption — whose error is returned alongside so callers can
+/// distinguish a clean log (`None`) from a truncated one.
+pub fn replay_manifest(bytes: &[u8]) -> (Vec<ManifestRecord>, usize, Option<FrameError>) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        match read_manifest_record(&bytes[offset..]) {
+            Ok((record, consumed)) => {
+                records.push(record);
+                offset += consumed;
+            }
+            Err(err) => return (records, offset, Some(err)),
+        }
+    }
+    (records, offset, None)
+}
+
 fn write_summary(summary: &BlockSummary) -> Vec<u8> {
     let mut w = Writer::new();
     w.u32(summary.tuple_count);
@@ -546,6 +711,152 @@ mod tests {
         assert_eq!(summary.columns[1].sma, Sma::AllNull);
         // an all-NULL attribute prunes every value restriction
         assert!(!summary.may_match(&[Restriction::eq(1, 9i64)], &ScanOptions::default()));
+    }
+
+    #[test]
+    fn manifest_record_roundtrip() {
+        let summary = BlockSummary::of(&block());
+        let put = ManifestRecord::Put {
+            block_id: 7,
+            generation: 3,
+            offset: 4096,
+            len: 1234,
+            summary: summary.clone(),
+        };
+        let bytes = manifest_record_to_bytes(&put);
+        let (decoded, consumed) = read_manifest_record(&bytes).unwrap();
+        assert_eq!(decoded, put);
+        assert_eq!(consumed, bytes.len());
+
+        let snap = ManifestRecord::Snapshot {
+            generation: 2,
+            entries: 42,
+        };
+        let bytes = manifest_record_to_bytes(&snap);
+        let (decoded, consumed) = read_manifest_record(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn manifest_replay_walks_concatenated_records() {
+        let summary = BlockSummary::of(&block());
+        let records = vec![
+            ManifestRecord::Snapshot {
+                generation: 0,
+                entries: 1,
+            },
+            ManifestRecord::Put {
+                block_id: 0,
+                generation: 0,
+                offset: 0,
+                len: 100,
+                summary: summary.clone(),
+            },
+            ManifestRecord::Put {
+                block_id: 0,
+                generation: 0,
+                offset: 100,
+                len: 90,
+                summary,
+            },
+        ];
+        let mut log = Vec::new();
+        for record in &records {
+            log.extend_from_slice(&manifest_record_to_bytes(record));
+        }
+        let (replayed, valid_len, err) = replay_manifest(&log);
+        assert_eq!(replayed, records);
+        assert_eq!(valid_len, log.len());
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn manifest_torn_final_record_is_detected_and_prefix_kept() {
+        let summary = BlockSummary::of(&block());
+        let full = manifest_record_to_bytes(&ManifestRecord::Put {
+            block_id: 0,
+            generation: 0,
+            offset: 0,
+            len: 100,
+            summary: summary.clone(),
+        });
+        let torn = manifest_record_to_bytes(&ManifestRecord::Put {
+            block_id: 1,
+            generation: 0,
+            offset: 100,
+            len: 200,
+            summary,
+        });
+        // a crash can cut the final record anywhere: inside the header, right
+        // after it, or inside the body
+        for cut in [1, 4, MANIFEST_HEADER_LEN - 1, MANIFEST_HEADER_LEN + 3] {
+            let mut log = full.clone();
+            log.extend_from_slice(&torn[..cut]);
+            let (records, valid_len, err) = replay_manifest(&log);
+            assert_eq!(records.len(), 1, "cut {cut}");
+            assert_eq!(valid_len, full.len(), "cut {cut}");
+            assert!(
+                matches!(err, Some(FrameError::Truncated | FrameError::BadMagic)),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_bit_flipped_checksum_is_rejected() {
+        let summary = BlockSummary::of(&block());
+        let mut bytes = manifest_record_to_bytes(&ManifestRecord::Put {
+            block_id: 0,
+            generation: 0,
+            offset: 0,
+            len: 100,
+            summary,
+        });
+        // flip one byte of the body (the block_id)
+        bytes[MANIFEST_HEADER_LEN + 1] ^= 0xff;
+        assert!(matches!(
+            read_manifest_record(&bytes),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        // flip the stored checksum itself
+        let mut bytes2 = manifest_record_to_bytes(&ManifestRecord::Snapshot {
+            generation: 0,
+            entries: 0,
+        });
+        bytes2[8] ^= 0x01;
+        assert!(matches!(
+            read_manifest_record(&bytes2),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_version_and_kind_are_validated() {
+        let mut bytes = manifest_record_to_bytes(&ManifestRecord::Snapshot {
+            generation: 0,
+            entries: 0,
+        });
+        bytes[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            read_manifest_record(&bytes).unwrap_err(),
+            FrameError::UnsupportedVersion(9)
+        );
+        // an unknown record kind is corrupt, not silently skipped — but the
+        // checksum covers the body, so the kind byte must be re-signed to reach
+        // the structural check
+        let mut body = vec![99u8];
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MANIFEST_MAGIC);
+        forged.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        forged.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        forged.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        forged.extend_from_slice(&body);
+        assert_eq!(
+            read_manifest_record(&forged).unwrap_err(),
+            FrameError::Corrupt("unknown manifest record kind")
+        );
     }
 
     #[test]

@@ -215,6 +215,45 @@ pub fn decompose<S: ScanSource>(source: &S, morsel_rows: usize) -> Vec<Morsel> {
     morsels
 }
 
+/// Issue the cold-scan read-ahead for the morsel at `current`: queue the next
+/// [`ScanConfig::readahead`] cold blocks of the scan order — skipping blocks the
+/// SMA gate would prune, exactly as the scan itself will — for the source's
+/// prefetch worker ([`storage::ScanSource::prefetch_cold_blocks`]). Pruning is
+/// only consulted in the SARG-pushdown mode, mirroring
+/// `RelationScanner::prune_cold_block`: the other modes scan every block, so
+/// they prefetch every block. A no-op when read-ahead is off or the source has
+/// no spill store.
+pub(crate) fn prefetch_lookahead<S: ScanSource>(
+    source: &S,
+    morsels: &[Morsel],
+    current: usize,
+    restrictions: &[Restriction],
+    config: &ScanConfig,
+) {
+    if config.readahead == 0 {
+        return;
+    }
+    let prune = matches!(
+        config.mode,
+        crate::scan::ScanMode::Vectorized { sarg: true }
+    );
+    let mut ahead = Vec::with_capacity(config.readahead);
+    for morsel in morsels.iter().skip(current + 1) {
+        if ahead.len() == config.readahead {
+            break;
+        }
+        if let Morsel::ColdBlock(block_idx) = morsel {
+            if prune && !source.cold_block_may_match(*block_idx, restrictions, &config.options) {
+                continue;
+            }
+            ahead.push(*block_idx);
+        }
+    }
+    if !ahead.is_empty() {
+        source.prefetch_cold_blocks(&ahead);
+    }
+}
+
 /// Resolve a [`ScanConfig::threads`] request to an actual worker count: `0` means
 /// "all hardware threads".
 pub fn effective_threads(requested: usize) -> usize {
@@ -437,6 +476,18 @@ fn stream_worker(shared: &StreamShared) -> ScanStats {
         let Some(&morsel) = shared.morsels.get(morsel_idx) else {
             break;
         };
+        if matches!(morsel, Morsel::ColdBlock(_)) {
+            // Read-ahead: stage the cold blocks after this one for whichever
+            // worker claims them (the cache is shared, so prefetching a morsel
+            // another worker scans is exactly as useful).
+            prefetch_lookahead(
+                &shared.snapshot,
+                &shared.morsels,
+                morsel_idx,
+                &shared.restrictions,
+                &shared.config,
+            );
+        }
         let keep_going = scanner.stream_morsel(morsel, &mut |batch| shared.push(morsel_idx, batch));
         shared.finish_morsel(morsel_idx);
         if !keep_going {
@@ -748,6 +799,15 @@ where
             let Some(&morsel) = morsels.get(morsel_idx) else {
                 break;
             };
+            if matches!(morsel, Morsel::ColdBlock(_)) {
+                prefetch_lookahead(
+                    relation,
+                    &morsels,
+                    morsel_idx,
+                    &spec.restrictions,
+                    &spec.config,
+                );
+            }
             // Batches flow scan → steps → sink inside the worker, one at a time —
             // a cold morsel is never materialised, and its pin is released when
             // the last batch left the scanner.

@@ -86,6 +86,14 @@ pub struct ScanConfig {
     /// deadlock; `0` picks a default of `2 × workers + 2`. Ignored by serial
     /// scans, which buffer at most one cold morsel's output.
     pub channel_cap: usize,
+    /// Cold-scan read-ahead: when a scan enters a cold morsel, the next
+    /// `readahead` cold blocks it will visit (skipping SMA-pruned ones) are
+    /// queued for the spill store's prefetch thread, so a sequential cold scan
+    /// finds them cached by the time it pins them. `0` (the default) disables
+    /// read-ahead. Purely a hint: results are byte-identical either way, and the
+    /// store's counters split the I/O into demand `block_reads` vs
+    /// `prefetch_reads`. No effect on relations without a spill store.
+    pub readahead: usize,
 }
 
 /// Default number of hot-chunk rows handed out per morsel (matches the Data Block
@@ -100,6 +108,7 @@ impl Default for ScanConfig {
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             channel_cap: 0,
+            readahead: 0,
         }
     }
 }
@@ -143,6 +152,13 @@ impl ScanConfig {
     /// [`ScanConfig::channel_cap`]).
     pub fn with_channel_cap(mut self, channel_cap: usize) -> ScanConfig {
         self.channel_cap = channel_cap;
+        self
+    }
+
+    /// The same configuration with an `n`-block cold-scan read-ahead (see
+    /// [`ScanConfig::readahead`]).
+    pub fn with_readahead(mut self, readahead: usize) -> ScanConfig {
+        self.readahead = readahead;
         self
     }
 }
@@ -457,6 +473,15 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
             self.stats.blocks_skipped += 1;
             return;
         }
+        // Read-ahead: stage the next cold blocks of the scan order before the
+        // demand pin below blocks on this one's disk read.
+        morsel::prefetch_lookahead(
+            self.source,
+            &self.morsels,
+            self.morsel_idx,
+            &self.restrictions,
+            &self.config,
+        );
         let block = self.source.cold_block(block_idx);
         let mut pending = std::mem::take(&mut self.cold_pending);
         self.scan_cold_block(&block, &mut |batch| {

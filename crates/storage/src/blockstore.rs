@@ -1,17 +1,72 @@
 //! The file-backed block store: cold Data Blocks on secondary storage behind a
-//! pinning, capacity-bounded block cache.
+//! pinning, capacity-bounded block cache — with a persisted directory manifest,
+//! dead-frame compaction and sequential read-ahead.
 //!
 //! Data Blocks are self-contained and byte-addressable precisely so cold data can
 //! leave main memory (Lang et al., Section 2); this module is the subsystem that
-//! makes that real. A [`BlockStore`] owns one append-only spill file of
-//! [`datablocks::frame`]-encoded blocks plus, in memory:
+//! makes that real. A [`BlockStore`] owns a family of **generation files** of
+//! [`datablocks::frame`]-encoded blocks (generation 0 is the store path itself,
+//! generation *g* is `<path>.g<g>`; compaction rolls the store forward one
+//! generation at a time) plus, in memory:
 //!
-//! * a **block directory** — for every block id its file offset/length and its
-//!   [`BlockSummary`] (tuple counts and per-attribute SMAs), kept hot so SMA
-//!   block-skipping and size accounting never touch the disk;
+//! * a **block directory** — for every block id the generation/offset/length of
+//!   its frame and its [`BlockSummary`] (tuple counts and per-attribute SMAs),
+//!   kept hot so SMA block-skipping and size accounting never touch the disk;
 //! * a **block cache** — decoded [`DataBlock`]s up to a configured byte capacity,
 //!   with **pin counts** (a pinned block is never evicted; scans pin for the
 //!   duration of a morsel) and CLOCK second-chance eviction for the rest.
+//!
+//! # Durability: the manifest
+//!
+//! The directory itself is persisted in a sidecar **manifest** at
+//! `<path>.manifest`: a log of checksummed [`ManifestRecord`]s (FNV-1a 64, same
+//! scheme as the block frames). Every directory mutation — an append or a
+//! rewrite — appends one `Put` record *after* the frame bytes are written, so the
+//! manifest never references unwritten data; on close (store drop) and after
+//! every compaction the manifest is **checkpointed**: rewritten from scratch as
+//! one `Snapshot` record plus one `Put` per live directory entry, via a
+//! temp-file-and-rename so the swap is atomic. [`BlockStore::reopen`] replays the
+//! manifest to rebuild the exact directory — including per-block tombstone
+//! counts, which travel in the summaries — **without reading any block
+//! payloads**; a torn final record (the bytes a crash leaves mid-append) fails
+//! its checksum or length check, is discarded, and the manifest is truncated
+//! back to its valid prefix. Replay is last-writer-wins per block id, so a log
+//! holding both the original append and a later rewrite of the same block
+//! resolves to the rewrite.
+//!
+//! The store does not call `fsync`: "crash consistency" here means *torn-write
+//! detection and a directory that always reaches a valid replayable state*, not
+//! a durability barrier against power loss reordering writes.
+//!
+//! # Dead-frame compaction
+//!
+//! The store is append-only within a generation: deleting a record of a spilled
+//! block rewrites the whole block at the end of the current generation file and
+//! repoints the directory entry ([`BlockStore::rewrite`]), leaving the old frame
+//! as dead space. The store tracks live vs dead bytes; when the garbage ratio
+//! exceeds the configured threshold ([`SpillPolicy::compaction_garbage_ratio`],
+//! settable via [`BlockStore::set_garbage_threshold`]), the next mutation
+//! triggers **compaction**: live frames are copied byte-for-byte into a fresh
+//! generation file, the directory is repointed, the manifest is checkpointed
+//! (the atomic swap), and generation files no longer referenced by any entry are
+//! deleted. Compaction never moves a **pinned** frame — a scan holding a pin
+//! keeps reading its old generation file, which survives until no directory
+//! entry references it. [`IoStats`] counts compactions, frames/bytes moved and
+//! pinned frames skipped so tests can pin the behaviour down.
+//!
+//! # Read-ahead
+//!
+//! [`BlockStore::prefetch`] queues block ids for a lazily-spawned helper thread
+//! that pages them into the cache (plain positional `read_at`, no extra
+//! dependencies) so a sequential cold scan can run ahead of the pinning morsel.
+//! Prefetch reads are counted in [`IoStats::prefetch_reads`], *not* in
+//! [`IoStats::block_reads`] — the counters distinguish demand I/O from
+//! read-ahead. A prefetched block enters the cache unpinned; the later demand
+//! pin is then a cache hit. Races are benign: if a demand read and the prefetch
+//! worker both load a block, one copy wins the cache and both reads are counted
+//! under their respective counters.
+//!
+//! # Concurrency
 //!
 //! All I/O is positional (`read_at`/`write_at` via [`std::os::unix::fs::FileExt`]),
 //! so concurrent scan workers loading different blocks never contend on a shared
@@ -20,31 +75,39 @@
 //! under the lock, performs the read/decode unlocked, and re-takes the lock to
 //! publish the block (two workers racing on the same block both pay the read, one
 //! insert wins — a deliberate trade of occasional duplicate I/O for an uncontended
-//! hot path).
+//! hot path). Mutations ([`BlockStore::mutate`], [`BlockStore::rewrite`],
+//! [`BlockStore::compact`]) serialise on a dedicated mutation lock that is never
+//! held while ordinary pins wait, so reads proceed concurrently with a mutation's
+//! I/O.
 //!
-//! The store is append-only: deleting a record of a spilled block rewrites the whole
-//! block at the end of the file and repoints the directory entry ([`BlockStore::
-//! rewrite`]), leaving the old frame as dead space. Compaction and crash-consistent
-//! directory persistence are future work; [`BlockStore::open`] can rebuild a
-//! directory from a file of appended frames by reading only headers and summaries.
+//! Finally, a process-local **live registry** guards against double-opening: a
+//! path already backing an open store in this process cannot be opened again
+//! ([`BlockStore::create`] / [`BlockStore::reopen`] fail with
+//! [`std::io::ErrorKind::AlreadyExists`]) — reopening a live store would hand
+//! two caches the same file and corrupt it on the first rewrite.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::ops::Deref;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 
-use datablocks::frame::{self, FRAME_HEADER_LEN};
+use datablocks::frame::{
+    self, manifest_record_to_bytes, replay_manifest, ManifestRecord, FRAME_HEADER_LEN,
+};
 use datablocks::{BlockSummary, DataBlock, FrameError};
 
 /// Identifier of a block within one [`BlockStore`] (its directory index).
 pub type BlockId = usize;
 
+/// Default garbage ratio above which a mutation triggers dead-frame compaction.
+pub const DEFAULT_GARBAGE_RATIO: f64 = 0.5;
+
 /// How a relation spills frozen blocks to secondary storage.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpillPolicy {
     /// Byte budget of the in-memory block cache. Pinned blocks may push the resident
     /// set above this bound transiently; unpinned blocks are evicted down to it.
@@ -54,6 +117,11 @@ pub struct SpillPolicy {
     /// names a *directory* receiving one `<relation>.dbs` file per relation; for
     /// [`crate::Relation::enable_spill`] it names the file itself (kept on drop).
     pub path: Option<PathBuf>,
+    /// Fraction of the store's on-disk bytes that may be dead frames before the
+    /// next mutation compacts live frames into a fresh generation file. `1.0`
+    /// effectively disables automatic compaction ([`BlockStore::compact`] can
+    /// still be called explicitly).
+    pub compaction_garbage_ratio: f64,
 }
 
 impl Default for SpillPolicy {
@@ -61,6 +129,7 @@ impl Default for SpillPolicy {
         SpillPolicy {
             cache_capacity_bytes: 64 << 20,
             path: None,
+            compaction_garbage_ratio: DEFAULT_GARBAGE_RATIO,
         }
     }
 }
@@ -70,7 +139,7 @@ impl SpillPolicy {
     pub fn with_cache_capacity(cache_capacity_bytes: usize) -> SpillPolicy {
         SpillPolicy {
             cache_capacity_bytes,
-            path: None,
+            ..SpillPolicy::default()
         }
     }
 }
@@ -80,7 +149,8 @@ impl SpillPolicy {
 pub enum StoreError {
     /// The underlying file operation failed.
     Io(io::Error),
-    /// A frame failed validation (checksum, magic, version, truncation).
+    /// A frame or manifest record failed validation (checksum, magic, version,
+    /// truncation).
     Frame(FrameError),
 }
 
@@ -114,18 +184,29 @@ impl From<FrameError> for StoreError {
     }
 }
 
+impl From<StoreError> for io::Error {
+    fn from(err: StoreError) -> io::Error {
+        match err {
+            StoreError::Io(err) => err,
+            StoreError::Frame(err) => io::Error::new(io::ErrorKind::InvalidData, err.to_string()),
+        }
+    }
+}
+
 /// Counters describing what a store actually did. Reads/writes count **disk**
 /// operations only — cache hits and summary-pruned blocks cost zero reads, which is
 /// what the scan-skipping assertions in the differential tests pin down.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
-    /// Block payloads read from disk.
+    /// Block payloads read from disk **on demand** (cache misses on a pin).
+    /// Read-ahead I/O is counted separately in [`IoStats::prefetch_reads`].
     pub block_reads: u64,
-    /// Bytes read from disk.
+    /// Bytes read from disk (demand and prefetch).
     pub bytes_read: u64,
-    /// Block frames written to disk (appends and rewrites).
+    /// Block frames written to disk (appends and rewrites; compaction copies are
+    /// counted in [`IoStats::compacted_frames`] instead).
     pub block_writes: u64,
-    /// Bytes written to disk.
+    /// Bytes written to disk by appends and rewrites.
     pub bytes_written: u64,
     /// Pins served from the cache.
     pub cache_hits: u64,
@@ -133,11 +214,24 @@ pub struct IoStats {
     pub cache_misses: u64,
     /// Cached blocks evicted to stay within capacity.
     pub evictions: u64,
+    /// Block payloads read from disk by the read-ahead worker.
+    pub prefetch_reads: u64,
+    /// Dead-frame compaction passes completed.
+    pub compactions: u64,
+    /// Live frames copied into a new generation file by compaction.
+    pub compacted_frames: u64,
+    /// Bytes copied by compaction.
+    pub compacted_bytes: u64,
+    /// Frames a compaction pass left in their old generation because they were
+    /// pinned at the time (compaction never moves a pinned frame).
+    pub compaction_pinned_skipped: u64,
 }
 
-/// One directory entry: where a block lives in the file, plus its hot summary.
+/// One directory entry: which generation file holds the block's frame, where,
+/// plus its hot summary.
 #[derive(Debug, Clone)]
 struct DirEntry {
+    generation: u32,
     offset: u64,
     len: u32,
     summary: BlockSummary,
@@ -152,7 +246,7 @@ struct CacheEntry {
     bytes: usize,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     directory: Vec<DirEntry>,
     cache: HashMap<BlockId, CacheEntry>,
@@ -161,27 +255,187 @@ struct Inner {
     clock: Vec<BlockId>,
     hand: usize,
     cached_bytes: usize,
+    /// Generation new frames are appended to.
+    current_gen: u32,
+    /// Append point within the current generation file.
     end_offset: u64,
+    /// Bytes of frames the directory references.
+    live_bytes: u64,
+    /// Bytes of superseded frames still occupying generation files.
+    dead_bytes: u64,
+    /// Garbage ratio above which a mutation compacts (see
+    /// [`BlockStore::set_garbage_threshold`]).
+    garbage_threshold: f64,
     stats: IoStats,
 }
 
-/// A file-backed store of frozen Data Blocks with an in-memory directory and a
-/// pinning block cache. See the module docs for the design.
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            directory: Vec::new(),
+            cache: HashMap::new(),
+            clock: Vec::new(),
+            hand: 0,
+            cached_bytes: 0,
+            current_gen: 0,
+            end_offset: 0,
+            live_bytes: 0,
+            dead_bytes: 0,
+            garbage_threshold: DEFAULT_GARBAGE_RATIO,
+            stats: IoStats::default(),
+        }
+    }
+}
+
+/// The append handle of the manifest log (swapped wholesale on checkpoint).
+#[derive(Debug)]
+struct ManifestFile {
+    file: File,
+    len: u64,
+}
+
+/// Queue shared with the read-ahead worker. Owned by an `Arc` on both sides so
+/// the worker can park on the condvar holding only a [`Weak`] to the store
+/// itself — the store's `Drop` is what shuts the worker down, so the worker
+/// must never keep the store alive.
+#[derive(Debug)]
+struct PrefetchShared {
+    state: Mutex<PrefetchState>,
+    work: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PrefetchState {
+    queue: VecDeque<BlockId>,
+    /// Ids queued or currently being loaded (dedup across prefetch calls).
+    queued: HashSet<BlockId>,
+    shutdown: bool,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A file-backed store of frozen Data Blocks with a persisted manifest, an
+/// in-memory directory and a pinning block cache. See the module docs for the
+/// design.
 #[derive(Debug)]
 pub struct BlockStore {
-    file: File,
+    /// Open generation files, keyed by generation number. `Arc` so a reader can
+    /// clone the handle out and read without any store lock held — and so a
+    /// generation file unlinked by compaction stays readable for pins taken
+    /// before the swap.
+    files: Mutex<HashMap<u32, Arc<File>>>,
     path: PathBuf,
+    /// Key under which this store is registered live (absolute form of `path`).
+    registered: PathBuf,
     delete_on_drop: bool,
     capacity: usize,
     inner: Mutex<Inner>,
-    /// Serialises block mutations ([`BlockStore::mutate`]) — never held while
-    /// waiting on `inner` from a non-mutation path, so ordinary pins proceed
-    /// concurrently with a mutation's I/O.
+    manifest: Mutex<ManifestFile>,
+    /// Serialises block mutations ([`BlockStore::mutate`], [`BlockStore::rewrite`],
+    /// [`BlockStore::compact`]) — never held while waiting on `inner` from a
+    /// non-mutation path, so ordinary pins proceed concurrently with a mutation's
+    /// I/O.
     mutation: Mutex<()>,
+    prefetch: Arc<PrefetchShared>,
 }
 
 /// Monotonic counter distinguishing temp files of one process.
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Paths of every live (open) store in this process. Guards against
+/// double-opening one spill file into two independent caches.
+fn live_registry() -> &'static Mutex<HashSet<PathBuf>> {
+    static LIVE: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn absolute_path(path: &Path) -> PathBuf {
+    if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        std::env::current_dir()
+            .map(|cwd| cwd.join(path))
+            .unwrap_or_else(|_| path.to_path_buf())
+    }
+}
+
+fn register_live(path: &Path) -> io::Result<PathBuf> {
+    let key = absolute_path(path);
+    let mut live = live_registry().lock().expect("live registry lock");
+    if !live.insert(key.clone()) {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!(
+                "block store {} is live (already open in this process); \
+                 close it before reopening",
+                path.display()
+            ),
+        ));
+    }
+    Ok(key)
+}
+
+fn unregister_live(key: &Path) {
+    live_registry()
+        .lock()
+        .expect("live registry lock")
+        .remove(key);
+}
+
+/// Path of generation `g`'s data file (generation 0 is the store path itself).
+fn gen_path(base: &Path, generation: u32) -> PathBuf {
+    if generation == 0 {
+        base.to_path_buf()
+    } else {
+        sibling(base, &format!(".g{generation}"))
+    }
+}
+
+fn manifest_path(base: &Path) -> PathBuf {
+    sibling(base, ".manifest")
+}
+
+fn manifest_tmp_path(base: &Path) -> PathBuf {
+    sibling(base, ".manifest.tmp")
+}
+
+fn sibling(base: &Path, suffix: &str) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// The generation number encoded in a sibling file name of `base`, if any
+/// (`<base>.g<N>` → `Some(N)`).
+fn sibling_generation(base: &Path, candidate: &Path) -> Option<u32> {
+    let base_name = base.file_name()?.to_str()?;
+    let name = candidate.file_name()?.to_str()?;
+    let rest = name.strip_prefix(base_name)?.strip_prefix(".g")?;
+    rest.parse().ok()
+}
+
+/// Delete sibling files of a previous store at `base` (generation files, the
+/// manifest and its temp), keeping generations in `keep`.
+fn remove_stale_siblings(base: &Path, keep: &HashSet<u32>) -> io::Result<()> {
+    let _ = std::fs::remove_file(manifest_tmp_path(base));
+    if keep.is_empty() {
+        let _ = std::fs::remove_file(manifest_path(base));
+    }
+    let Some(parent) = base.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    let Ok(entries) = std::fs::read_dir(parent) else {
+        return Ok(());
+    };
+    for entry in entries.flatten() {
+        let candidate = entry.path();
+        if let Some(generation) = sibling_generation(base, &candidate) {
+            if !keep.contains(&generation) {
+                let _ = std::fs::remove_file(&candidate);
+            }
+        }
+    }
+    Ok(())
+}
 
 impl BlockStore {
     /// Create a store over a fresh temporary file (deleted when the store drops).
@@ -189,51 +443,249 @@ impl BlockStore {
         let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
         let path =
             std::env::temp_dir().join(format!("datablocks-spill-{}-{n}.dbs", std::process::id()));
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create_new(true)
-            .open(&path)?;
-        Ok(Arc::new(BlockStore {
-            file,
-            path,
-            delete_on_drop: true,
-            capacity,
-            inner: Mutex::new(Inner::default()),
-            mutation: Mutex::new(()),
-        }))
+        BlockStore::create_at(path, capacity, true, true)
     }
 
-    /// Create a store over `path`, truncating any existing file. The file is kept
-    /// when the store drops.
+    /// Create a store over `path`, truncating any existing file (and removing any
+    /// stale manifest or generation files of a previous store at the same path).
+    /// The files are kept when the store drops.
     pub fn create(path: impl AsRef<Path>, capacity: usize) -> io::Result<Arc<BlockStore>> {
+        BlockStore::create_at(path.as_ref().to_path_buf(), capacity, false, false)
+    }
+
+    fn create_at(
+        path: PathBuf,
+        capacity: usize,
+        delete_on_drop: bool,
+        create_new: bool,
+    ) -> io::Result<Arc<BlockStore>> {
+        let registered = register_live(&path)?;
+        let result = (|| {
+            remove_stale_siblings(&path, &HashSet::new())?;
+            let mut open = OpenOptions::new();
+            open.read(true).write(true);
+            if create_new {
+                open.create_new(true);
+            } else {
+                open.create(true).truncate(true);
+            }
+            let file = open.open(&path)?;
+            let manifest = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(manifest_path(&path))?;
+            Ok::<_, io::Error>(Arc::new(BlockStore {
+                files: Mutex::new(HashMap::from([(0u32, Arc::new(file))])),
+                path,
+                registered: registered.clone(),
+                delete_on_drop,
+                capacity,
+                inner: Mutex::new(Inner::new()),
+                manifest: Mutex::new(ManifestFile {
+                    file: manifest,
+                    len: 0,
+                }),
+                mutation: Mutex::new(()),
+                prefetch: Arc::new(PrefetchShared {
+                    state: Mutex::new(PrefetchState::default()),
+                    work: Condvar::new(),
+                }),
+            }))
+        })();
+        if result.is_err() {
+            unregister_live(&registered);
+        }
+        result
+    }
+
+    /// Reopen a store from its **persisted manifest**, rebuilding the exact
+    /// directory — generations, offsets, summaries and therefore per-block
+    /// tombstone counts — **without reading any block payloads**. A torn final
+    /// manifest record (simulated crash mid-append) is detected by its checksum
+    /// or length, discarded, and the manifest is truncated back to its valid
+    /// prefix. Generation files no longer referenced by any directory entry
+    /// (orphans of a crashed compaction) are removed.
+    ///
+    /// Files without a manifest (produced by a pre-manifest store, or by hand)
+    /// fall back to the frame walk of [`BlockStore::open`] and gain a manifest
+    /// checkpoint immediately.
+    ///
+    /// Fails with [`std::io::ErrorKind::AlreadyExists`] when `path` backs a
+    /// store that is still live in this process — reopening a live store would
+    /// split its cache and corrupt the file on the next rewrite.
+    pub fn reopen(path: impl AsRef<Path>, capacity: usize) -> Result<Arc<BlockStore>, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        Ok(Arc::new(BlockStore {
-            file,
+        let registered = register_live(&path)?;
+        match BlockStore::reopen_inner(path, registered.clone(), capacity) {
+            Ok(store) => Ok(store),
+            Err(err) => {
+                unregister_live(&registered);
+                Err(err)
+            }
+        }
+    }
+
+    fn reopen_inner(
+        path: PathBuf,
+        registered: PathBuf,
+        capacity: usize,
+    ) -> Result<Arc<BlockStore>, StoreError> {
+        let mpath = manifest_path(&path);
+        let (directory, current_gen, manifest, fresh_checkpoint) = if mpath.exists() {
+            let bytes = std::fs::read(&mpath)?;
+            let (records, valid_len, _torn) = replay_manifest(&bytes);
+            let (directory, current_gen) = BlockStore::directory_from_records(records)?;
+            let file = OpenOptions::new().read(true).write(true).open(&mpath)?;
+            if (valid_len as u64) < bytes.len() as u64 {
+                // Torn tail: drop the partial record so later appends extend a
+                // clean log.
+                file.set_len(valid_len as u64)?;
+            }
+            let manifest = ManifestFile {
+                file,
+                len: valid_len as u64,
+            };
+            (directory, current_gen, manifest, false)
+        } else {
+            // Pre-manifest file: rebuild by walking the appended frames, then
+            // checkpoint below so the store is manifest-backed from here on.
+            let directory = BlockStore::walk_frames(&path)?;
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&mpath)?;
+            (directory, 0, ManifestFile { file, len: 0 }, true)
+        };
+
+        // Open every generation the directory references, plus the append
+        // generation.
+        let mut referenced: HashSet<u32> = directory.iter().map(|e| e.generation).collect();
+        referenced.insert(current_gen);
+        let mut files = HashMap::new();
+        let mut on_disk = 0u64;
+        for &generation in &referenced {
+            let gpath = gen_path(&path, generation);
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(generation == current_gen) // append gen may be empty/new
+                .open(&gpath)
+                .map_err(|err| {
+                    io::Error::new(
+                        err.kind(),
+                        format!(
+                            "generation file {} referenced by the manifest: {err}",
+                            gpath.display()
+                        ),
+                    )
+                })?;
+            on_disk += file.metadata()?.len();
+            files.insert(generation, Arc::new(file));
+        }
+        // Orphans of a crashed compaction (a generation file the manifest never
+        // came to reference) are garbage: remove them.
+        remove_stale_siblings(&path, &referenced)?;
+
+        let live_bytes: u64 = directory.iter().map(|e| e.len as u64).sum();
+        let end_offset = files[&current_gen].metadata()?.len();
+        let mut inner = Inner::new();
+        inner.directory = directory;
+        inner.current_gen = current_gen;
+        inner.end_offset = end_offset;
+        inner.live_bytes = live_bytes;
+        inner.dead_bytes = on_disk.saturating_sub(live_bytes);
+
+        let store = Arc::new(BlockStore {
+            files: Mutex::new(files),
             path,
+            registered,
             delete_on_drop: false,
             capacity,
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(inner),
+            manifest: Mutex::new(manifest),
             mutation: Mutex::new(()),
-        }))
+            prefetch: Arc::new(PrefetchShared {
+                state: Mutex::new(PrefetchState::default()),
+                work: Condvar::new(),
+            }),
+        });
+        if fresh_checkpoint {
+            store.checkpoint()?;
+        }
+        Ok(store)
     }
 
-    /// Reopen a store from an existing file of appended frames, rebuilding the
-    /// directory by reading **only** each frame's header and summary section — block
-    /// payloads are not touched (and not checksummed) until first pinned.
-    ///
-    /// Only valid for files produced by appends: a store that performed
-    /// [`BlockStore::rewrite`]s leaves superseded frames in the file, which this
-    /// walk cannot distinguish from live ones.
-    pub fn open(path: impl AsRef<Path>, capacity: usize) -> Result<Arc<BlockStore>, StoreError> {
-        let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+    /// Fold replayed manifest records into a directory. `Snapshot` resets the
+    /// state (the checkpoint prefix); `Put` is last-writer-wins per block id. Two
+    /// shapes of damage are rejected loudly rather than silently shrinking the
+    /// store: a checkpoint whose declared entry count exceeds the `Put`s that
+    /// actually follow (the torn tail ate checkpoint entries, not just an
+    /// incremental append), and a directory with holes (an id never `Put`, e.g.
+    /// a log torn between two concurrent appends).
+    fn directory_from_records(
+        records: Vec<ManifestRecord>,
+    ) -> Result<(Vec<DirEntry>, u32), StoreError> {
+        let mut slots: Vec<Option<DirEntry>> = Vec::new();
+        let mut current_gen = 0u32;
+        let mut snapshot_expected: Option<u32> = None;
+        let mut puts_since_snapshot = 0u32;
+        for record in records {
+            match record {
+                ManifestRecord::Snapshot {
+                    generation,
+                    entries,
+                } => {
+                    slots.clear();
+                    current_gen = current_gen.max(generation);
+                    snapshot_expected = Some(entries);
+                    puts_since_snapshot = 0;
+                }
+                ManifestRecord::Put {
+                    block_id,
+                    generation,
+                    offset,
+                    len,
+                    summary,
+                } => {
+                    let idx = block_id as usize;
+                    if slots.len() <= idx {
+                        slots.resize_with(idx + 1, || None);
+                    }
+                    slots[idx] = Some(DirEntry {
+                        generation,
+                        offset,
+                        len,
+                        summary,
+                    });
+                    current_gen = current_gen.max(generation);
+                    puts_since_snapshot += 1;
+                }
+            }
+        }
+        if let Some(expected) = snapshot_expected {
+            if puts_since_snapshot < expected {
+                return Err(StoreError::Frame(FrameError::Corrupt(
+                    "manifest checkpoint is torn (fewer entries than declared)",
+                )));
+            }
+        }
+        let mut directory = Vec::with_capacity(slots.len());
+        for slot in slots {
+            directory.push(slot.ok_or(StoreError::Frame(FrameError::Corrupt(
+                "manifest leaves directory holes",
+            )))?);
+        }
+        Ok((directory, current_gen))
+    }
+
+    /// Rebuild a directory by walking a file of appended frames, reading only
+    /// each frame's header and summary section.
+    fn walk_frames(path: &Path) -> Result<Vec<DirEntry>, StoreError> {
+        let file = OpenOptions::new().read(true).open(path)?;
         let file_len = file.metadata()?.len();
         let mut directory = Vec::new();
         let mut offset = 0u64;
@@ -246,29 +698,86 @@ impl BlockStore {
             let summary = frame::read_summary(&prefix)?;
             let len = header.frame_len() as u32;
             directory.push(DirEntry {
+                generation: 0,
                 offset,
                 len,
                 summary,
             });
             offset += len as u64;
         }
-        Ok(Arc::new(BlockStore {
-            file,
-            path,
-            delete_on_drop: false,
-            capacity,
-            inner: Mutex::new(Inner {
-                directory,
-                end_offset: offset,
-                ..Inner::default()
-            }),
-            mutation: Mutex::new(()),
-        }))
+        Ok(directory)
     }
 
-    /// The spill file location.
+    /// Reopen a store from an existing file of appended frames, rebuilding the
+    /// directory by reading **only** each frame's header and summary section — block
+    /// payloads are not touched (and not checksummed) until first pinned.
+    ///
+    /// Only valid for files produced by appends: a store that performed
+    /// [`BlockStore::rewrite`]s or compactions leaves superseded frames and
+    /// generation files this walk cannot interpret — use [`BlockStore::reopen`],
+    /// which replays the persisted manifest instead (and which this method now
+    /// merely predates; it is kept for frame files produced without a store).
+    pub fn open(path: impl AsRef<Path>, capacity: usize) -> Result<Arc<BlockStore>, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let registered = register_live(&path)?;
+        let result = (|| {
+            let directory = BlockStore::walk_frames(&path)?;
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let end_offset = file.metadata()?.len();
+            let manifest = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(manifest_path(&path))?;
+            let live_bytes: u64 = directory.iter().map(|e| e.len as u64).sum();
+            let mut inner = Inner::new();
+            inner.directory = directory;
+            inner.end_offset = end_offset;
+            inner.live_bytes = live_bytes;
+            inner.dead_bytes = end_offset.saturating_sub(live_bytes);
+            let store = Arc::new(BlockStore {
+                files: Mutex::new(HashMap::from([(0u32, Arc::new(file))])),
+                path,
+                registered: registered.clone(),
+                delete_on_drop: false,
+                capacity,
+                inner: Mutex::new(inner),
+                manifest: Mutex::new(ManifestFile {
+                    file: manifest,
+                    len: 0,
+                }),
+                mutation: Mutex::new(()),
+                prefetch: Arc::new(PrefetchShared {
+                    state: Mutex::new(PrefetchState::default()),
+                    work: Condvar::new(),
+                }),
+            });
+            store.checkpoint()?;
+            Ok::<_, StoreError>(store)
+        })();
+        if result.is_err() {
+            unregister_live(&registered);
+        }
+        result
+    }
+
+    /// The spill file location (generation 0; later generations live at
+    /// `<path>.g<n>`, the manifest at `<path>.manifest`).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Delete every on-disk file of a **closed** store at `path`: the base
+    /// generation file, all `<path>.g<N>` generation files, the manifest and
+    /// its temp. The tidy-up counterpart of [`BlockStore::create`] with a
+    /// `Some` path, for tests and benches cleaning up named stores — callers
+    /// must not invoke it on a path that is still live.
+    pub fn remove_files(path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        remove_stale_siblings(path, &HashSet::new())?;
+        let _ = std::fs::remove_file(path);
+        Ok(())
     }
 
     /// The configured cache byte budget.
@@ -284,6 +793,22 @@ impl BlockStore {
     /// Bytes of decoded blocks currently resident in the cache.
     pub fn cached_bytes(&self) -> usize {
         self.inner.lock().expect("store lock").cached_bytes
+    }
+
+    /// Bytes of frames the directory currently references.
+    pub fn live_bytes(&self) -> u64 {
+        self.inner.lock().expect("store lock").live_bytes
+    }
+
+    /// Bytes of superseded (dead) frames still occupying generation files.
+    pub fn dead_bytes(&self) -> u64 {
+        self.inner.lock().expect("store lock").dead_bytes
+    }
+
+    /// Set the garbage ratio (dead ÷ total on-disk bytes) above which the next
+    /// mutation triggers dead-frame compaction. `1.0` disables auto-compaction.
+    pub fn set_garbage_threshold(&self, ratio: f64) {
+        self.inner.lock().expect("store lock").garbage_threshold = ratio.clamp(0.0, 1.0);
     }
 
     /// Snapshot of the I/O and cache counters.
@@ -308,31 +833,127 @@ impl BlockStore {
         f(&inner.directory[id].summary)
     }
 
-    /// Serialize `block`, append its frame to the spill file and register it in the
-    /// directory. The decoded block is admitted to the cache **unpinned** (so a
-    /// freeze immediately followed by a scan hits memory, while a tiny cache evicts
-    /// it right away — write-out on freeze either way). Returns the new block's id.
+    /// The open handle of generation `generation`'s data file. `None` when the
+    /// generation has been closed by a compaction that ran after the caller
+    /// snapshotted a directory entry — readers treat that exactly like a
+    /// repointed entry and retry against the fresh directory.
+    fn gen_file(&self, generation: u32) -> Option<Arc<File>> {
+        self.files
+            .lock()
+            .expect("store files lock")
+            .get(&generation)
+            .cloned()
+    }
+
+    /// Append one record to the manifest log.
+    fn append_manifest(&self, record: &ManifestRecord) -> io::Result<()> {
+        let bytes = manifest_record_to_bytes(record);
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        manifest.file.write_all_at(&bytes, manifest.len)?;
+        manifest.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Checkpoint the manifest: rewrite it from scratch as one `Snapshot` plus
+    /// one `Put` per directory entry, swapped in atomically via a temp file and
+    /// rename. Runs on close (drop) and after every compaction; callable any
+    /// time to bound manifest growth.
+    ///
+    /// Takes the mutation lock: the directory snapshot and the rename must not
+    /// interleave with an append/rewrite, whose `Put` in the pre-rename file
+    /// would otherwise be discarded *without* being reflected in the snapshot.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let _mutation = self.mutation.lock().expect("store mutation lock");
+        self.checkpoint_locked()
+    }
+
+    /// The checkpoint body; caller holds the mutation lock (so the directory
+    /// cannot change between the snapshot below and the rename).
+    fn checkpoint_locked(&self) -> io::Result<()> {
+        let records = {
+            let inner = self.inner.lock().expect("store lock");
+            let mut records = Vec::with_capacity(inner.directory.len() + 1);
+            records.push(ManifestRecord::Snapshot {
+                generation: inner.current_gen,
+                entries: inner.directory.len() as u32,
+            });
+            for (id, entry) in inner.directory.iter().enumerate() {
+                records.push(ManifestRecord::Put {
+                    block_id: id as u32,
+                    generation: entry.generation,
+                    offset: entry.offset,
+                    len: entry.len,
+                    summary: entry.summary.clone(),
+                });
+            }
+            records
+        };
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&manifest_record_to_bytes(record));
+        }
+        let tmp = manifest_tmp_path(&self.path);
+        std::fs::write(&tmp, &bytes)?;
+        // The mutation lock (held by the caller) already excludes concurrent
+        // appends/rewrites; the manifest lock below additionally keeps the
+        // handle swap atomic with respect to any other reader of the struct.
+        let mut manifest = self.manifest.lock().expect("manifest lock");
+        std::fs::rename(&tmp, manifest_path(&self.path))?;
+        manifest.file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(manifest_path(&self.path))?;
+        manifest.len = bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Serialize `block`, append its frame to the current generation file,
+    /// register it in the directory and log the mutation to the manifest. The
+    /// decoded block is admitted to the cache **unpinned** (so a freeze
+    /// immediately followed by a scan hits memory, while a tiny cache evicts it
+    /// right away — write-out on freeze either way). Returns the new block's id.
+    ///
+    /// Takes the store's mutation lock (like every directory mutation): a
+    /// compaction or checkpoint must never observe a directory entry whose
+    /// frame bytes are still being written. Pins don't take this lock, so
+    /// cache-hit reads never stall behind an append.
     pub fn append(&self, block: Arc<DataBlock>) -> io::Result<BlockId> {
+        let _mutation = self.mutation.lock().expect("store mutation lock");
         let bytes = frame::to_frame(&block);
-        // Reserve the file range and directory slot under the lock, then write
-        // without it, so cache-hit pins never stall behind spill I/O. Publishing
-        // the directory entry before the bytes are durable is safe: the id is
-        // unreachable by any reader until this call returns it. (If the write
-        // fails, the reserved entry points at unwritten bytes; callers treat a
-        // failed append as fatal and never hand the id out.)
-        let (offset, id) = {
+        let summary = BlockSummary::of(&block);
+        // Reserve the file range and directory slot under the inner lock, then
+        // write without it, so cache-hit pins never stall behind spill I/O.
+        // Publishing the directory entry before the bytes are durable is safe:
+        // the id is unreachable by any reader until this call returns it, and
+        // the mutation lock held above keeps compaction from copying the
+        // half-written frame. (If the write fails, the reserved entry points at
+        // unwritten bytes; callers treat a failed append as fatal and never
+        // hand the id out.)
+        let (generation, offset, id) = {
             let mut inner = self.inner.lock().expect("store lock");
+            let generation = inner.current_gen;
             let offset = inner.end_offset;
             inner.end_offset += bytes.len() as u64;
+            inner.live_bytes += bytes.len() as u64;
             let id = inner.directory.len();
             inner.directory.push(DirEntry {
+                generation,
                 offset,
                 len: bytes.len() as u32,
-                summary: BlockSummary::of(&block),
+                summary: summary.clone(),
             });
-            (offset, id)
+            (generation, offset, id)
         };
-        self.file.write_all_at(&bytes, offset)?;
+        self.gen_file(generation)
+            .expect("current generation file is open")
+            .write_all_at(&bytes, offset)?;
+        self.append_manifest(&ManifestRecord::Put {
+            block_id: id as u32,
+            generation,
+            offset,
+            len: bytes.len() as u32,
+            summary,
+        })?;
         let mut inner = self.inner.lock().expect("store lock");
         inner.stats.block_writes += 1;
         inner.stats.bytes_written += bytes.len() as u64;
@@ -340,30 +961,57 @@ impl BlockStore {
         Ok(id)
     }
 
-    /// Replace block `id` with a new version: append the new frame at the end of the
-    /// file, repoint the directory entry and refresh the cached copy (the old frame
-    /// becomes dead space). This is how delete flags reach spilled blocks — the
-    /// "update a frozen record" path of the paper, applied to the on-disk tier.
+    /// Replace block `id` with a new version: append the new frame at the end of
+    /// the current generation file, repoint the directory entry, log the mutation
+    /// to the manifest and refresh the cached copy (the old frame becomes dead
+    /// space, reclaimed by the next compaction). This is how delete flags reach
+    /// spilled blocks — the "update a frozen record" path of the paper, applied
+    /// to the on-disk tier.
+    ///
+    /// Takes the store's mutation lock; may trigger dead-frame compaction when
+    /// the garbage threshold is crossed.
     pub fn rewrite(&self, id: BlockId, block: Arc<DataBlock>) -> io::Result<()> {
+        let _mutation = self.mutation.lock().expect("store mutation lock");
+        self.rewrite_locked(id, block)?;
+        self.maybe_compact_locked()
+    }
+
+    /// The rewrite body; caller holds the mutation lock.
+    fn rewrite_locked(&self, id: BlockId, block: Arc<DataBlock>) -> io::Result<()> {
         let bytes = frame::to_frame(&block);
+        let summary = BlockSummary::of(&block);
         // Reserve the file range under the lock, write without it (same reasoning
         // as in `append`). The directory is repointed only after the write
         // completes, so concurrent pins read the old, fully written version until
-        // the rewrite commits — and `pin`'s offset re-check catches the flip.
-        let offset = {
+        // the rewrite commits — and `pin`'s position re-check catches the flip.
+        let (generation, offset) = {
             let mut inner = self.inner.lock().expect("store lock");
+            let generation = inner.current_gen;
             let offset = inner.end_offset;
             inner.end_offset += bytes.len() as u64;
-            offset
+            (generation, offset)
         };
-        self.file.write_all_at(&bytes, offset)?;
+        self.gen_file(generation)
+            .expect("current generation file is open")
+            .write_all_at(&bytes, offset)?;
+        self.append_manifest(&ManifestRecord::Put {
+            block_id: id as u32,
+            generation,
+            offset,
+            len: bytes.len() as u32,
+            summary: summary.clone(),
+        })?;
         let mut inner = self.inner.lock().expect("store lock");
         inner.stats.block_writes += 1;
         inner.stats.bytes_written += bytes.len() as u64;
+        let old_len = inner.directory[id].len as u64;
+        inner.dead_bytes += old_len;
+        inner.live_bytes = inner.live_bytes - old_len + bytes.len() as u64;
         inner.directory[id] = DirEntry {
+            generation,
             offset,
             len: bytes.len() as u32,
-            summary: BlockSummary::of(&block),
+            summary,
         };
         if let Some(entry) = inner.cache.get_mut(&id) {
             // Readers still holding the old Arc keep reading the old version; new
@@ -379,12 +1027,175 @@ impl BlockStore {
         Ok(())
     }
 
+    /// Compact if the garbage ratio crossed the threshold; caller holds the
+    /// mutation lock.
+    fn maybe_compact_locked(&self) -> io::Result<()> {
+        let over = {
+            let inner = self.inner.lock().expect("store lock");
+            let total = inner.live_bytes + inner.dead_bytes;
+            inner.dead_bytes > 0
+                && total > 0
+                && !inner.directory.is_empty()
+                && (inner.dead_bytes as f64 / total as f64) > inner.garbage_threshold
+        };
+        if over {
+            self.compact_locked()?;
+        }
+        Ok(())
+    }
+
+    /// Compact the store now: copy every live, unpinned frame byte-for-byte into
+    /// a fresh generation file, repoint the directory, checkpoint the manifest
+    /// (the atomic swap) and delete generation files no longer referenced by any
+    /// entry. Pinned frames are never moved — they stay in their old generation,
+    /// which survives until nothing references it.
+    ///
+    /// Runs automatically from [`BlockStore::rewrite`] / [`BlockStore::mutate`]
+    /// when the garbage threshold is crossed.
+    pub fn compact(&self) -> io::Result<()> {
+        let _mutation = self.mutation.lock().expect("store mutation lock");
+        self.compact_locked()
+    }
+
+    /// The compaction body; caller holds the mutation lock (so no append id can
+    /// be rewritten mid-pass — appends may still add *new* ids, which land in the
+    /// new generation file and are untouched here).
+    fn compact_locked(&self) -> io::Result<()> {
+        // Snapshot the directory and the pinned set. Pins taken after this
+        // snapshot are safe either way: the frame contents are identical in both
+        // generations, and old generation files are only deleted once no
+        // directory entry references them (open handles keep in-flight reads
+        // alive even past the unlink).
+        let (entries, pinned, old_gen) = {
+            let inner = self.inner.lock().expect("store lock");
+            let pinned: HashSet<BlockId> = inner
+                .cache
+                .iter()
+                .filter(|(_, e)| e.pins > 0)
+                .map(|(&id, _)| id)
+                .collect();
+            (inner.directory.clone(), pinned, inner.current_gen)
+        };
+        let new_gen = old_gen + 1;
+        let new_path = gen_path(&self.path, new_gen);
+        let new_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&new_path)?;
+
+        let mut moves: Vec<(BlockId, u64)> = Vec::new();
+        let mut write_off = 0u64;
+        let mut moved_bytes = 0u64;
+        let mut skipped = 0u64;
+        for (id, entry) in entries.iter().enumerate() {
+            if pinned.contains(&id) {
+                skipped += 1;
+                continue;
+            }
+            let mut buf = vec![0u8; entry.len as usize];
+            // The mutation lock (held here) excludes other compactions and all
+            // directory mutations, so every referenced generation stays open.
+            self.gen_file(entry.generation)
+                .expect("referenced generation file is open during compaction")
+                .read_exact_at(&mut buf, entry.offset)?;
+            new_file.write_all_at(&buf, write_off)?;
+            moves.push((id, write_off));
+            write_off += entry.len as u64;
+            moved_bytes += entry.len as u64;
+        }
+
+        // Publish the new generation file before repointing, so a pin that
+        // observes a repointed entry always finds its file handle.
+        self.files
+            .lock()
+            .expect("store files lock")
+            .insert(new_gen, Arc::new(new_file));
+
+        let referenced = {
+            let mut inner = self.inner.lock().expect("store lock");
+            for &(id, offset) in &moves {
+                // The mutation lock bars rewrites, so the snapshot positions are
+                // still current; only repointing is left.
+                let len = inner.directory[id].len;
+                let summary = inner.directory[id].summary.clone();
+                inner.directory[id] = DirEntry {
+                    generation: new_gen,
+                    offset,
+                    len,
+                    summary,
+                };
+            }
+            inner.current_gen = new_gen;
+            inner.end_offset = write_off;
+            inner.stats.compactions += 1;
+            inner.stats.compacted_frames += moves.len() as u64;
+            inner.stats.compacted_bytes += moved_bytes;
+            inner.stats.compaction_pinned_skipped += skipped;
+            inner
+                .directory
+                .iter()
+                .map(|e| e.generation)
+                .chain(std::iter::once(new_gen))
+                .collect::<HashSet<u32>>()
+        };
+
+        // Durable swap: the checkpointed manifest is the commit point. A crash
+        // before the rename leaves the old manifest (pointing at the old
+        // generations, all still present); after it, the new one. Either state
+        // replays to a consistent directory. (The caller already holds the
+        // mutation lock — take the `_locked` entry point.)
+        self.checkpoint_locked()?;
+
+        // Reclaim: close and delete generation files nothing references anymore.
+        // Generation 0 is special — its file *is* the store path, the identity
+        // callers (and `reopen`) look for on disk — so it is truncated to zero
+        // bytes rather than unlinked.
+        {
+            let mut files = self.files.lock().expect("store files lock");
+            let stale: Vec<u32> = files
+                .keys()
+                .filter(|g| !referenced.contains(g))
+                .copied()
+                .collect();
+            for generation in stale {
+                if generation == 0 {
+                    if let Some(file) = files.get(&0) {
+                        let _ = file.set_len(0);
+                    }
+                    continue;
+                }
+                files.remove(&generation);
+                let _ = std::fs::remove_file(gen_path(&self.path, generation));
+            }
+        }
+
+        // Dead bytes now: whatever survives on disk beyond the live frames —
+        // old generations kept alive by pinned frames still carry their garbage.
+        // (The files lock is released before taking `inner`: nothing in the
+        // store may ever hold `files` while waiting on `inner`.)
+        let on_disk = {
+            let files = self.files.lock().expect("store files lock");
+            let mut total = 0u64;
+            for file in files.values() {
+                total += file.metadata()?.len();
+            }
+            total
+        };
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            inner.dead_bytes = on_disk.saturating_sub(inner.live_bytes);
+        }
+        Ok(())
+    }
+
     /// Pin block `id` into memory and return a guard that keeps it cached (and the
     /// underlying `Arc` alive) until dropped. Scans hold one pin per morsel, so a
     /// worker never observes eviction mid-scan.
     pub fn pin(self: &Arc<Self>, id: BlockId) -> Result<PinnedBlock, StoreError> {
         loop {
-            let (offset, len) = {
+            let (generation, offset, len) = {
                 let mut inner = self.inner.lock().expect("store lock");
                 if let Some(entry) = inner.cache.get_mut(&id) {
                     entry.pins += 1;
@@ -399,18 +1210,34 @@ impl BlockStore {
                 }
                 inner.stats.cache_misses += 1;
                 inner.stats.block_reads += 1;
-                let (offset, len) = {
-                    let entry = &inner.directory[id];
-                    (entry.offset, entry.len as usize)
-                };
-                inner.stats.bytes_read += len as u64;
-                (offset, len)
+                let entry = &inner.directory[id];
+                let position = (entry.generation, entry.offset, entry.len as usize);
+                inner.stats.bytes_read += entry.len as u64;
+                position
             };
             // Read and decode without holding the lock: misses on different blocks
-            // proceed in parallel.
-            let mut bytes = vec![0u8; len];
-            self.file.read_exact_at(&mut bytes, offset)?;
-            let block = Arc::new(frame::from_frame(&bytes)?);
+            // proceed in parallel. Failures are judged *after* re-checking the
+            // directory — a concurrent compaction may have closed this
+            // generation (`gen_file` → `None`), truncated the reclaimed
+            // generation-0 file mid-read, or repointed the entry, all of which
+            // surface as I/O or checksum errors here but simply mean "retry
+            // against the fresh directory entry".
+            let loaded: Result<Arc<DataBlock>, StoreError> = match self.gen_file(generation) {
+                Some(file) => {
+                    let mut bytes = vec![0u8; len];
+                    file.read_exact_at(&mut bytes, offset)
+                        .map_err(StoreError::from)
+                        .and_then(|()| {
+                            frame::from_frame(&bytes)
+                                .map(Arc::new)
+                                .map_err(StoreError::from)
+                        })
+                }
+                None => Err(StoreError::Io(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "generation file closed by compaction",
+                ))),
+            };
 
             let mut inner = self.inner.lock().expect("store lock");
             if let Some(entry) = inner.cache.get_mut(&id) {
@@ -426,13 +1253,18 @@ impl BlockStore {
                     block,
                 });
             }
-            if inner.directory[id].offset != offset {
-                // A rewrite repointed the block while we were reading the old
-                // frame: publishing our copy would resurrect pre-rewrite data for
-                // every later pin. Retry against the new directory entry (the
-                // wasted read is counted — the counters report I/O performed).
+            let current = &inner.directory[id];
+            if current.offset != offset || current.generation != generation {
+                // A rewrite (or compaction) repointed the block while we were
+                // reading the old frame: publishing our copy could resurrect
+                // pre-rewrite data for every later pin — and any read failure
+                // above was the concurrent move, not corruption. Retry against
+                // the new directory entry (a wasted read is counted — the
+                // counters report I/O performed).
                 continue;
             }
+            // Entry unmoved: a failure here is real (disk error, bit rot).
+            let block = loaded?;
             self.admit(&mut inner, id, Arc::clone(&block), 1);
             return Ok(PinnedBlock {
                 store: Arc::clone(self),
@@ -444,9 +1276,10 @@ impl BlockStore {
 
     /// Atomically read-modify-write block `id`: `f` receives the current version
     /// and returns the replacement block (or `None` to leave it unchanged) plus a
-    /// caller result. The whole load → rebuild → [`BlockStore::rewrite`] sequence
-    /// holds the store's mutation lock, so two relation clones mutating the same
-    /// block through their shared store serialise instead of losing an update.
+    /// caller result. The whole load → rebuild → rewrite sequence holds the
+    /// store's mutation lock, so two relation clones mutating the same block
+    /// through their shared store serialise instead of losing an update. May
+    /// trigger dead-frame compaction when the garbage threshold is crossed.
     pub fn mutate<R>(
         self: &Arc<Self>,
         id: BlockId,
@@ -457,9 +1290,100 @@ impl BlockStore {
         let (replacement, result) = f(&pinned);
         drop(pinned);
         if let Some(block) = replacement {
-            self.rewrite(id, Arc::new(block))?;
+            self.rewrite_locked(id, Arc::new(block))?;
+            self.maybe_compact_locked()?;
         }
         Ok(result)
+    }
+
+    // ------------------------------------------------------------------ read-ahead
+
+    /// Queue blocks for the read-ahead worker: each id not already cached (or
+    /// queued) is paged into the cache from a helper thread, unpinned, counted
+    /// under [`IoStats::prefetch_reads`]. Sequential cold scans call this for the
+    /// next few cold morsels ahead of the one they are pinning, so the demand pin
+    /// finds the block already resident. Errors during a prefetch are swallowed —
+    /// the demand read surfaces them.
+    pub fn prefetch(self: &Arc<Self>, ids: &[BlockId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut state = self.prefetch.state.lock().expect("prefetch lock");
+        if state.shutdown {
+            return;
+        }
+        let mut queued_any = false;
+        for &id in ids {
+            if state.queued.contains(&id) || self.is_cached(id) {
+                continue;
+            }
+            state.queued.insert(id);
+            state.queue.push_back(id);
+            queued_any = true;
+        }
+        if queued_any && state.worker.is_none() {
+            let weak = Arc::downgrade(self);
+            let shared = Arc::clone(&self.prefetch);
+            state.worker = Some(std::thread::spawn(move || prefetch_worker(weak, shared)));
+        }
+        drop(state);
+        if queued_any {
+            self.prefetch.work.notify_one();
+        }
+    }
+
+    /// Load one prefetched block into the cache (the worker's body).
+    fn prefetch_load(self: &Arc<Self>, id: BlockId) -> Result<(), StoreError> {
+        let (generation, offset, len) = {
+            let mut inner = self.inner.lock().expect("store lock");
+            if inner.cache.contains_key(&id) {
+                return Ok(()); // a demand read beat us to it
+            }
+            let entry = &inner.directory[id];
+            let position = (entry.generation, entry.offset, entry.len as usize);
+            inner.stats.prefetch_reads += 1;
+            inner.stats.bytes_read += position.2 as u64;
+            position
+        };
+        // A prefetch is best-effort: a generation closed (or a frame moved) by
+        // a concurrent compaction just means the demand pin will do the work
+        // against the fresh directory — never an error, never a panic.
+        let Some(file) = self.gen_file(generation) else {
+            return Ok(());
+        };
+        let mut bytes = vec![0u8; len];
+        file.read_exact_at(&mut bytes, offset)?;
+        let block = Arc::new(frame::from_frame(&bytes)?);
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.cache.contains_key(&id) {
+            return Ok(());
+        }
+        let current = &inner.directory[id];
+        if current.offset != offset || current.generation != generation {
+            return Ok(()); // repointed mid-read: don't publish a stale frame
+        }
+        self.admit(&mut inner, id, block, 0);
+        Ok(())
+    }
+
+    /// Stop the read-ahead worker (idempotent; runs from `Drop`).
+    fn shutdown_prefetch(&self) {
+        let handle = {
+            let mut state = self.prefetch.state.lock().expect("prefetch lock");
+            state.shutdown = true;
+            state.queue.clear();
+            state.queued.clear();
+            state.worker.take()
+        };
+        self.prefetch.work.notify_all();
+        if let Some(handle) = handle {
+            // If the worker's own upgraded Arc was the last one, this drop runs
+            // *on* the worker thread — joining ourselves would deadlock; the
+            // thread exits right after this returns.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
     }
 
     /// Drop every unpinned cached block (the bench harness uses this to measure
@@ -501,6 +1425,12 @@ impl BlockStore {
             .expect("store lock")
             .cache
             .contains_key(&id)
+    }
+
+    /// Which generation file holds block `id`'s frame (test/bench introspection —
+    /// compaction tests assert pinned frames stay put).
+    pub fn entry_generation(&self, id: BlockId) -> u32 {
+        self.inner.lock().expect("store lock").directory[id].generation
     }
 
     fn admit(&self, inner: &mut Inner, id: BlockId, block: Arc<DataBlock>, pins: u32) {
@@ -557,11 +1487,65 @@ impl BlockStore {
     }
 }
 
+/// The read-ahead worker: drain the queue, paging blocks into the cache. Holds
+/// only a [`Weak`] to the store while parked, so the store's `Drop` (which
+/// requests the shutdown) is never kept from running by its own worker.
+fn prefetch_worker(weak: Weak<BlockStore>, shared: Arc<PrefetchShared>) {
+    loop {
+        let id = {
+            let mut state = shared.state.lock().expect("prefetch lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    break id;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        let Some(store) = weak.upgrade() else {
+            return;
+        };
+        let _ = store.prefetch_load(id);
+        shared
+            .state
+            .lock()
+            .expect("prefetch lock")
+            .queued
+            .remove(&id);
+        // `store` drops here; if it was the last Arc, `Drop` runs on this thread
+        // and `shutdown_prefetch` skips the self-join.
+        drop(store);
+    }
+}
+
 impl Drop for BlockStore {
     fn drop(&mut self) {
+        self.shutdown_prefetch();
         if self.delete_on_drop {
-            let _ = std::fs::remove_file(&self.path);
+            let generations: Vec<u32> = self
+                .files
+                .lock()
+                .expect("store files lock")
+                .keys()
+                .copied()
+                .collect();
+            for generation in generations {
+                let _ = std::fs::remove_file(gen_path(&self.path, generation));
+            }
+            let _ = std::fs::remove_file(manifest_path(&self.path));
+            let _ = std::fs::remove_file(manifest_tmp_path(&self.path));
+        } else {
+            // Clean close: checkpoint so reopen replays one snapshot instead of
+            // the whole mutation history (best effort — the incremental log is
+            // still valid if this fails).
+            let _ = self.checkpoint();
         }
+        unregister_live(&self.registered);
     }
 }
 
@@ -646,6 +1630,18 @@ mod tests {
         Arc::new(freeze(&[ids, grp]))
     }
 
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "datablocks-store-{tag}-{}-{}.dbs",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn remove_store_files(path: &Path) {
+        BlockStore::remove_files(path).expect("remove store files");
+    }
+
     #[test]
     fn append_and_pin_roundtrip() {
         let store = BlockStore::create_temp(usize::MAX).unwrap();
@@ -663,6 +1659,9 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.block_writes, 2);
         assert!(stats.bytes_written > 0);
+        // appends create no garbage
+        assert_eq!(store.dead_bytes(), 0);
+        assert!(store.live_bytes() > 0);
     }
 
     #[test]
@@ -734,6 +1733,21 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_tracks_dead_bytes() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        store.set_garbage_threshold(1.0); // no auto-compaction in this test
+        let original = block(0, 500);
+        let id = store.append(Arc::clone(&original)).unwrap();
+        let first_len = store.entry_len(id) as u64;
+        assert_eq!(store.dead_bytes(), 0);
+        let mut updated = (*original).clone();
+        updated.delete(1);
+        store.rewrite(id, Arc::new(updated)).unwrap();
+        assert_eq!(store.dead_bytes(), first_len, "old frame became garbage");
+        assert_eq!(store.live_bytes(), store.entry_len(id) as u64);
+    }
+
+    #[test]
     fn concurrent_mutations_do_not_lose_updates() {
         // Many threads each flag a distinct row of the same block through
         // `mutate`; the mutation lock must serialise the read-modify-write
@@ -769,16 +1783,15 @@ mod tests {
 
     #[test]
     fn open_rebuilds_directory_from_summaries_only() {
-        let path = std::env::temp_dir().join(format!(
-            "datablocks-store-reopen-{}-{}.dbs",
-            std::process::id(),
-            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
+        let path = temp_path("open");
         {
             let store = BlockStore::create(&path, usize::MAX).unwrap();
             store.append(block(0, 800)).unwrap();
             store.append(block(1, 900)).unwrap();
         }
+        // `open` ignores the manifest and walks the frames — remove the manifest
+        // to prove it.
+        std::fs::remove_file(manifest_path(&path)).unwrap();
         let reopened = BlockStore::open(&path, usize::MAX).unwrap();
         assert_eq!(reopened.block_count(), 2);
         assert_eq!(reopened.with_summary(1, |s| s.tuple_count), 900);
@@ -788,22 +1801,347 @@ mod tests {
         assert_eq!(pinned.get(7, 0), Value::Int(7));
         drop(pinned);
         drop(reopened);
-        std::fs::remove_file(&path).unwrap();
+        remove_store_files(&path);
     }
 
     #[test]
     fn open_of_empty_file_is_an_empty_store() {
-        let path = std::env::temp_dir().join(format!(
-            "datablocks-store-empty-{}-{}.dbs",
-            std::process::id(),
-            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
+        let path = temp_path("empty");
         drop(BlockStore::create(&path, 1024).unwrap());
         let reopened = BlockStore::open(&path, 1024).unwrap();
         assert_eq!(reopened.block_count(), 0);
         assert_eq!(reopened.cached_bytes(), 0);
         drop(reopened);
-        std::fs::remove_file(&path).unwrap();
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn reopen_replays_manifest_without_payload_io() {
+        let path = temp_path("reopen");
+        {
+            let store = BlockStore::create(&path, usize::MAX).unwrap();
+            store.append(block(0, 800)).unwrap();
+            let original = block(1, 900);
+            let id = store.append(Arc::clone(&original)).unwrap();
+            // a rewrite leaves a superseded frame — the manifest must resolve to
+            // the new version (the frame walk of `open` could not)
+            let mut updated = (*original).clone();
+            updated.delete(3);
+            store.rewrite(id, Arc::new(updated)).unwrap();
+        } // drop checkpoints
+        let reopened = BlockStore::reopen(&path, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 2);
+        assert_eq!(reopened.with_summary(1, |s| s.deleted_count), 1);
+        assert_eq!(
+            reopened.stats().block_reads,
+            0,
+            "directory rebuilt without payload I/O"
+        );
+        let pinned = reopened.pin(1).unwrap();
+        assert!(pinned.is_deleted(3));
+        assert_eq!(pinned.live_tuple_count(), 899);
+        drop(pinned);
+        drop(reopened);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn reopen_replays_incremental_log_after_simulated_crash() {
+        // A crash leaves the incremental Put log (no clean-close checkpoint).
+        // Simulate with a byte-level copy of the store files taken while the
+        // store is still open.
+        let path = temp_path("crash-src");
+        let image = temp_path("crash-img");
+        {
+            let store = BlockStore::create(&path, usize::MAX).unwrap();
+            let original = block(0, 400);
+            let id = store.append(Arc::clone(&original)).unwrap();
+            store.append(block(1, 300)).unwrap();
+            let mut updated = (*original).clone();
+            updated.delete(7);
+            store.rewrite(id, Arc::new(updated)).unwrap();
+            // crash image: data + manifest as they exist mid-life. The manifest
+            // holds three Puts — two appends and a duplicate block id 0 from the
+            // rewrite; replay must be last-writer-wins.
+            std::fs::copy(&path, &image).unwrap();
+            std::fs::copy(manifest_path(&path), manifest_path(&image)).unwrap();
+        }
+        let reopened = BlockStore::reopen(&image, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 2);
+        assert_eq!(
+            reopened.with_summary(0, |s| s.deleted_count),
+            1,
+            "duplicate block id resolves to the last writer"
+        );
+        let pinned = reopened.pin(0).unwrap();
+        assert!(pinned.is_deleted(7));
+        drop(pinned);
+        drop(reopened);
+        remove_store_files(&path);
+        remove_store_files(&image);
+    }
+
+    #[test]
+    fn reopen_discards_torn_final_manifest_record_and_truncates() {
+        let path = temp_path("torn");
+        {
+            let store = BlockStore::create(&path, usize::MAX).unwrap();
+            store.append(block(0, 500)).unwrap();
+            store.append(block(1, 600)).unwrap();
+        }
+        // Simulate a crash mid-manifest-append: tack the prefix of a valid
+        // record onto the log.
+        let torn = manifest_record_to_bytes(&ManifestRecord::Put {
+            block_id: 9,
+            generation: 0,
+            offset: 123,
+            len: 456,
+            summary: BlockSummary::of(&block(9, 10)),
+        });
+        let mpath = manifest_path(&path);
+        let clean_len = std::fs::metadata(&mpath).unwrap().len();
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&mpath).unwrap();
+            f.write_all(&torn[..torn.len() / 2]).unwrap();
+        }
+        let reopened = BlockStore::reopen(&path, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 2, "torn record discarded");
+        assert_eq!(
+            std::fs::metadata(&mpath).unwrap().len(),
+            clean_len,
+            "manifest truncated back to its valid prefix"
+        );
+        let pinned = reopened.pin(1).unwrap();
+        assert_eq!(pinned.tuple_count(), 600);
+        drop(pinned);
+        drop(reopened);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn reopen_rejects_bit_flipped_manifest_tail() {
+        let path = temp_path("flip");
+        {
+            let store = BlockStore::create(&path, usize::MAX).unwrap();
+            store.append(block(0, 500)).unwrap();
+            store.append(block(1, 600)).unwrap();
+        }
+        // Flip a byte inside the *final* record's body: replay keeps the valid
+        // prefix and drops the corrupt tail. The final record here is a Put of
+        // the clean-close checkpoint, so dropping it leaves fewer entries than
+        // the checkpoint's Snapshot declared — which must surface as a loud
+        // corruption error, not a silently shorter store.
+        let mpath = manifest_path(&path);
+        let bytes = std::fs::read(&mpath).unwrap();
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        std::fs::write(&mpath, &flipped).unwrap();
+        match BlockStore::reopen(&path, usize::MAX) {
+            Err(StoreError::Frame(FrameError::Corrupt(msg))) => {
+                assert!(msg.contains("torn"), "{msg}");
+            }
+            other => panic!("expected torn-checkpoint corruption, got {other:?}"),
+        }
+        // the failed reopen must unregister: a retry with a repaired manifest works
+        std::fs::write(&mpath, &bytes).unwrap();
+        let reopened = BlockStore::reopen(&path, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 2);
+        drop(reopened);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn reopen_of_live_store_is_rejected() {
+        let path = temp_path("live");
+        let store = BlockStore::create(&path, usize::MAX).unwrap();
+        store.append(block(0, 100)).unwrap();
+        match BlockStore::reopen(&path, usize::MAX) {
+            Err(StoreError::Io(err)) => {
+                assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+                assert!(err.to_string().contains("live"), "{err}");
+            }
+            other => panic!("expected AlreadyExists, got {other:?}"),
+        }
+        // `create` over a live store is equally rejected
+        assert_eq!(
+            BlockStore::create(&path, usize::MAX).unwrap_err().kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        drop(store);
+        // once closed, reopening works
+        let reopened = BlockStore::reopen(&path, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 1);
+        drop(reopened);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_frames() {
+        let path = temp_path("compact");
+        let store = BlockStore::create(&path, usize::MAX).unwrap();
+        store.set_garbage_threshold(1.0); // explicit compaction only
+        let mut blocks = Vec::new();
+        for tag in 0..4 {
+            let b = block(tag, 400);
+            store.append(Arc::clone(&b)).unwrap();
+            blocks.push(b);
+        }
+        // rewrite every block a few times: lots of dead frames in generation 0
+        for round in 0..3 {
+            for (id, b) in blocks.iter().enumerate() {
+                let mut updated = (**b).clone();
+                for r in 0..=round {
+                    updated.delete(r);
+                }
+                store.rewrite(id, Arc::new(updated)).unwrap();
+            }
+        }
+        let dead_before = store.dead_bytes();
+        assert!(dead_before > 0);
+        let gen0_size = std::fs::metadata(&path).unwrap().len();
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.compacted_frames, 4);
+        assert!(stats.compacted_bytes > 0);
+        assert_eq!(store.dead_bytes(), 0, "all garbage reclaimed");
+        // the store rolled to generation 1; generation 0's file is gone
+        assert!(gen_path(&path, 1).exists());
+        assert!(!path.exists() || std::fs::metadata(&path).unwrap().len() < gen0_size);
+        for id in 0..4 {
+            assert_eq!(store.entry_generation(id), 1);
+        }
+        // data survives, cold
+        store.clear_cache();
+        let pinned = store.pin(2).unwrap();
+        assert!(pinned.is_deleted(0) && pinned.is_deleted(2));
+        assert_eq!(pinned.live_tuple_count(), 397);
+        drop(pinned);
+        drop(store);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_garbage_threshold() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        store.set_garbage_threshold(0.4);
+        let original = block(0, 300);
+        let id = store.append(Arc::clone(&original)).unwrap();
+        // each rewrite deadens the previous frame; the ratio crosses 0.4 after
+        // the first rewrite already (1 dead : 1 live)
+        for row in 0..3 {
+            let mut updated = (*original).clone();
+            updated.delete(row);
+            store.rewrite(id, Arc::new(updated)).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.compactions >= 1, "threshold must trigger: {stats:?}");
+        let total = store.live_bytes() + store.dead_bytes();
+        assert!(
+            (store.dead_bytes() as f64) / (total as f64) <= 0.4 + f64::EPSILON,
+            "garbage bounded after compaction"
+        );
+        store.clear_cache();
+        let pinned = store.pin(id).unwrap();
+        assert!(pinned.is_deleted(2), "last rewrite won");
+    }
+
+    #[test]
+    fn compaction_never_moves_a_pinned_frame() {
+        let path = temp_path("pinned");
+        let store = BlockStore::create(&path, usize::MAX).unwrap();
+        store.set_garbage_threshold(1.0);
+        let id0 = store.append(block(0, 300)).unwrap();
+        let original = block(1, 300);
+        let id1 = store.append(Arc::clone(&original)).unwrap();
+        let mut updated = (*original).clone();
+        updated.delete(5);
+        store.rewrite(id1, Arc::new(updated)).unwrap();
+
+        let pin = store.pin(id0).unwrap(); // hold id0 across the compaction
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.compaction_pinned_skipped, 1);
+        assert_eq!(stats.compacted_frames, 1, "only the unpinned block moved");
+        assert_eq!(store.entry_generation(id0), 0, "pinned frame stayed put");
+        assert_eq!(store.entry_generation(id1), 1);
+        // generation 0 survives (a directory entry still references it), and the
+        // pinned block keeps reading fine
+        assert!(path.exists());
+        assert_eq!(pin.get(0, 0), Value::Int(0));
+        drop(pin);
+
+        // with the pin gone, the next compaction moves it and reclaims gen 0 —
+        // the base file (the store's on-disk identity) stays present but empty
+        store.compact().unwrap();
+        assert_eq!(store.entry_generation(id0), 2);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            0,
+            "unreferenced base generation truncated to zero"
+        );
+        store.clear_cache();
+        let pinned = store.pin(id0).unwrap();
+        assert_eq!(pinned.get(0, 0), Value::Int(0));
+        drop(pinned);
+        drop(store);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn reopen_after_compaction_round_trips() {
+        let path = temp_path("compact-reopen");
+        {
+            let store = BlockStore::create(&path, usize::MAX).unwrap();
+            store.set_garbage_threshold(1.0);
+            let b = block(0, 200);
+            let id = store.append(Arc::clone(&b)).unwrap();
+            store.append(block(1, 250)).unwrap();
+            let mut updated = (*b).clone();
+            updated.delete(0);
+            store.rewrite(id, Arc::new(updated)).unwrap();
+            store.compact().unwrap();
+        }
+        let reopened = BlockStore::reopen(&path, usize::MAX).unwrap();
+        assert_eq!(reopened.block_count(), 2);
+        assert_eq!(reopened.entry_generation(0), 1);
+        assert_eq!(reopened.with_summary(0, |s| s.deleted_count), 1);
+        assert_eq!(reopened.dead_bytes(), 0);
+        let pinned = reopened.pin(1).unwrap();
+        assert_eq!(pinned.tuple_count(), 250);
+        drop(pinned);
+        drop(reopened);
+        remove_store_files(&path);
+    }
+
+    #[test]
+    fn prefetch_pages_blocks_in_without_demand_reads() {
+        let store = BlockStore::create_temp(usize::MAX).unwrap();
+        let id0 = store.append(block(0, 500)).unwrap();
+        let id1 = store.append(block(1, 500)).unwrap();
+        store.clear_cache();
+        store.reset_stats();
+        store.prefetch(&[id0, id1]);
+        // the helper thread pages them in; wait (bounded) for residency
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !(store.is_cached(id0) && store.is_cached(id1)) {
+            assert!(std::time::Instant::now() < deadline, "prefetch stalled");
+            std::thread::yield_now();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.prefetch_reads, 2, "both reads were read-ahead");
+        assert_eq!(stats.block_reads, 0, "no demand reads yet");
+        // the demand pin is now a pure cache hit
+        let pinned = store.pin(id1).unwrap();
+        assert_eq!(pinned.get(0, 0), Value::Int(10_000));
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.block_reads, 0);
+        // prefetching cached/queued ids again is a no-op
+        store.prefetch(&[id0, id1]);
+        assert_eq!(store.stats().prefetch_reads, 2);
     }
 
     #[test]
@@ -813,9 +2151,10 @@ mod tests {
         store.clear_cache();
         // flip a payload byte on disk behind the store's back
         let len = store.entry_len(id) as u64;
+        let file = store.gen_file(0).expect("generation 0 open");
         let mut byte = [0u8; 1];
-        store.file.read_exact_at(&mut byte, len - 1).unwrap();
-        store.file.write_all_at(&[byte[0] ^ 0xff], len - 1).unwrap();
+        file.read_exact_at(&mut byte, len - 1).unwrap();
+        file.write_all_at(&[byte[0] ^ 0xff], len - 1).unwrap();
         match store.pin(id) {
             Err(StoreError::Frame(FrameError::ChecksumMismatch { .. })) => {}
             other => panic!("expected checksum mismatch, got {other:?}"),
@@ -825,10 +2164,14 @@ mod tests {
     #[test]
     fn temp_file_removed_on_drop() {
         let store = BlockStore::create_temp(1024).unwrap();
+        store.append(block(0, 100)).unwrap();
         let path = store.path().to_path_buf();
+        let mpath = manifest_path(&path);
         assert!(path.exists());
+        assert!(mpath.exists());
         drop(store);
         assert!(!path.exists());
+        assert!(!mpath.exists());
     }
 
     #[test]
@@ -838,5 +2181,10 @@ mod tests {
         assert!(std::error::Error::source(&io_err).is_some());
         let frame_err = StoreError::from(FrameError::BadMagic);
         assert!(frame_err.to_string().contains("magic"));
+        // StoreError -> io::Error keeps the kind / wraps frame errors as data
+        let round: io::Error = StoreError::Io(io::Error::new(io::ErrorKind::NotFound, "x")).into();
+        assert_eq!(round.kind(), io::ErrorKind::NotFound);
+        let data: io::Error = StoreError::Frame(FrameError::BadMagic).into();
+        assert_eq!(data.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -54,6 +54,45 @@ impl Database {
         Ok(())
     }
 
+    /// Reopen a spilled database from the directory a previous
+    /// [`Database::enable_spill`] wrote to: for every `(name, schema)` pair, the
+    /// relation's cold tier is rebuilt from `<dir>/<name>.dbs` by replaying that
+    /// store's persisted manifest ([`crate::Relation::reopen_spilled`]); names
+    /// without a spill file come back as empty relations attached to fresh
+    /// stores. Schemas are supplied by the caller — the store persists block
+    /// frames and the directory, not catalog metadata.
+    ///
+    /// `policy.path` must be `Some(dir)`. Hot (unfrozen) rows are not recovered;
+    /// see [`crate::Relation::reopen_spilled`] for the exact contract and error
+    /// conditions (including the loud [`std::io::ErrorKind::AlreadyExists`] when
+    /// a store is still live in this process).
+    pub fn open_spilled(
+        policy: SpillPolicy,
+        schemas: impl IntoIterator<Item = (String, Schema)>,
+    ) -> std::io::Result<Database> {
+        if policy.path.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Database::open_spilled requires SpillPolicy.path to name the spill directory",
+            ));
+        }
+        let mut db = Database::new();
+        for (name, schema) in schemas {
+            let per_relation = Database::per_relation(&policy, &name);
+            let spill_file = per_relation.path.as_ref().expect("path checked above");
+            let relation = if spill_file.exists() {
+                Relation::reopen_spilled(&name, schema, &per_relation)?
+            } else {
+                let mut relation = Relation::new(&name, schema);
+                relation.enable_spill(&per_relation)?;
+                relation
+            };
+            db.relations.insert(name, relation);
+        }
+        db.spill = Some(policy);
+        Ok(db)
+    }
+
     /// The database-wide spill policy, if one was set.
     pub fn spill_policy(&self) -> Option<&SpillPolicy> {
         self.spill.as_ref()
@@ -66,6 +105,7 @@ impl Database {
                 .path
                 .as_ref()
                 .map(|dir| dir.join(format!("{name}.dbs"))),
+            compaction_garbage_ratio: policy.compaction_garbage_ratio,
         }
     }
 
@@ -212,6 +252,58 @@ mod tests {
         assert_eq!(db.relation("a").spill_store().unwrap().block_count(), 1);
         assert_eq!(db.relation("a").cold_block_count(), 1);
         assert!(db.total_bytes() > 0);
+    }
+
+    #[test]
+    fn enable_spill_twice_is_rejected() {
+        let mut db = Database::new();
+        db.create_relation("a", schema());
+        db.enable_spill(SpillPolicy::default()).unwrap();
+        // reconfiguration fails loudly, exactly like Relation::enable_spill
+        let err = db.enable_spill(SpillPolicy::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn open_spilled_round_trips_a_database_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "datablocks-db-reopen-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let policy = SpillPolicy {
+            cache_capacity_bytes: usize::MAX,
+            path: Some(dir.clone()),
+            ..SpillPolicy::default()
+        };
+        {
+            let mut db = Database::new();
+            db.create_relation("a", schema());
+            for i in 0..300 {
+                db.relation_mut("a").insert(vec![Value::Int(i)]);
+            }
+            db.enable_spill(policy.clone()).unwrap();
+            db.freeze_all();
+            let id = db.relation("a").lookup_pk(42).unwrap();
+            db.relation_mut("a").delete(id);
+        } // drop closes every store
+        let schemas = vec![("a".to_string(), schema()), ("b".to_string(), schema())];
+        let db = Database::open_spilled(policy, schemas).unwrap();
+        assert!(db.spill_policy().is_some());
+        let a = db.relation("a");
+        assert_eq!(a.live_row_count(), 299, "tombstone survived reopen");
+        assert!(a.lookup_pk(42).is_none());
+        assert!(a.lookup_pk(7).is_some());
+        // "b" had no spill file: it comes back empty but spilling
+        let b = db.relation("b");
+        assert_eq!(b.row_count(), 0);
+        assert!(b.has_spill());
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

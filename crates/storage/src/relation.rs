@@ -111,6 +111,22 @@ fn resolve_cold_slot(slot: &ColdSlot, store: Option<&Arc<BlockStore>>) -> BlockR
     }
 }
 
+/// Queue spilled blocks among `idxs` for the store's read-ahead worker. Resident
+/// blocks (and stores without spill) need no prefetch.
+fn prefetch_cold_slots(slots: &[ColdSlot], store: Option<&Arc<BlockStore>>, idxs: &[usize]) {
+    let Some(store) = store else {
+        return;
+    };
+    let ids: Vec<BlockId> = idxs
+        .iter()
+        .filter_map(|&idx| match slots.get(idx) {
+            Some(ColdSlot::Spilled(block_id)) => Some(*block_id),
+            _ => None,
+        })
+        .collect();
+    store.prefetch(&ids);
+}
+
 /// SMA gate for one cold slot: answered from the store's in-memory directory for
 /// spilled blocks (zero I/O), always `true` for heap-resident blocks (the scan
 /// planner decides with the full block at hand).
@@ -159,6 +175,15 @@ pub trait ScanSource: Send + Sync {
         restrictions: &[Restriction],
         options: &ScanOptions,
     ) -> bool;
+
+    /// Hint that cold blocks `idxs` will be scanned soon: spilled blocks are
+    /// queued for the store's read-ahead worker so the later demand pin finds
+    /// them cached (see [`BlockStore::prefetch`]). A no-op for heap-resident
+    /// blocks and for sources without a spill store — purely an optimisation
+    /// hint, never required for correctness.
+    fn prefetch_cold_blocks(&self, idxs: &[usize]) {
+        let _ = idxs;
+    }
 
     /// An owned, cheaply-cloneable snapshot of the scannable state (see
     /// [`ScanSnapshot`]).
@@ -211,6 +236,10 @@ impl ScanSource for ScanSnapshot {
         cold_slot_may_match(&self.cold[idx], self.store.as_ref(), restrictions, options)
     }
 
+    fn prefetch_cold_blocks(&self, idxs: &[usize]) {
+        prefetch_cold_slots(&self.cold, self.store.as_ref(), idxs);
+    }
+
     fn snapshot(&self) -> ScanSnapshot {
         self.clone()
     }
@@ -240,6 +269,10 @@ impl ScanSource for Relation {
         options: &ScanOptions,
     ) -> bool {
         Relation::cold_block_may_match(self, idx, restrictions, options)
+    }
+
+    fn prefetch_cold_blocks(&self, idxs: &[usize]) {
+        prefetch_cold_slots(&self.cold, self.store.as_ref(), idxs);
     }
 
     fn snapshot(&self) -> ScanSnapshot {
@@ -333,6 +366,7 @@ impl Relation {
             Some(path) => BlockStore::create(path, policy.cache_capacity_bytes)?,
             None => BlockStore::create_temp(policy.cache_capacity_bytes)?,
         };
+        store.set_garbage_threshold(policy.compaction_garbage_ratio);
         // Write every block out *before* touching any slot: a failed append (disk
         // full, ...) must leave the relation exactly as it was — fully in memory,
         // no store attached — not half-converted to slots pointing into a store
@@ -351,6 +385,61 @@ impl Relation {
         }
         self.store = Some(store);
         Ok(())
+    }
+
+    /// Reopen a spilled relation from its on-disk store: the cold tier comes
+    /// back from `policy.path` (which must name the relation's spill file) by
+    /// replaying the store's persisted manifest — **no block payload is read**
+    /// to rebuild the directory, including every tombstone recorded before the
+    /// close or crash. The caller supplies the name and schema (they are not
+    /// persisted in the store); a primary-key index, if the schema declares one,
+    /// is rebuilt by paging the cold tier in once.
+    ///
+    /// The hot tail is *not* recovered — it lived in memory, so a crash loses
+    /// it; that is the honest contract of the spill tier (only frozen blocks
+    /// reach the store). `storage_stats().cold_bytes_uncompressed` restarts at
+    /// zero and the chunk capacity resets to [`DEFAULT_CHUNK_CAPACITY`] for the
+    /// same reason (neither is persisted).
+    ///
+    /// # Errors
+    ///
+    /// * [`std::io::ErrorKind::AlreadyExists`] when the path backs a store that
+    ///   is still live in this process — same loud error as reconfiguring
+    ///   [`Relation::enable_spill`], because both would split one file across
+    ///   two caches.
+    /// * [`std::io::ErrorKind::InvalidInput`] when `policy.path` is `None`.
+    /// * [`std::io::ErrorKind::InvalidData`] for a corrupt manifest (beyond a
+    ///   torn final record, which is discarded silently).
+    pub fn reopen_spilled(
+        name: impl Into<String>,
+        schema: Schema,
+        policy: &SpillPolicy,
+    ) -> std::io::Result<Relation> {
+        let path = policy.path.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "Relation::reopen_spilled requires SpillPolicy.path to name the spill file",
+            )
+        })?;
+        let store =
+            BlockStore::reopen(path, policy.cache_capacity_bytes).map_err(std::io::Error::from)?;
+        store.set_garbage_threshold(policy.compaction_garbage_ratio);
+        let cold: Vec<ColdSlot> = (0..store.block_count()).map(ColdSlot::Spilled).collect();
+        let pk_index = schema.primary_key().map(|_| HashMap::new());
+        let mut relation = Relation {
+            name: name.into(),
+            schema,
+            cold,
+            cold_uncompressed_bytes: 0,
+            hot: Vec::new(),
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            pk_index,
+            store: Some(store),
+        };
+        if relation.pk_index.is_some() {
+            relation.build_pk_index();
+        }
+        Ok(relation)
     }
 
     /// Is a spill store attached?
@@ -1036,6 +1125,84 @@ mod tests {
         rel.enable_spill(&SpillPolicy::default()).unwrap();
         let err = rel.enable_spill(&SpillPolicy::default()).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    }
+
+    fn spill_path(tag: &str) -> std::path::PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "datablocks-relation-{tag}-{}-{}.dbs",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ))
+    }
+
+    fn named_policy(path: std::path::PathBuf) -> SpillPolicy {
+        SpillPolicy {
+            cache_capacity_bytes: usize::MAX,
+            path: Some(path),
+            ..SpillPolicy::default()
+        }
+    }
+
+    fn remove_spill_files(path: &std::path::Path) {
+        BlockStore::remove_files(path).expect("remove spill files");
+    }
+
+    #[test]
+    fn reopen_spilled_round_trips_cold_tier_and_tombstones() {
+        let path = spill_path("reopen");
+        let policy = named_policy(path.clone());
+        {
+            let mut rel = filled_relation(1_000, 250);
+            rel.freeze_all();
+            rel.enable_spill(&policy).unwrap();
+            let id = rel.lookup_pk(123).unwrap();
+            assert!(rel.delete(id));
+        } // drop closes the store (manifest checkpoint)
+        let reopened = Relation::reopen_spilled("t", schema(), &policy).unwrap();
+        assert_eq!(reopened.cold_block_count(), 4);
+        assert_eq!(reopened.row_count(), 1_000);
+        assert_eq!(reopened.live_row_count(), 999, "tombstone survived reopen");
+        assert!(reopened.lookup_pk(123).is_none());
+        let id = reopened.lookup_pk(456).unwrap();
+        assert_eq!(reopened.get(id, 2), Value::Int(4_560));
+        // the reopened relation keeps working as a normal spilling relation
+        let mut reopened = reopened;
+        for i in 1_000..1_300 {
+            reopened.insert(vec![
+                Value::Int(i),
+                Value::Str(format!("g{}", i % 4)),
+                Value::Int(i * 10),
+            ]);
+        }
+        reopened.freeze_all();
+        assert_eq!(reopened.live_row_count(), 1_299);
+        assert!(reopened.spill_store().unwrap().block_count() > 4);
+        drop(reopened);
+        remove_spill_files(&path);
+    }
+
+    #[test]
+    fn reopen_spilled_of_live_store_fails_loudly() {
+        let path = spill_path("live");
+        let policy = named_policy(path.clone());
+        let mut rel = filled_relation(200, 100);
+        rel.freeze_all();
+        rel.enable_spill(&policy).unwrap();
+        // same loud error as enable_spill reconfiguration: AlreadyExists
+        let err = Relation::reopen_spilled("t", schema(), &policy).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        drop(rel);
+        let reopened = Relation::reopen_spilled("t", schema(), &policy).unwrap();
+        assert_eq!(reopened.live_row_count(), 200);
+        drop(reopened);
+        remove_spill_files(&path);
+    }
+
+    #[test]
+    fn reopen_spilled_requires_a_path() {
+        let err = Relation::reopen_spilled("t", schema(), &SpillPolicy::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]
