@@ -361,6 +361,68 @@ fn main() {
         }
     }
 
+    // --------------------------------------------------------------- durability
+    // Spill (append) and delete (rewrite) throughput under each durability mode:
+    // what the fsync barriers of `Durability::Sync` cost on the write path, and
+    // how much of it group commit buys back. One manifest record per operation —
+    // `sync_gc1` fsyncs every record, `sync_gc64` one per 64.
+    {
+        use storage::blockstore::Durability;
+        let modes: [(&str, Durability); 3] = [
+            ("buffered", Durability::Buffered),
+            ("sync_gc1", Durability::Sync { group_commit: 1 }),
+            ("sync_gc64", Durability::Sync { group_commit: 64 }),
+        ];
+        for (mode, durability) in modes {
+            let path = std::env::temp_dir().join(format!(
+                "bench-io-durability-{mode}-{}.dbs",
+                std::process::id()
+            ));
+            let policy = SpillPolicy {
+                cache_capacity_bytes: cold_bytes,
+                path: Some(path.clone()),
+                durability,
+                ..SpillPolicy::default()
+            };
+            let mut spilled = lineitem.clone();
+            let start = std::time::Instant::now();
+            spilled.enable_spill(&policy).expect("enable spill");
+            let spill_secs = start.elapsed().as_secs_f64();
+            let store = spilled.spill_store().expect("store attached").clone();
+            store.set_garbage_threshold(1.0); // measure rewrites, not compaction
+            let blocks = spilled.cold_block_count();
+            let start = std::time::Instant::now();
+            for block in 0..blocks {
+                spilled.delete(RowId {
+                    segment: Segment::Cold(block),
+                    row: 0,
+                });
+            }
+            let rewrite_secs = start.elapsed().as_secs_f64();
+            println!(
+                "durability {mode}: spilled {} in {}, {blocks} rewrites in {} ({:.0} rewrites/s)",
+                fmt_bytes(cold_bytes),
+                fmt_duration(std::time::Duration::from_secs_f64(spill_secs)),
+                fmt_duration(std::time::Duration::from_secs_f64(rewrite_secs)),
+                blocks as f64 / rewrite_secs,
+            );
+            entries.push(format!(
+                "    {{\"io\": \"durability_{mode}_spill\", \"threads\": 1, \
+                 \"elapsed_ms\": {:.3}, \"rows_per_s\": {:.0}, \"blocks\": {blocks}}}",
+                spill_secs * 1e3,
+                rows as f64 / spill_secs,
+            ));
+            entries.push(format!(
+                "    {{\"io\": \"durability_{mode}_rewrite\", \"threads\": 1, \
+                 \"elapsed_ms\": {:.3}, \"rows_per_s\": {:.0}, \"rewrites\": {blocks}}}",
+                rewrite_secs * 1e3,
+                blocks as f64 / rewrite_secs,
+            ));
+            drop(spilled);
+            let _ = BlockStore::remove_files(&path);
+        }
+    }
+
     entries.extend(meta_entries);
     let json = format!(
         "{{\n  \"benchmark\": \"blockstore_io\",\n  \"relation\": \"lineitem\",\n  \

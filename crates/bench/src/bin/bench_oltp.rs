@@ -103,6 +103,61 @@ fn main() {
     let frozen_secs = run_reads(&mut frozen);
     emit("read_mix_frozen", read_txns, frozen_secs);
 
+    // Durability axis: tombstone transactions against *spilled* frozen history.
+    // Every delete rewrites its on-disk block and appends a manifest record, so
+    // the fsync barriers of `Durability::Sync` sit on the measured path —
+    // `sync_gc1` pays one fsync per transaction, `sync_gc8` amortises it over a
+    // group commit of 8, `buffered` pays none.
+    {
+        use storage::blockstore::Durability;
+        use storage::{RowId, Segment, SpillPolicy};
+        let modes: [(&str, Durability); 3] = [
+            ("buffered", Durability::Buffered),
+            ("sync_gc1", Durability::Sync { group_commit: 1 }),
+            ("sync_gc8", Durability::Sync { group_commit: 8 }),
+        ];
+        for (mode, durability) in modes {
+            let mut db = TpccDb::generate(warehouses);
+            for _ in 0..write_txns {
+                db.new_order();
+            }
+            // freeze the whole history (not just full chunks) so there are
+            // always cold blocks to tombstone, whatever TPCC_TXNS is
+            db.db.relation_mut("neworder").freeze_all();
+            let dir = std::env::temp_dir().join(format!(
+                "bench-oltp-durability-{mode}-{}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).expect("create spill dir");
+            db.db
+                .enable_spill(SpillPolicy {
+                    path: Some(dir.clone()),
+                    durability,
+                    ..SpillPolicy::default()
+                })
+                .expect("enable spill");
+            let neworder = db.db.relation_mut("neworder");
+            let blocks = neworder.cold_block_count();
+            let mut txns = 0usize;
+            let start = std::time::Instant::now();
+            for block in 0..blocks {
+                for row in 0..4 {
+                    if neworder.delete(RowId {
+                        segment: Segment::Cold(block),
+                        row,
+                    }) {
+                        txns += 1;
+                    }
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            assert!(txns > 0, "frozen neworder history must have rows to delete");
+            emit(&format!("frozen_delete_{mode}"), txns, secs);
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     let json = format!(
         "{{\n  \"benchmark\": \"tpcc_oltp\",\n  \"warehouses\": {warehouses},\n  \
          \"write_txns\": {write_txns},\n  \"read_txns\": {read_txns},\n  \

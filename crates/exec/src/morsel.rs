@@ -111,7 +111,7 @@
 //! 3. **A serial tail** — emit from the merged partitions in a deterministic order
 //!    (sort by key, or preserve restored stream order).
 //!
-//! Then drive it: `let (sinks, stats) = drive_pipeline(relation, &spec, make_sink)`
+//! Then drive it: `let (sinks, stats) = drive_pipeline(relation, &spec, make_sink)?`
 //! followed by `merge_partitionwise(sinks, threads, merge)`. Differential tests
 //! against the serial operator for threads ∈ {1, 2, 4, 8} — including skewed keys,
 //! NULL keys and inputs that leave partitions empty — are the contract
@@ -140,12 +140,12 @@
 //!   declaration.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use datablocks::scan::Restriction;
 use datablocks::{DataBlock, DataType};
-use storage::{Relation, ScanSnapshot, ScanSource};
+use storage::{ColdReadError, Relation, ScanSnapshot, ScanSource};
 
 use crate::batch::Batch;
 use crate::expr::Expr;
@@ -334,6 +334,10 @@ struct StreamState {
     cancelled: bool,
     /// A worker panicked: the consumer must not wait for its morsels.
     failed: bool,
+    /// A worker hit an unreadable cold block: the typed error it carried out
+    /// (first one wins — the stream is cancelled the moment it is set, so later
+    /// workers stop instead of stacking errors).
+    error: Option<ColdReadError>,
     /// Scan statistics merged in by exiting workers.
     stats: ScanStats,
 }
@@ -400,12 +404,30 @@ impl StreamShared {
         self.ready.notify_all();
     }
 
-    /// The consumer side: the next batch in (morsel, emission) order, or `None`
-    /// when every morsel is finished and drained.
-    fn pop(&self) -> Option<Batch> {
+    /// A worker hit an unreadable cold block: record the typed error (first one
+    /// wins) and cancel the stream so every other worker stops at its next push
+    /// or claim instead of scanning on towards the same bad disk.
+    fn fail(&self, err: ColdReadError) {
+        let mut state = self.lock_state();
+        if state.error.is_none() {
+            state.error = Some(err);
+        }
+        state.cancelled = true;
+        drop(state);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// The consumer side: the next batch in (morsel, emission) order, `Ok(None)`
+    /// when every morsel is finished and drained, or the first [`ColdReadError`]
+    /// a worker carried out.
+    fn pop(&self) -> Result<Option<Batch>, ColdReadError> {
         let total = self.morsels.len();
         let mut state = self.lock_state();
         loop {
+            if let Some(err) = &state.error {
+                return Err(err.clone());
+            }
             let mut advanced = false;
             while state.next_morsel < total
                 && state.finished[state.next_morsel]
@@ -421,14 +443,14 @@ impl StreamShared {
             }
             assert!(!state.failed, "streaming scan worker panicked");
             if state.next_morsel >= total {
-                return None;
+                return Ok(None);
             }
             let head = state.next_morsel;
             if let Some(batch) = state.queues[head].pop_front() {
                 state.in_flight -= 1;
                 drop(state);
                 self.space.notify_all();
-                return Some(batch);
+                return Ok(Some(batch));
             }
             state = self
                 .ready
@@ -488,10 +510,20 @@ fn stream_worker(shared: &StreamShared) -> ScanStats {
                 &shared.config,
             );
         }
-        let keep_going = scanner.stream_morsel(morsel, &mut |batch| shared.push(morsel_idx, batch));
+        let keep_going =
+            match scanner.stream_morsel(morsel, &mut |batch| shared.push(morsel_idx, batch)) {
+                Ok(keep_going) => keep_going,
+                Err(err) => {
+                    // An unreadable cold block: hand the typed error to the
+                    // stream (which cancels the other workers) and exit cleanly
+                    // — the consumer joins us and returns the error.
+                    shared.fail(err);
+                    false
+                }
+            };
         shared.finish_morsel(morsel_idx);
         if !keep_going {
-            break; // cancelled
+            break; // cancelled or failed
         }
     }
     scanner.stats()
@@ -518,16 +550,33 @@ impl ScanStream {
     ///
     /// # Panics
     ///
-    /// Panics if a scan worker panicked.
+    /// Panics if a scan worker panicked, or if one carried out a
+    /// [`ColdReadError`] (an unreadable cold block) — fault-aware consumers use
+    /// [`ScanStream::try_next_batch`].
     pub fn next_batch(&mut self) -> Option<Batch> {
+        self.try_next_batch().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible variant of [`ScanStream::next_batch`]: an unreadable cold block
+    /// surfaces as the typed [`ColdReadError`] the failing worker carried out.
+    /// Before the error is returned the stream is cancelled and **every worker
+    /// joined** — no worker outlives the failure, and a subsequent call reports
+    /// the stream exhausted.
+    pub fn try_next_batch(&mut self) -> Result<Option<Batch>, ColdReadError> {
         if self.done {
-            return None;
+            return Ok(None);
         }
         match self.shared.pop() {
-            Some(batch) => Some(batch),
-            None => {
+            Ok(Some(batch)) => Ok(Some(batch)),
+            Ok(None) => {
                 self.finish();
-                None
+                Ok(None)
+            }
+            Err(err) => {
+                // `fail` already cancelled the stream; join the workers so the
+                // error comes back to a caller with no threads left running.
+                self.finish();
+                Err(err)
             }
         }
     }
@@ -616,6 +665,7 @@ pub fn drive_streaming(
             max_in_flight: 0,
             cancelled: false,
             failed: false,
+            error: None,
             stats: ScanStats::default(),
         }),
         space: Condvar::new(),
@@ -773,11 +823,16 @@ pub trait MorselSink: Send {
 /// feeds its private sink (built by `make_sink`). Returns the per-worker sinks in
 /// worker order plus the merged scan statistics — merging the sinks partition-wise
 /// (see [`merge_partitionwise`]) is the caller's barrier phase.
+///
+/// An unreadable cold block surfaces as a [`ColdReadError`]: the failing worker
+/// raises a shared abort flag, every other worker stops at its next morsel
+/// claim, all of them are joined, and the first error is returned — no worker
+/// outlives the failure.
 pub fn drive_pipeline<S, F>(
     relation: &Relation,
     spec: &PipelineSpec,
     make_sink: F,
-) -> (Vec<S>, ScanStats)
+) -> Result<(Vec<S>, ScanStats), ColdReadError>
 where
     S: MorselSink,
     F: Fn() -> S + Sync,
@@ -787,7 +842,8 @@ where
         .min(morsels.len())
         .max(1);
     let cursor = AtomicUsize::new(0);
-    let run = |sink: &mut S| -> ScanStats {
+    let abort = AtomicBool::new(false);
+    let run = |sink: &mut S| -> Result<ScanStats, ColdReadError> {
         let mut scanner = RelationScanner::for_worker(
             relation,
             &spec.projection,
@@ -795,6 +851,9 @@ where
             spec.config,
         );
         loop {
+            if abort.load(Ordering::Relaxed) {
+                break; // another worker hit an unreadable block
+            }
             let morsel_idx = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(&morsel) = morsels.get(morsel_idx) else {
                 break;
@@ -811,18 +870,22 @@ where
             // Batches flow scan → steps → sink inside the worker, one at a time —
             // a cold morsel is never materialised, and its pin is released when
             // the last batch left the scanner.
-            scanner.stream_morsel(morsel, &mut |batch| {
+            let result = scanner.stream_morsel(morsel, &mut |batch| {
                 let batch = spec.apply_steps(batch);
                 if !batch.is_empty() {
                     sink.consume(morsel_idx, &batch);
                 }
                 true
             });
+            if let Err(err) = result {
+                abort.store(true, Ordering::Relaxed);
+                return Err(err);
+            }
         }
-        scanner.stats()
+        Ok(scanner.stats())
     };
 
-    let results: Vec<(S, ScanStats)> = if workers == 1 {
+    let results: Vec<(S, Result<ScanStats, ColdReadError>)> = if workers == 1 {
         let mut sink = make_sink();
         let stats = run(&mut sink);
         vec![(sink, stats)]
@@ -845,14 +908,20 @@ where
     };
 
     let mut stats = ScanStats::default();
-    let sinks = results
-        .into_iter()
-        .map(|(sink, worker_stats)| {
-            stats.merge(&worker_stats);
-            sink
-        })
-        .collect();
-    (sinks, stats)
+    let mut sinks = Vec::with_capacity(results.len());
+    let mut first_err = None;
+    for (sink, worker_result) in results {
+        match worker_result {
+            Ok(worker_stats) => stats.merge(&worker_stats),
+            Err(err) if first_err.is_none() => first_err = Some(err),
+            Err(_) => {}
+        }
+        sinks.push(sink);
+    }
+    match first_err {
+        Some(err) => Err(err),
+        None => Ok((sinks, stats)),
+    }
 }
 
 /// Run a parallel build over already-materialised batches: each batch is one morsel
@@ -1150,7 +1219,8 @@ mod tests {
             let (sinks, stats) = drive_pipeline(&rel, &spec, || CountSink {
                 rows: 0,
                 morsels: Vec::new(),
-            });
+            })
+            .expect("pipeline scan");
             let total: usize = sinks.iter().map(|s| s.rows).sum();
             assert_eq!(total, 3_210, "threads {threads}");
             assert_eq!(stats.rows_matched, 3_210);
@@ -1172,7 +1242,8 @@ mod tests {
         let (sinks, _) = drive_pipeline(&rel, &spec, || CountSink {
             rows: 0,
             morsels: Vec::new(),
-        });
+        })
+        .expect("pipeline scan");
         let total: usize = sinks.iter().map(|s| s.rows).sum();
         // val = i % 7 == 3 → ceil: rows 3, 10, 17, ... in 0..2000
         assert_eq!(total, (0..2_000).filter(|i| i % 7 == 3).count());

@@ -655,7 +655,11 @@ impl Operator for ParallelHashAggregateOp<'_> {
             partitions: (0..RADIX_PARTITIONS).map(|_| AggPartition::new()).collect(),
         };
         let (sinks, stats) = match &self.source {
-            AggSource::Scan { relation, spec } => morsel::drive_pipeline(relation, spec, make_sink),
+            // `Operator::next_batch` has no error channel; an unreadable cold
+            // block still joins every pipeline worker first, then surfaces here
+            // with its full on-disk position.
+            AggSource::Scan { relation, spec } => morsel::drive_pipeline(relation, spec, make_sink)
+                .unwrap_or_else(|err| panic!("parallel aggregate scan failed: {err}")),
             AggSource::Batches { batches, threads } => (
                 morsel::drive_batches(batches, *threads, make_sink),
                 ScanStats::default(),

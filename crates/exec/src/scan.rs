@@ -46,7 +46,7 @@ use std::collections::VecDeque;
 use datablocks::scan::Restriction;
 use datablocks::unpack::unpack_column;
 use datablocks::{Column, DataType, ScanOptions};
-use storage::{HotChunk, Relation, ScanSource};
+use storage::{ColdReadError, HotChunk, Relation, ScanSource};
 
 use crate::batch::Batch;
 use crate::morsel::{self, Morsel, ScanStream};
@@ -315,17 +315,34 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
     }
 
     /// Produce the next non-empty batch, or `None` when the relation is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cold block cannot be paged in (I/O error or corrupt frame) —
+    /// fault-aware callers use [`RelationScanner::try_next_batch`], which carries
+    /// the typed [`ColdReadError`] out instead.
     pub fn next_batch(&mut self) -> Option<Batch> {
+        self.try_next_batch().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible variant of [`RelationScanner::next_batch`]: a spilled block that
+    /// cannot be paged in surfaces as a [`ColdReadError`] naming the block's
+    /// on-disk position. On the parallel path the error cancels the stream and
+    /// joins every worker before it is returned, so no worker outlives the
+    /// failure.
+    pub fn try_next_batch(&mut self) -> Result<Option<Batch>, ColdReadError> {
         if self.config.threads != 1 {
             return self.next_streamed_batch();
         }
         loop {
-            let &morsel = self.morsels.get(self.morsel_idx)?;
+            let Some(&morsel) = self.morsels.get(self.morsel_idx) else {
+                return Ok(None);
+            };
             let batch = match morsel {
                 Morsel::ColdBlock(block_idx) => {
                     if !self.cold_entered {
                         self.cold_entered = true;
-                        self.enter_cold_morsel(block_idx);
+                        self.enter_cold_morsel(block_idx)?;
                     }
                     self.cold_pending.pop_front()
                 }
@@ -338,7 +355,7 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
             match batch {
                 Some(batch) if !batch.is_empty() => {
                     self.stats.rows_matched += batch.len();
-                    return Some(batch);
+                    return Ok(Some(batch));
                 }
                 Some(_) => continue, // empty vector, keep scanning
                 None => {
@@ -353,8 +370,9 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
 
     /// Start the bounded streaming pipeline on first use, then pull one batch per
     /// call off its reorder channel. Workers are joined (and the final statistics
-    /// captured) when the stream reports exhaustion.
-    fn next_streamed_batch(&mut self) -> Option<Batch> {
+    /// captured) when the stream reports exhaustion — or when a worker carries a
+    /// [`ColdReadError`] out, in which case the joined error is returned.
+    fn next_streamed_batch(&mut self) -> Result<Option<Batch>, ColdReadError> {
         if self.stream.is_none() {
             self.stream = Some(morsel::drive_streaming(
                 self.source.snapshot(),
@@ -364,11 +382,11 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
             ));
         }
         let stream = self.stream.as_mut().expect("started above");
-        match stream.next_batch() {
-            Some(batch) => Some(batch),
+        match stream.try_next_batch()? {
+            Some(batch) => Ok(Some(batch)),
             None => {
                 self.stats = stream.stats();
-                None
+                Ok(None)
             }
         }
     }
@@ -377,8 +395,10 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
     /// is produced — no per-morsel materialisation. For a cold morsel the block
     /// reference (the pin, when the block is spilled) is held across the `emit`
     /// calls and released as soon as the last batch has been handed off, so a
-    /// backpressured worker holds at most one pin while it waits. Returns `false`
-    /// if `emit` asked to stop (a cancelled stream).
+    /// backpressured worker holds at most one pin while it waits. Returns
+    /// `Ok(false)` if `emit` asked to stop (a cancelled stream), and a
+    /// [`ColdReadError`] when a cold block cannot be paged in — the worker
+    /// carries it to the stream instead of panicking.
     ///
     /// This is the workers' entry point — [`crate::morsel::drive_streaming`] and
     /// [`crate::morsel::drive_pipeline`] both feed their sinks through it.
@@ -386,15 +406,15 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
         &mut self,
         morsel: Morsel,
         emit: &mut dyn FnMut(Batch) -> bool,
-    ) -> bool {
+    ) -> Result<bool, ColdReadError> {
         match morsel {
             Morsel::ColdBlock(block_idx) => {
                 self.stats.blocks_total += 1;
                 if self.prune_cold_block(block_idx) {
                     self.stats.blocks_skipped += 1;
-                    return true;
+                    return Ok(true);
                 }
-                let block = self.source.cold_block(block_idx);
+                let block = self.source.cold_block(block_idx)?;
                 let mut matched = 0usize;
                 let keep_going = {
                     let mut counted = |batch: Batch| {
@@ -404,7 +424,7 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
                     self.scan_cold_block(&block, &mut counted)
                 };
                 self.stats.rows_matched += matched;
-                keep_going
+                Ok(keep_going)
                 // `block` dropped here: the pin is released the moment the morsel's
                 // batches have been handed off.
             }
@@ -416,13 +436,13 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
                     match self.next_from_hot(chunk, from, to) {
                         None => {
                             self.row_cursor = CURSOR_UNSET;
-                            return true;
+                            return Ok(true);
                         }
                         Some(batch) if batch.is_empty() => continue,
                         Some(batch) => {
                             self.stats.rows_matched += batch.len();
                             if !emit(batch) {
-                                return false;
+                                return Ok(false);
                             }
                         }
                     }
@@ -466,12 +486,12 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
     /// by one block's matching output (the block size is fixed at freeze time); the
     /// streaming workers avoid even that by emitting into the bounded channel while
     /// the pin is held ([`Self::stream_morsel`]).
-    fn enter_cold_morsel(&mut self, block_idx: usize) {
+    fn enter_cold_morsel(&mut self, block_idx: usize) -> Result<(), ColdReadError> {
         self.stats.blocks_total += 1;
         // SMA pruning against the in-memory block directory, before any I/O.
         if self.prune_cold_block(block_idx) {
             self.stats.blocks_skipped += 1;
-            return;
+            return Ok(());
         }
         // Read-ahead: stage the next cold blocks of the scan order before the
         // demand pin below blocks on this one's disk read.
@@ -482,13 +502,14 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
             &self.restrictions,
             &self.config,
         );
-        let block = self.source.cold_block(block_idx);
+        let block = self.source.cold_block(block_idx)?;
         let mut pending = std::mem::take(&mut self.cold_pending);
         self.scan_cold_block(&block, &mut |batch| {
             pending.push_back(batch);
             true
         });
         self.cold_pending = pending;
+        Ok(())
         // `block` dropped here: the pin is released once the morsel is materialised.
     }
 

@@ -34,9 +34,60 @@
 //! holding both the original append and a later rewrite of the same block
 //! resolves to the rewrite.
 //!
-//! The store does not call `fsync`: "crash consistency" here means *torn-write
-//! detection and a directory that always reaches a valid replayable state*, not
-//! a durability barrier against power loss reordering writes.
+//! # Durability modes
+//!
+//! How hard those writes are pushed toward the platter is the store's
+//! [`Durability`] mode ([`SpillPolicy::durability`]):
+//!
+//! * [`Durability::Buffered`] (default) issues no `fsync` at all — "crash
+//!   consistency" then means *torn-write detection and a directory that always
+//!   reaches a valid replayable state*, not a barrier against power loss
+//!   reordering writes. This is the right trade for temp spill files that do
+//!   not outlive the process.
+//! * [`Durability::Sync`] adds real power-loss barriers: every frame write is
+//!   `sync_data`ed **before** the manifest `Put` that references it (the
+//!   manifest never points at data the disk may not have), manifest appends
+//!   are group-committed — one `fsync` per `group_commit` records — and the
+//!   checkpoint swap becomes a true commit point: temp file written, synced,
+//!   renamed over the manifest, parent directory fsynced. With
+//!   `group_commit: 1` no acknowledged write can be lost; with `n > 1` the
+//!   acknowledgement window is bounded at the last `n - 1` un-synced records.
+//!
+//! Transient I/O errors (`EINTR`-class: `Interrupted`/`WouldBlock`/`TimedOut`)
+//! are absorbed by a bounded retry on every store I/O path, counted in
+//! [`IoStats::retries`].
+//!
+//! # Fault injection
+//!
+//! Every frame, manifest and generation-file I/O in this module goes through a
+//! [`crate::faults::StoreFile`] tagged with a named **failpoint site**, so a
+//! seeded [`crate::faults::FaultInjector`] (attached via
+//! [`BlockStore::create_opts`] / [`BlockStore::reopen_opts`]) can
+//! deterministically return transient errors, tear a write short, or enter
+//! crash-stop at any of them. The site inventory:
+//!
+//! | site                 | operation                                           |
+//! |----------------------|-----------------------------------------------------|
+//! | `gen.append_write`   | frame write of [`BlockStore::append`]               |
+//! | `gen.rewrite_write`  | frame write of [`BlockStore::rewrite`]              |
+//! | `gen.sync`           | `sync_data` of a generation file (Sync mode)        |
+//! | `manifest.append`    | manifest record write                               |
+//! | `manifest.sync`      | group-commit `fsync` of the manifest (Sync mode)    |
+//! | `pin.read`           | demand frame read of a cache miss                   |
+//! | `prefetch.read`      | frame read on the read-ahead worker                 |
+//! | `compact.read`       | live-frame read during compaction                   |
+//! | `compact.write`      | live-frame copy into the new generation             |
+//! | `compact.sync`       | new generation `sync_data` before the checkpoint    |
+//! | `compact.reclaim`    | truncation of the reclaimed generation-0 file       |
+//! | `checkpoint.write`   | checkpoint temp-file write                          |
+//! | `checkpoint.sync`    | checkpoint temp-file `sync_data` (Sync mode)        |
+//! | `checkpoint.rename`  | atomic rename over `<path>.manifest`                |
+//! | `checkpoint.dir_sync`| parent-directory fsync after the rename (Sync mode) |
+//!
+//! `tests/fault_injection.rs` enumerates a crash at every site and asserts the
+//! reopen contract: old-or-new directory state, loudly `Corrupt` when the disk
+//! is truly inconsistent, never silently wrong — and under `Sync` no
+//! acknowledged write lost.
 //!
 //! # Dead-frame compaction
 //!
@@ -100,11 +151,38 @@ use datablocks::frame::{
 };
 use datablocks::{BlockSummary, DataBlock, FrameError};
 
+use crate::faults::{self, FaultInjector, StoreFile};
+
 /// Identifier of a block within one [`BlockStore`] (its directory index).
 pub type BlockId = usize;
 
 /// Default garbage ratio above which a mutation triggers dead-frame compaction.
 pub const DEFAULT_GARBAGE_RATIO: f64 = 0.5;
+
+/// How many times a transient I/O error (`Interrupted`/`WouldBlock`/`TimedOut`)
+/// is retried before it is surfaced to the caller.
+const MAX_IO_RETRIES: u32 = 3;
+
+/// How hard the store pushes writes toward stable storage. See the module docs
+/// ("Durability modes") for the exact barrier placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No `fsync` anywhere: crash-*consistent* (replayable manifest, torn-write
+    /// detection) but acknowledged writes may be lost to a power cut. The
+    /// default, and the right trade for temporary spill files.
+    #[default]
+    Buffered,
+    /// Power-loss barriers on: generation files are `sync_data`ed before the
+    /// manifest `Put` referencing them, manifest appends are group-committed
+    /// under one `fsync` per `group_commit` records, and the checkpoint swap is
+    /// a true commit point (temp-file sync + rename + parent-directory fsync).
+    Sync {
+        /// Manifest records per group-commit `fsync`. `1` (or `0`, treated as
+        /// `1`) syncs every record — no acknowledged write can be lost; `n > 1`
+        /// bounds the loss window to the last `n - 1` acknowledged records.
+        group_commit: usize,
+    },
+}
 
 /// How a relation spills frozen blocks to secondary storage.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +200,9 @@ pub struct SpillPolicy {
     /// effectively disables automatic compaction ([`BlockStore::compact`] can
     /// still be called explicitly).
     pub compaction_garbage_ratio: f64,
+    /// Power-loss durability mode of the spill store (fsync barriers and group
+    /// commit). [`Durability::Buffered`] — no fsync — by default.
+    pub durability: Durability,
 }
 
 impl Default for SpillPolicy {
@@ -130,6 +211,7 @@ impl Default for SpillPolicy {
             cache_capacity_bytes: 64 << 20,
             path: None,
             compaction_garbage_ratio: DEFAULT_GARBAGE_RATIO,
+            durability: Durability::Buffered,
         }
     }
 }
@@ -193,6 +275,42 @@ impl From<StoreError> for io::Error {
     }
 }
 
+/// A cold block could not be paged in: the typed error the scan paths carry
+/// instead of panicking a worker. Names exactly where the failure happened —
+/// block id, generation file, byte offset — plus the underlying cause, so a
+/// corrupt or unreadable frame is reported loudly and precisely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColdReadError {
+    /// Directory index of the block that failed to load.
+    pub block_id: BlockId,
+    /// Generation file the directory pointed at.
+    pub generation: u32,
+    /// Byte offset of the frame within that generation file.
+    pub offset: u64,
+    /// The underlying [`StoreError`], rendered to text (`io::Error` is not
+    /// `Clone`, and the scan paths need a cloneable error to fan out of a
+    /// worker pool).
+    pub detail: String,
+}
+
+impl std::fmt::Display for ColdReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cold block {} unreadable (generation {}, offset {}): {}",
+            self.block_id, self.generation, self.offset, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ColdReadError {}
+
+impl From<ColdReadError> for io::Error {
+    fn from(err: ColdReadError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+    }
+}
+
 /// Counters describing what a store actually did. Reads/writes count **disk**
 /// operations only — cache hits and summary-pruned blocks cost zero reads, which is
 /// what the scan-skipping assertions in the differential tests pin down.
@@ -225,6 +343,13 @@ pub struct IoStats {
     /// Frames a compaction pass left in their old generation because they were
     /// pinned at the time (compaction never moves a pinned frame).
     pub compaction_pinned_skipped: u64,
+    /// Transient I/O errors (`Interrupted`/`WouldBlock`/`TimedOut`) absorbed by
+    /// the store's bounded retry instead of surfacing to the caller.
+    pub retries: u64,
+    /// Read-ahead loads that failed. A prefetch error never kills the worker or
+    /// the scan — the block simply stays cold and the later demand pin pays the
+    /// read (or reports the real error).
+    pub prefetch_errors: u64,
 }
 
 /// One directory entry: which generation file holds the block's frame, where,
@@ -290,8 +415,11 @@ impl Inner {
 /// The append handle of the manifest log (swapped wholesale on checkpoint).
 #[derive(Debug)]
 struct ManifestFile {
-    file: File,
+    file: StoreFile,
     len: u64,
+    /// Records appended since the last group-commit `fsync` (only meaningful
+    /// under [`Durability::Sync`]; a checkpoint resets it).
+    pending: usize,
 }
 
 /// Queue shared with the read-ahead worker. Owned by an `Arc` on both sides so
@@ -318,16 +446,24 @@ struct PrefetchState {
 /// design.
 #[derive(Debug)]
 pub struct BlockStore {
-    /// Open generation files, keyed by generation number. `Arc` so a reader can
-    /// clone the handle out and read without any store lock held — and so a
-    /// generation file unlinked by compaction stays readable for pins taken
-    /// before the swap.
-    files: Mutex<HashMap<u32, Arc<File>>>,
+    /// Open generation files, keyed by generation number. [`StoreFile`] clones
+    /// share the underlying handle, so a reader can clone one out and read
+    /// without any store lock held — and a generation file unlinked by
+    /// compaction stays readable for pins taken before the swap.
+    files: Mutex<HashMap<u32, StoreFile>>,
     path: PathBuf,
     /// Key under which this store is registered live (absolute form of `path`).
     registered: PathBuf,
     delete_on_drop: bool,
     capacity: usize,
+    /// Power-loss durability mode (fsync barrier placement); see [`Durability`].
+    durability: Durability,
+    /// Deterministic fault plan threaded through every I/O site, if attached.
+    faults: Option<Arc<FaultInjector>>,
+    /// Transient I/O errors absorbed by the bounded retry (merged into
+    /// [`IoStats::retries`] by [`BlockStore::stats`]); an atomic because retry
+    /// sites deliberately hold no store lock across I/O.
+    retries: AtomicU64,
     inner: Mutex<Inner>,
     manifest: Mutex<ManifestFile>,
     /// Serialises block mutations ([`BlockStore::mutate`], [`BlockStore::rewrite`],
@@ -340,6 +476,15 @@ pub struct BlockStore {
 
 /// Monotonic counter distinguishing temp files of one process.
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Error kinds worth a bounded retry: the `EINTR` class that a signal or a
+/// momentarily saturated device produces, not real failures.
+fn is_transient(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
 
 /// Paths of every live (open) store in this process. Guards against
 /// double-opening one spill file into two independent caches.
@@ -440,17 +585,46 @@ fn remove_stale_siblings(base: &Path, keep: &HashSet<u32>) -> io::Result<()> {
 impl BlockStore {
     /// Create a store over a fresh temporary file (deleted when the store drops).
     pub fn create_temp(capacity: usize) -> io::Result<Arc<BlockStore>> {
+        BlockStore::create_temp_opts(capacity, Durability::Buffered, None)
+    }
+
+    /// [`BlockStore::create_temp`] with an explicit [`Durability`] mode and an
+    /// optional [`FaultInjector`] (see [`BlockStore::create_opts`]).
+    pub fn create_temp_opts(
+        capacity: usize,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Arc<BlockStore>> {
         let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
         let path =
             std::env::temp_dir().join(format!("datablocks-spill-{}-{n}.dbs", std::process::id()));
-        BlockStore::create_at(path, capacity, true, true)
+        BlockStore::create_at(path, capacity, true, true, durability, faults)
     }
 
     /// Create a store over `path`, truncating any existing file (and removing any
     /// stale manifest or generation files of a previous store at the same path).
     /// The files are kept when the store drops.
     pub fn create(path: impl AsRef<Path>, capacity: usize) -> io::Result<Arc<BlockStore>> {
-        BlockStore::create_at(path.as_ref().to_path_buf(), capacity, false, false)
+        BlockStore::create_opts(path, capacity, Durability::Buffered, None)
+    }
+
+    /// [`BlockStore::create`] with an explicit [`Durability`] mode and an
+    /// optional [`FaultInjector`] threaded through every I/O site (see the
+    /// module docs for the failpoint inventory).
+    pub fn create_opts(
+        path: impl AsRef<Path>,
+        capacity: usize,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> io::Result<Arc<BlockStore>> {
+        BlockStore::create_at(
+            path.as_ref().to_path_buf(),
+            capacity,
+            false,
+            false,
+            durability,
+            faults,
+        )
     }
 
     fn create_at(
@@ -458,6 +632,8 @@ impl BlockStore {
         capacity: usize,
         delete_on_drop: bool,
         create_new: bool,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
     ) -> io::Result<Arc<BlockStore>> {
         let registered = register_live(&path)?;
         let result = (|| {
@@ -477,15 +653,22 @@ impl BlockStore {
                 .truncate(true)
                 .open(manifest_path(&path))?;
             Ok::<_, io::Error>(Arc::new(BlockStore {
-                files: Mutex::new(HashMap::from([(0u32, Arc::new(file))])),
+                files: Mutex::new(HashMap::from([(
+                    0u32,
+                    StoreFile::new(file, faults.clone()),
+                )])),
                 path,
                 registered: registered.clone(),
                 delete_on_drop,
                 capacity,
+                durability,
+                faults: faults.clone(),
+                retries: AtomicU64::new(0),
                 inner: Mutex::new(Inner::new()),
                 manifest: Mutex::new(ManifestFile {
-                    file: manifest,
+                    file: StoreFile::new(manifest, faults.clone()),
                     len: 0,
+                    pending: 0,
                 }),
                 mutation: Mutex::new(()),
                 prefetch: Arc::new(PrefetchShared {
@@ -516,9 +699,20 @@ impl BlockStore {
     /// store that is still live in this process — reopening a live store would
     /// split its cache and corrupt the file on the next rewrite.
     pub fn reopen(path: impl AsRef<Path>, capacity: usize) -> Result<Arc<BlockStore>, StoreError> {
+        BlockStore::reopen_opts(path, capacity, Durability::Buffered, None)
+    }
+
+    /// [`BlockStore::reopen`] with an explicit [`Durability`] mode and an
+    /// optional [`FaultInjector`] (see [`BlockStore::create_opts`]).
+    pub fn reopen_opts(
+        path: impl AsRef<Path>,
+        capacity: usize,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Arc<BlockStore>, StoreError> {
         let path = path.as_ref().to_path_buf();
         let registered = register_live(&path)?;
-        match BlockStore::reopen_inner(path, registered.clone(), capacity) {
+        match BlockStore::reopen_inner(path, registered.clone(), capacity, durability, faults) {
             Ok(store) => Ok(store),
             Err(err) => {
                 unregister_live(&registered);
@@ -531,6 +725,8 @@ impl BlockStore {
         path: PathBuf,
         registered: PathBuf,
         capacity: usize,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
     ) -> Result<Arc<BlockStore>, StoreError> {
         let mpath = manifest_path(&path);
         let (directory, current_gen, manifest, fresh_checkpoint) = if mpath.exists() {
@@ -544,8 +740,9 @@ impl BlockStore {
                 file.set_len(valid_len as u64)?;
             }
             let manifest = ManifestFile {
-                file,
+                file: StoreFile::new(file, faults.clone()),
                 len: valid_len as u64,
+                pending: 0,
             };
             (directory, current_gen, manifest, false)
         } else {
@@ -558,7 +755,12 @@ impl BlockStore {
                 .create(true)
                 .truncate(true)
                 .open(&mpath)?;
-            (directory, 0, ManifestFile { file, len: 0 }, true)
+            let manifest = ManifestFile {
+                file: StoreFile::new(file, faults.clone()),
+                len: 0,
+                pending: 0,
+            };
+            (directory, 0, manifest, true)
         };
 
         // Open every generation the directory references, plus the append
@@ -584,7 +786,7 @@ impl BlockStore {
                     )
                 })?;
             on_disk += file.metadata()?.len();
-            files.insert(generation, Arc::new(file));
+            files.insert(generation, StoreFile::new(file, faults.clone()));
         }
         // Orphans of a crashed compaction (a generation file the manifest never
         // came to reference) are garbage: remove them.
@@ -605,6 +807,9 @@ impl BlockStore {
             registered,
             delete_on_drop: false,
             capacity,
+            durability,
+            faults,
+            retries: AtomicU64::new(0),
             inner: Mutex::new(inner),
             manifest: Mutex::new(manifest),
             mutation: Mutex::new(()),
@@ -737,15 +942,19 @@ impl BlockStore {
             inner.live_bytes = live_bytes;
             inner.dead_bytes = end_offset.saturating_sub(live_bytes);
             let store = Arc::new(BlockStore {
-                files: Mutex::new(HashMap::from([(0u32, Arc::new(file))])),
+                files: Mutex::new(HashMap::from([(0u32, StoreFile::new(file, None))])),
                 path,
                 registered: registered.clone(),
                 delete_on_drop: false,
                 capacity,
+                durability: Durability::Buffered,
+                faults: None,
+                retries: AtomicU64::new(0),
                 inner: Mutex::new(inner),
                 manifest: Mutex::new(ManifestFile {
-                    file: manifest,
+                    file: StoreFile::new(manifest, None),
                     len: 0,
+                    pending: 0,
                 }),
                 mutation: Mutex::new(()),
                 prefetch: Arc::new(PrefetchShared {
@@ -813,13 +1022,21 @@ impl BlockStore {
 
     /// Snapshot of the I/O and cache counters.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().expect("store lock").stats
+        let mut stats = self.inner.lock().expect("store lock").stats;
+        stats.retries = self.retries.load(Ordering::Relaxed);
+        stats
     }
 
     /// Reset the I/O and cache counters (the bench harness isolates phases with
     /// this).
     pub fn reset_stats(&self) {
         self.inner.lock().expect("store lock").stats = IoStats::default();
+        self.retries.store(0, Ordering::Relaxed);
+    }
+
+    /// The store's power-loss durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// Serialized size of block `id` on disk, in bytes.
@@ -837,7 +1054,7 @@ impl BlockStore {
     /// generation has been closed by a compaction that ran after the caller
     /// snapshotted a directory entry — readers treat that exactly like a
     /// repointed entry and retry against the fresh directory.
-    fn gen_file(&self, generation: u32) -> Option<Arc<File>> {
+    fn gen_file(&self, generation: u32) -> Option<StoreFile> {
         self.files
             .lock()
             .expect("store files lock")
@@ -845,12 +1062,48 @@ impl BlockStore {
             .cloned()
     }
 
-    /// Append one record to the manifest log.
+    /// Run `op`, retrying up to [`MAX_IO_RETRIES`] times on transient error
+    /// kinds (`Interrupted`/`WouldBlock`/`TimedOut`). Every absorbed failure is
+    /// counted in [`IoStats::retries`]; a persistent fault still surfaces.
+    fn retry_io<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempts = 0u32;
+        loop {
+            match op() {
+                Err(err) if attempts < MAX_IO_RETRIES && is_transient(&err) => {
+                    attempts += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Is the store running with fsync barriers on?
+    fn sync_mode(&self) -> bool {
+        matches!(self.durability, Durability::Sync { .. })
+    }
+
+    /// Append one record to the manifest log. Under [`Durability::Sync`] the
+    /// log is group-committed: one `fsync` per `group_commit` records (the
+    /// batch a crash can lose is therefore bounded at `group_commit - 1`
+    /// acknowledged records; `group_commit: 1` syncs every append).
     fn append_manifest(&self, record: &ManifestRecord) -> io::Result<()> {
         let bytes = manifest_record_to_bytes(record);
         let mut manifest = self.manifest.lock().expect("manifest lock");
-        manifest.file.write_all_at(&bytes, manifest.len)?;
+        let offset = manifest.len;
+        self.retry_io(|| {
+            manifest
+                .file
+                .write_all_at(&bytes, offset, "manifest.append")
+        })?;
         manifest.len += bytes.len() as u64;
+        if let Durability::Sync { group_commit } = self.durability {
+            manifest.pending += 1;
+            if manifest.pending >= group_commit.max(1) {
+                self.retry_io(|| manifest.file.sync_data("manifest.sync"))?;
+                manifest.pending = 0;
+            }
+        }
         Ok(())
     }
 
@@ -893,17 +1146,44 @@ impl BlockStore {
             bytes.extend_from_slice(&manifest_record_to_bytes(record));
         }
         let tmp = manifest_tmp_path(&self.path);
-        std::fs::write(&tmp, &bytes)?;
+        {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let tmp_file = StoreFile::new(file, self.faults.clone());
+            self.retry_io(|| tmp_file.write_all_at(&bytes, 0, "checkpoint.write"))?;
+            // Under Sync the rename below is a true commit point: the bytes it
+            // publishes must already be on stable storage.
+            if self.sync_mode() {
+                self.retry_io(|| tmp_file.sync_data("checkpoint.sync"))?;
+            }
+        }
         // The mutation lock (held by the caller) already excludes concurrent
         // appends/rewrites; the manifest lock below additionally keeps the
         // handle swap atomic with respect to any other reader of the struct.
         let mut manifest = self.manifest.lock().expect("manifest lock");
+        faults::failpoint(&self.faults, "checkpoint.rename")?;
         std::fs::rename(&tmp, manifest_path(&self.path))?;
-        manifest.file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(manifest_path(&self.path))?;
+        if self.sync_mode() {
+            // Persist the directory entry for the rename itself — without this
+            // a power cut can roll the whole swap back.
+            if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let dir = StoreFile::new(File::open(parent)?, self.faults.clone());
+                self.retry_io(|| dir.sync_all("checkpoint.dir_sync"))?;
+            }
+        }
+        manifest.file = StoreFile::new(
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(manifest_path(&self.path))?,
+            self.faults.clone(),
+        );
         manifest.len = bytes.len() as u64;
+        manifest.pending = 0;
         Ok(())
     }
 
@@ -944,9 +1224,16 @@ impl BlockStore {
             });
             (generation, offset, id)
         };
-        self.gen_file(generation)
-            .expect("current generation file is open")
-            .write_all_at(&bytes, offset)?;
+        let gen_file = self
+            .gen_file(generation)
+            .expect("current generation file is open");
+        self.retry_io(|| gen_file.write_all_at(&bytes, offset, "gen.append_write"))?;
+        // Sync barrier: the frame must be on stable storage *before* the
+        // manifest Put that references it, or a power cut could replay a
+        // directory pointing at bytes the disk never got.
+        if self.sync_mode() {
+            self.retry_io(|| gen_file.sync_data("gen.sync"))?;
+        }
         self.append_manifest(&ManifestRecord::Put {
             block_id: id as u32,
             generation,
@@ -991,9 +1278,14 @@ impl BlockStore {
             inner.end_offset += bytes.len() as u64;
             (generation, offset)
         };
-        self.gen_file(generation)
-            .expect("current generation file is open")
-            .write_all_at(&bytes, offset)?;
+        let gen_file = self
+            .gen_file(generation)
+            .expect("current generation file is open");
+        self.retry_io(|| gen_file.write_all_at(&bytes, offset, "gen.rewrite_write"))?;
+        // Same barrier as `append`: frame durable before the Put referencing it.
+        if self.sync_mode() {
+            self.retry_io(|| gen_file.sync_data("gen.sync"))?;
+        }
         self.append_manifest(&ManifestRecord::Put {
             block_id: id as u32,
             generation,
@@ -1078,12 +1370,15 @@ impl BlockStore {
         };
         let new_gen = old_gen + 1;
         let new_path = gen_path(&self.path, new_gen);
-        let new_file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&new_path)?;
+        let new_file = StoreFile::new(
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&new_path)?,
+            self.faults.clone(),
+        );
 
         let mut moves: Vec<(BlockId, u64)> = Vec::new();
         let mut write_off = 0u64;
@@ -1097,13 +1392,19 @@ impl BlockStore {
             let mut buf = vec![0u8; entry.len as usize];
             // The mutation lock (held here) excludes other compactions and all
             // directory mutations, so every referenced generation stays open.
-            self.gen_file(entry.generation)
-                .expect("referenced generation file is open during compaction")
-                .read_exact_at(&mut buf, entry.offset)?;
-            new_file.write_all_at(&buf, write_off)?;
+            let src = self
+                .gen_file(entry.generation)
+                .expect("referenced generation file is open during compaction");
+            self.retry_io(|| src.read_exact_at(&mut buf, entry.offset, "compact.read"))?;
+            self.retry_io(|| new_file.write_all_at(&buf, write_off, "compact.write"))?;
             moves.push((id, write_off));
             write_off += entry.len as u64;
             moved_bytes += entry.len as u64;
+        }
+        // Sync barrier: the copied frames must be durable before the
+        // checkpoint below publishes directory entries pointing at them.
+        if self.sync_mode() {
+            self.retry_io(|| new_file.sync_data("compact.sync"))?;
         }
 
         // Publish the new generation file before repointing, so a pin that
@@ -1111,7 +1412,7 @@ impl BlockStore {
         self.files
             .lock()
             .expect("store files lock")
-            .insert(new_gen, Arc::new(new_file));
+            .insert(new_gen, new_file);
 
         let referenced = {
             let mut inner = self.inner.lock().expect("store lock");
@@ -1162,7 +1463,7 @@ impl BlockStore {
             for generation in stale {
                 if generation == 0 {
                     if let Some(file) = files.get(&0) {
-                        let _ = file.set_len(0);
+                        let _ = file.set_len(0, "compact.reclaim");
                     }
                     continue;
                 }
@@ -1225,7 +1526,7 @@ impl BlockStore {
             let loaded: Result<Arc<DataBlock>, StoreError> = match self.gen_file(generation) {
                 Some(file) => {
                     let mut bytes = vec![0u8; len];
-                    file.read_exact_at(&mut bytes, offset)
+                    self.retry_io(|| file.read_exact_at(&mut bytes, offset, "pin.read"))
                         .map_err(StoreError::from)
                         .and_then(|()| {
                             frame::from_frame(&bytes)
@@ -1272,6 +1573,31 @@ impl BlockStore {
                 block,
             });
         }
+    }
+
+    /// [`BlockStore::pin`] with the typed scan error: a failure comes back as a
+    /// [`ColdReadError`] naming the block id, generation file and byte offset
+    /// of the frame that could not be loaded. This is the error the scan paths
+    /// carry out of worker threads instead of panicking.
+    pub fn pin_described(self: &Arc<Self>, id: BlockId) -> Result<PinnedBlock, ColdReadError> {
+        self.pin(id).map_err(|err| {
+            // `pin` fails only when the directory entry was *unmoved* across
+            // the read, so the position it reports now is the one that failed.
+            let (generation, offset) = {
+                let inner = self.inner.lock().expect("store lock");
+                inner
+                    .directory
+                    .get(id)
+                    .map(|e| (e.generation, e.offset))
+                    .unwrap_or((0, 0))
+            };
+            ColdReadError {
+                block_id: id,
+                generation,
+                offset,
+                detail: err.to_string(),
+            }
+        })
     }
 
     /// Atomically read-modify-write block `id`: `f` receives the current version
@@ -1352,7 +1678,7 @@ impl BlockStore {
             return Ok(());
         };
         let mut bytes = vec![0u8; len];
-        file.read_exact_at(&mut bytes, offset)?;
+        self.retry_io(|| file.read_exact_at(&mut bytes, offset, "prefetch.read"))?;
         let block = Arc::new(frame::from_frame(&bytes)?);
         let mut inner = self.inner.lock().expect("store lock");
         if inner.cache.contains_key(&id) {
@@ -1510,7 +1836,18 @@ fn prefetch_worker(weak: Weak<BlockStore>, shared: Arc<PrefetchShared>) {
         let Some(store) = weak.upgrade() else {
             return;
         };
-        let _ = store.prefetch_load(id);
+        // Resilience: a failed read-ahead must neither kill this thread nor the
+        // scan it serves — the block simply stays cold and the demand pin pays
+        // the read (reporting the real error, if it persists). Count it so the
+        // counters tell the story.
+        if store.prefetch_load(id).is_err() {
+            store
+                .inner
+                .lock()
+                .expect("store lock")
+                .stats
+                .prefetch_errors += 1;
+        }
         shared
             .state
             .lock()
@@ -2153,8 +2490,8 @@ mod tests {
         let len = store.entry_len(id) as u64;
         let file = store.gen_file(0).expect("generation 0 open");
         let mut byte = [0u8; 1];
-        file.read_exact_at(&mut byte, len - 1).unwrap();
-        file.write_all_at(&[byte[0] ^ 0xff], len - 1).unwrap();
+        file.raw().read_exact_at(&mut byte, len - 1).unwrap();
+        file.raw().write_all_at(&[byte[0] ^ 0xff], len - 1).unwrap();
         match store.pin(id) {
             Err(StoreError::Frame(FrameError::ChecksumMismatch { .. })) => {}
             other => panic!("expected checksum mismatch, got {other:?}"),

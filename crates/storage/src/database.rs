@@ -106,6 +106,7 @@ impl Database {
                 .as_ref()
                 .map(|dir| dir.join(format!("{name}.dbs"))),
             compaction_garbage_ratio: policy.compaction_garbage_ratio,
+            durability: policy.durability,
         }
     }
 

@@ -42,14 +42,17 @@
 
 pub mod blockstore;
 pub mod database;
+pub mod faults;
 pub mod hot;
 pub mod relation;
 pub mod schema;
 
 pub use blockstore::{
-    BlockId, BlockRef, BlockStore, IoStats, PinnedBlock, SpillPolicy, StoreError,
+    BlockId, BlockRef, BlockStore, ColdReadError, Durability, IoStats, PinnedBlock, SpillPolicy,
+    StoreError,
 };
 pub use database::Database;
+pub use faults::{FaultAction, FaultInjector, StoreFile};
 pub use hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
 pub use relation::{Relation, RowId, ScanSnapshot, ScanSource, Segment, StorageStats};
 pub use schema::{ColumnDef, Schema};

@@ -28,7 +28,7 @@ use datablocks::builder::{freeze, freeze_sorted};
 use datablocks::scan::Restriction;
 use datablocks::{DataBlock, DataType, ScanOptions, Value};
 
-use crate::blockstore::{BlockId, BlockRef, BlockStore, SpillPolicy};
+use crate::blockstore::{BlockId, BlockRef, BlockStore, ColdReadError, SpillPolicy};
 use crate::hot::{HotChunk, DEFAULT_CHUNK_CAPACITY};
 use crate::schema::Schema;
 
@@ -100,13 +100,21 @@ enum ColdSlot {
     Spilled(BlockId),
 }
 
-/// Resolve one cold slot to a borrowable block, pinning spilled blocks.
-fn resolve_cold_slot(slot: &ColdSlot, store: Option<&Arc<BlockStore>>) -> BlockRef {
+/// Resolve one cold slot to a borrowable block, pinning spilled blocks. A
+/// spilled block that cannot be paged in (disk error, corrupt frame) comes back
+/// as a typed [`ColdReadError`] naming the block's exact on-disk position, so
+/// scan workers can carry it out instead of panicking.
+fn resolve_cold_slot(
+    slot: &ColdSlot,
+    store: Option<&Arc<BlockStore>>,
+) -> Result<BlockRef, ColdReadError> {
     match slot {
-        ColdSlot::Resident(block) => BlockRef::resident(Arc::clone(block)),
+        ColdSlot::Resident(block) => Ok(BlockRef::resident(Arc::clone(block))),
         ColdSlot::Spilled(block_id) => {
+            // A spilled slot without a store is a construction bug, not an I/O
+            // condition — keep it a loud invariant.
             let store = store.expect("spilled slot without store");
-            BlockRef::pinned(store.pin(*block_id).expect("load spilled block"))
+            store.pin_described(*block_id).map(BlockRef::pinned)
         }
     }
 }
@@ -165,7 +173,12 @@ pub trait ScanSource: Send + Sync {
     /// returned [`BlockRef`] *is* the per-morsel pin guard: holding it keeps a
     /// spilled block cached, dropping it releases the pin — so a streaming scan
     /// acquires and releases pins one morsel at a time.
-    fn cold_block(&self, idx: usize) -> BlockRef;
+    ///
+    /// A spilled block that cannot be paged in surfaces as a [`ColdReadError`]
+    /// (block id, generation, offset, cause) — the structured error scan
+    /// workers propagate instead of panicking, so a corrupt frame cancels the
+    /// scan loudly and the worker pool joins cleanly.
+    fn cold_block(&self, idx: usize) -> Result<BlockRef, ColdReadError>;
 
     /// Can any record of cold block `idx` match all `restrictions`? Zero I/O for
     /// spilled blocks (answered from the directory summary).
@@ -223,7 +236,7 @@ impl ScanSource for ScanSnapshot {
         self.cold.len()
     }
 
-    fn cold_block(&self, idx: usize) -> BlockRef {
+    fn cold_block(&self, idx: usize) -> Result<BlockRef, ColdReadError> {
         resolve_cold_slot(&self.cold[idx], self.store.as_ref())
     }
 
@@ -258,8 +271,8 @@ impl ScanSource for Relation {
         self.cold.len()
     }
 
-    fn cold_block(&self, idx: usize) -> BlockRef {
-        Relation::cold_block(self, idx)
+    fn cold_block(&self, idx: usize) -> Result<BlockRef, ColdReadError> {
+        Relation::try_cold_block(self, idx)
     }
 
     fn cold_block_may_match(
@@ -363,8 +376,12 @@ impl Relation {
             ));
         }
         let store = match &policy.path {
-            Some(path) => BlockStore::create(path, policy.cache_capacity_bytes)?,
-            None => BlockStore::create_temp(policy.cache_capacity_bytes)?,
+            Some(path) => {
+                BlockStore::create_opts(path, policy.cache_capacity_bytes, policy.durability, None)?
+            }
+            None => {
+                BlockStore::create_temp_opts(policy.cache_capacity_bytes, policy.durability, None)?
+            }
         };
         store.set_garbage_threshold(policy.compaction_garbage_ratio);
         // Write every block out *before* touching any slot: a failed append (disk
@@ -422,7 +439,8 @@ impl Relation {
             )
         })?;
         let store =
-            BlockStore::reopen(path, policy.cache_capacity_bytes).map_err(std::io::Error::from)?;
+            BlockStore::reopen_opts(path, policy.cache_capacity_bytes, policy.durability, None)
+                .map_err(std::io::Error::from)?;
         store.set_garbage_threshold(policy.compaction_garbage_ratio);
         let cold: Vec<ColdSlot> = (0..store.block_count()).map(ColdSlot::Spilled).collect();
         let pk_index = schema.primary_key().map(|_| HashMap::new());
@@ -585,8 +603,19 @@ impl Relation {
     ///
     /// # Panics
     ///
-    /// Panics if the spill store fails to load or rewrite the block.
+    /// Panics if the spill store fails to load or rewrite the block. Fault-aware
+    /// callers use [`Relation::try_delete`].
     pub fn delete(&mut self, id: RowId) -> bool {
+        self.try_delete(id)
+            .unwrap_or_else(|err| panic!("rewrite spilled block: {err}"))
+    }
+
+    /// Fallible variant of [`Relation::delete`]: an I/O failure while loading or
+    /// rewriting a **spilled** block surfaces as the underlying
+    /// [`std::io::Error`] instead of a panic, leaving the record untouched
+    /// (the store never repoints the directory at a write that failed).
+    /// Deleting hot or heap-resident records never does I/O and never errors.
+    pub fn try_delete(&mut self, id: RowId) -> std::io::Result<bool> {
         let row = id.row as usize;
         // The primary-key value is captured on the same access that performs the
         // delete, so the spilled path never pages the block in a second time.
@@ -609,18 +638,16 @@ impl Relation {
                     // relation clones sharing the store serialise (no lost
                     // tombstones).
                     let store = self.store.as_ref().expect("spilled slot without store");
-                    store
-                        .mutate(*block_id, |current| {
-                            if current.is_deleted(row) {
-                                (None, (false, None))
-                            } else {
-                                let key = pk_col.map(|col| current.get(row, col));
-                                let mut block = current.clone();
-                                block.delete(row);
-                                (Some(block), (true, key))
-                            }
-                        })
-                        .expect("rewrite spilled block")
+                    store.mutate(*block_id, |current| {
+                        if current.is_deleted(row) {
+                            (None, (false, None))
+                        } else {
+                            let key = pk_col.map(|col| current.get(row, col));
+                            let mut block = current.clone();
+                            block.delete(row);
+                            (Some(block), (true, key))
+                        }
+                    })?
                 }
             },
             Segment::Hot(c) => {
@@ -635,7 +662,7 @@ impl Relation {
                 index.remove(&key);
             }
         }
-        deleted
+        Ok(deleted)
     }
 
     /// Update a record with new values.
@@ -736,24 +763,68 @@ impl Relation {
     /// system: cold data migrates to compressed blocks, the hot tail stays mutable.
     /// With a spill store attached the new blocks are written out to disk instead of
     /// retained on the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill store fails to write a block out. Fault-aware callers
+    /// use [`Relation::try_freeze_full_chunks`].
     pub fn freeze_full_chunks(&mut self) {
-        self.freeze_internal(false, None)
+        self.try_freeze_full_chunks()
+            .unwrap_or_else(|err| panic!("spill frozen block: {err}"))
     }
 
     /// Freeze **all** hot chunks (including the tail). Used when bulk-loading a
     /// relation that is known to be cold, e.g. the OLAP experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill store fails to write a block out. Fault-aware callers
+    /// use [`Relation::try_freeze_all`].
     pub fn freeze_all(&mut self) {
-        self.freeze_internal(true, None)
+        self.try_freeze_all()
+            .unwrap_or_else(|err| panic!("spill frozen block: {err}"))
     }
 
     /// Freeze all hot chunks, re-ordering the records of each chunk by the given
     /// attribute before compression (the Section 3.2 clustering used by Figure 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill store fails to write a block out. Fault-aware callers
+    /// use [`Relation::try_freeze_all_sorted_by`].
     pub fn freeze_all_sorted_by(&mut self, column: usize) {
+        self.try_freeze_all_sorted_by(column)
+            .unwrap_or_else(|err| panic!("spill frozen block: {err}"))
+    }
+
+    /// Fallible variant of [`Relation::freeze_full_chunks`]: a spill-store write
+    /// failure surfaces as the underlying [`std::io::Error`]. The freeze itself
+    /// still completes — a block whose spill failed stays heap-**resident**
+    /// (nothing is lost, it just did not reach disk), and the first error is
+    /// returned so the caller knows durability was not achieved.
+    pub fn try_freeze_full_chunks(&mut self) -> std::io::Result<()> {
+        self.freeze_internal(false, None)
+    }
+
+    /// Fallible variant of [`Relation::freeze_all`]; same error contract as
+    /// [`Relation::try_freeze_full_chunks`].
+    pub fn try_freeze_all(&mut self) -> std::io::Result<()> {
+        self.freeze_internal(true, None)
+    }
+
+    /// Fallible variant of [`Relation::freeze_all_sorted_by`]; same error
+    /// contract as [`Relation::try_freeze_full_chunks`].
+    pub fn try_freeze_all_sorted_by(&mut self, column: usize) -> std::io::Result<()> {
         self.freeze_internal(true, Some(column))
     }
 
-    fn freeze_internal(&mut self, include_partial: bool, sort_by: Option<usize>) {
+    fn freeze_internal(
+        &mut self,
+        include_partial: bool,
+        sort_by: Option<usize>,
+    ) -> std::io::Result<()> {
         let mut remaining = Vec::new();
+        let mut first_err: Option<std::io::Error> = None;
         let hot = std::mem::take(&mut self.hot);
         // Where each old hot chunk's records end up, in old-chunk order: either the
         // new cold block (rows preserved by an unsorted freeze) or the chunk's new
@@ -789,10 +860,18 @@ impl Relation {
             }
             let block = Arc::new(block);
             let slot = match &self.store {
-                Some(store) => {
-                    let id = store.append(block).expect("spill frozen block");
-                    ColdSlot::Spilled(id)
-                }
+                // A failed spill keeps the block resident: the freeze still
+                // completes (data intact, just not on disk) and the first error
+                // is carried out to the caller below.
+                Some(store) => match store.append(Arc::clone(&block)) {
+                    Ok(id) => ColdSlot::Spilled(id),
+                    Err(err) => {
+                        if first_err.is_none() {
+                            first_err = Some(err);
+                        }
+                        ColdSlot::Resident(block)
+                    }
+                },
                 None => ColdSlot::Resident(block),
             };
             self.cold.push(slot);
@@ -814,6 +893,10 @@ impl Relation {
                 }
             }
         }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------ inspection
@@ -830,8 +913,19 @@ impl Relation {
     /// # Panics
     ///
     /// Panics if `idx` is out of range or the spill store fails to load the block
-    /// (I/O error or checksum mismatch).
+    /// (I/O error or checksum mismatch). Callers that must survive a bad frame —
+    /// scan workers above all — use [`Relation::try_cold_block`].
     pub fn cold_block(&self, idx: usize) -> BlockRef {
+        self.try_cold_block(idx)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible variant of [`Relation::cold_block`]: a spilled block that cannot
+    /// be paged in (disk error, corrupt frame) comes back as a typed
+    /// [`ColdReadError`] naming the block's exact on-disk position instead of
+    /// panicking. Still panics if `idx` is out of range (a caller bug, not an
+    /// I/O condition).
+    pub fn try_cold_block(&self, idx: usize) -> Result<BlockRef, ColdReadError> {
         resolve_cold_slot(&self.cold[idx], self.store.as_ref())
     }
 
