@@ -1,0 +1,81 @@
+//! Dump the physical plans of the checked-in TPC-H IR queries
+//! (`crates/workloads/queries/*.json`) and check them against the golden files
+//! in `crates/workloads/queries/plans/`.
+//!
+//! Plans are compiled at threads = 1 (serial lowering) and threads = 4
+//! (morsel-parallel lowering where the planner allows it); explicit thread
+//! counts pass through [`exec::morsel::effective_threads`] verbatim, so the
+//! rendered plans do not depend on the machine running the check.
+//!
+//! Usage:
+//!   plan_dump            print every plan to stdout
+//!   plan_dump --check    diff against the golden files, exit 1 on any mismatch
+//!   plan_dump --update   rewrite the golden files with the current plans
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use exec::prelude::*;
+use workloads::tpch::{query_ir, TpchDb};
+
+const QUERIES: &[&str] = &["Q1", "Q6", "Q3", "Q12", "Q14"];
+const THREADS: &[usize] = &[1, 4];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../workloads/queries/plans")
+}
+
+/// Render one query's plans at every pinned thread count. Only the relation
+/// schemas matter for planning, so the database is generated at a tiny scale
+/// and never scanned.
+fn render(db: &TpchDb, name: &str) -> String {
+    let mut out = String::new();
+    for &threads in THREADS {
+        let config = ScanConfig::default().with_threads(threads);
+        let plan = query::compile(&db.db, config, query_ir(name))
+            .unwrap_or_else(|err| panic!("planning {name}: {err}"));
+        writeln!(out, "-- {name} threads={threads}").unwrap();
+        writeln!(out, "{plan}").unwrap();
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let db = TpchDb::generate_with_chunk(0.001, 1_024);
+
+    let mut failed = false;
+    for &name in QUERIES {
+        let rendered = render(&db, name);
+        let path = golden_dir().join(format!("{}.plan", name.to_lowercase()));
+        match mode.as_str() {
+            "--update" => {
+                std::fs::write(&path, &rendered).expect("write golden");
+                println!("updated {}", path.display());
+            }
+            "--check" => {
+                let golden = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|err| panic!("read golden {}: {err}", path.display()));
+                if golden != rendered {
+                    failed = true;
+                    eprintln!(
+                        "plan drift for {name} (golden {}):\n--- golden\n{golden}--- current\n{rendered}",
+                        path.display()
+                    );
+                }
+            }
+            _ => print!("{rendered}"),
+        }
+    }
+
+    if failed {
+        eprintln!("plan goldens are stale: run `cargo run --bin plan_dump -- --update` and review the diff");
+        ExitCode::FAILURE
+    } else {
+        if mode == "--check" {
+            println!("plan goldens match ({} queries)", QUERIES.len());
+        }
+        ExitCode::SUCCESS
+    }
+}

@@ -14,6 +14,26 @@
 //! radix-partitioned hash table over its morsels, and the barrier merges the workers'
 //! tables partition-wise (each partition independently, in parallel) before the
 //! single-threaded probe/output tail runs. See [`crate::morsel`] for the driver.
+//!
+//! # Planner contract
+//!
+//! These operators are the lowering target of the `query` crate's
+//! logical→physical planner (spec: `crates/query/README.md`). The contract the
+//! planner relies on, which changes here must preserve:
+//!
+//! * **Deterministic construction** — an operator tree's behaviour is fully
+//!   determined by its constructor arguments; nothing is renegotiated at run
+//!   time, so equal trees produce equal results (and equal `Display` dumps in
+//!   the plan goldens).
+//! * **Thread-count semantics** — `threads` parameters pass through
+//!   [`crate::morsel::effective_threads`] (`0` = auto-detect, anything else
+//!   verbatim); the parallel join build is byte-identical to the serial build
+//!   at every thread count, and parallel aggregation is byte-identical except
+//!   for floating-point sums, which are equal up to reassociation.
+//! * **Output schemas** — [`Operator::output_types`] is fixed at construction;
+//!   the planner mirrors these shapes (inner join = build ++ probe columns,
+//!   semi join = probe columns, aggregate = groups ++ aggregates) when it
+//!   type-checks the IR, so reordering output columns is a breaking change.
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
@@ -118,6 +138,10 @@ impl<'a> Operator for ScanOp<'a> {
 // --------------------------------------------------------------------------- filter
 
 /// Residual (non-SARGable) predicate evaluation, tuple at a time.
+///
+/// The query planner only emits this operator for conjuncts it could *not*
+/// push into the scan's restriction list — a fully sargable filter disappears
+/// into [`crate::RelationScanner`] restrictions instead.
 pub struct FilterOp<'a> {
     input: BoxedOperator<'a>,
     predicate: Expr,
@@ -575,6 +599,10 @@ fn merge_agg_partition(parts: Vec<AggPartition>) -> AggPartition {
 /// for every thread count (they are order-insensitive); sums over doubles are
 /// subject to floating-point reassociation like any parallel reduction and may
 /// differ in the last ulps.
+///
+/// This is the query planner's lowering for aggregates fed by a pure scan
+/// pipeline when the effective thread count is ≠ 1; join-fed aggregates (and
+/// single-threaded plans) lower to [`HashAggregateOp`].
 pub struct ParallelHashAggregateOp<'a> {
     source: AggSource<'a>,
     group_exprs: Vec<Expr>,
@@ -770,7 +798,8 @@ impl<'a> HashJoinOp<'a> {
     /// [`crate::ScanConfig::threads`]: `1` builds serially on the calling thread,
     /// `0` uses every hardware thread). The probe/output tail stays streaming and
     /// single-threaded; results are byte-identical to the serial build for every
-    /// thread count.
+    /// thread count. The query planner applies this to every join it lowers, at
+    /// the session's configured thread count.
     pub fn with_parallel_build(mut self, threads: usize) -> Self {
         self.build_threads = threads;
         self

@@ -1,0 +1,97 @@
+//! The error taxonomy of the query surface.
+//!
+//! Every failure on the way from JSON text to a physical plan is an [`IrError`]
+//! carrying a position in the source text and one of three kinds:
+//!
+//! | kind | stage | examples |
+//! |------|-------|----------|
+//! | [`IrErrorKind::Syntax`] | JSON lexing/parsing | truncated document, trailing garbage, duplicate keys |
+//! | [`IrErrorKind::Schema`] | JSON → IR | unknown node kind, missing/extra field, wrong JSON type, unsupported `version` |
+//! | [`IrErrorKind::Semantic`] | IR → physical plan | unknown relation/column, column index out of range, type mismatch, join-key arity mismatch |
+//!
+//! Syntax and schema errors are producible without a catalog ([`crate::parse_ir`]);
+//! semantic errors need the relation schemas and surface from
+//! [`crate::Planner::plan`]. All three render as
+//! `"<kind> error at line L, column C: <message>"` so tooling (and tests) can
+//! anchor them to the query text.
+
+use std::fmt;
+
+use crate::json::{JsonError, Pos};
+
+/// Which stage of the JSON → IR → plan pipeline rejected the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrErrorKind {
+    /// The text is not well-formed JSON.
+    Syntax,
+    /// The JSON does not match the IR schema (see `crates/query/README.md`).
+    Schema,
+    /// The IR is well-formed but does not make sense against the catalog or the
+    /// typing rules.
+    Semantic,
+}
+
+impl IrErrorKind {
+    fn name(self) -> &'static str {
+        match self {
+            IrErrorKind::Syntax => "syntax",
+            IrErrorKind::Schema => "schema",
+            IrErrorKind::Semantic => "semantic",
+        }
+    }
+}
+
+/// A positioned error from parsing, validating or planning a query IR document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrError {
+    /// The rejecting stage.
+    pub kind: IrErrorKind,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+    /// Position in the source text the error is anchored to.
+    pub pos: Pos,
+}
+
+impl IrError {
+    /// A schema-stage error at `pos`.
+    pub fn schema(pos: Pos, message: impl Into<String>) -> IrError {
+        IrError {
+            kind: IrErrorKind::Schema,
+            message: message.into(),
+            pos,
+        }
+    }
+
+    /// A semantic-stage error at `pos`.
+    pub fn semantic(pos: Pos, message: impl Into<String>) -> IrError {
+        IrError {
+            kind: IrErrorKind::Semantic,
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl From<JsonError> for IrError {
+    fn from(err: JsonError) -> IrError {
+        IrError {
+            kind: IrErrorKind::Syntax,
+            message: err.message,
+            pos: err.pos,
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} error at {}: {}",
+            self.kind.name(),
+            self.pos,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for IrError {}

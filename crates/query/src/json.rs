@@ -1,0 +1,594 @@
+//! A dependency-free JSON parser and serializer with **source positions**.
+//!
+//! The IR layer ([`crate::ir`]) needs every parse and validation error to point at
+//! a line/column of the query text, so this parser attaches a [`Pos`] to every
+//! value it produces. It accepts exactly the JSON grammar of RFC 8259 with two
+//! deliberate restrictions that make IR files easier to review and diff:
+//!
+//! * **Duplicate object keys are an error** (RFC 8259 leaves them undefined;
+//!   silently keeping one of the two would hide typos in query files).
+//! * **Numbers are split into integers and doubles at the lexical level**: a
+//!   number without `.`/`e`/`E` must fit an `i64` and becomes [`JsonValue::Int`];
+//!   anything else becomes [`JsonValue::Double`]. The IR's typed literals rely on
+//!   this distinction.
+//!
+//! The serializer ([`to_pretty`]) emits the canonical formatting used for
+//! round-tripping IR and for the golden plan files: two-space indentation, keys
+//! in insertion order.
+
+use std::fmt;
+
+/// A position in the parsed text (1-based line and column, counted in bytes —
+/// the IR files are ASCII in practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// A JSON value with the position where it started in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Json {
+    /// Where the value started (points at its first character).
+    pub pos: Pos,
+    /// The value itself.
+    pub value: JsonValue,
+}
+
+/// The value alternatives of JSON, with numbers split into ints and doubles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number without fraction or exponent, fitting an `i64`.
+    Int(i64),
+    /// Any other number.
+    Double(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; key order is preserved and keys are unique.
+    Object(Vec<(String, Json)>),
+}
+
+impl JsonValue {
+    /// A short noun for error messages ("expected an object, found a string").
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "a boolean",
+            JsonValue::Int(_) => "an integer",
+            JsonValue::Double(_) => "a number",
+            JsonValue::Str(_) => "a string",
+            JsonValue::Array(_) => "an array",
+            JsonValue::Object(_) => "an object",
+        }
+    }
+}
+
+/// A syntax error with the position where it was detected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the error was detected.
+    pub pos: Pos,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document. Trailing non-whitespace after the root value
+/// is an error (a truncated or concatenated file must not parse silently).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser::new(text);
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(parser.error("unexpected trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            pos: self.pos(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.at >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn advance(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.at += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(byte)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.advance();
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.advance();
+                Ok(())
+            }
+            Some(b) => Err(self.error(format!(
+                "expected '{}', found '{}'",
+                byte as char, b as char
+            ))),
+            None => Err(self.error(format!(
+                "expected '{}', found end of input (truncated JSON?)",
+                byte as char
+            ))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        let pos = self.pos();
+        match self.peek() {
+            None => Err(self.error("expected a value, found end of input (truncated JSON?)")),
+            Some(b'{') => self.parse_object(pos),
+            Some(b'[') => self.parse_array(pos),
+            Some(b'"') => {
+                let s = self.parse_string()?;
+                Ok(Json {
+                    pos,
+                    value: JsonValue::Str(s),
+                })
+            }
+            Some(b't') => self.parse_keyword(pos, "true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword(pos, "false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword(pos, "null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(pos),
+            Some(b) => Err(self.error(format!("unexpected character '{}'", b as char))),
+        }
+    }
+
+    fn parse_keyword(
+        &mut self,
+        pos: Pos,
+        keyword: &str,
+        value: JsonValue,
+    ) -> Result<Json, JsonError> {
+        for expected in keyword.bytes() {
+            match self.advance() {
+                Some(b) if b == expected => {}
+                _ => return Err(self.error(format!("invalid literal (expected `{keyword}`)"))),
+            }
+        }
+        Ok(Json { pos, value })
+    }
+
+    fn parse_number(&mut self, pos: Pos) -> Result<Json, JsonError> {
+        let start = self.at;
+        let mut is_double = false;
+        if self.peek() == Some(b'-') {
+            self.advance();
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.error("expected a digit after '-'"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.advance();
+        }
+        if self.peek() == Some(b'.') {
+            is_double = true;
+            self.advance();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.advance();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_double = true;
+            self.advance();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.advance();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.advance();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("scanned ASCII");
+        let value = if is_double {
+            JsonValue::Double(
+                text.parse::<f64>()
+                    .map_err(|e| self.error(format!("invalid number `{text}`: {e}")))?,
+            )
+        } else {
+            JsonValue::Int(
+                text.parse::<i64>()
+                    .map_err(|_| self.error(format!("integer `{text}` does not fit 64 bits")))?,
+            )
+        };
+        Ok(Json { pos, value })
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.advance() {
+                None => return Err(self.error("unterminated string (truncated JSON?)")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.advance() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = match self.advance() {
+                                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                                _ => return Err(self.error("expected four hex digits after \\u")),
+                            };
+                            code = code * 16 + digit;
+                        }
+                        // Surrogate pairs are rejected rather than decoded: IR
+                        // files have no business containing astral-plane escapes,
+                        // and a loud error beats silent mojibake.
+                        let ch = char::from_u32(code).ok_or_else(|| {
+                            self.error(format!("\\u{code:04x} is not a valid scalar value"))
+                        })?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(b) => out.push(b),
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.error("string is not valid UTF-8"))
+    }
+
+    fn parse_array(&mut self, pos: Pos) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.advance();
+            return Ok(Json {
+                pos,
+                value: JsonValue::Array(items),
+            });
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.advance();
+                }
+                Some(b']') => {
+                    self.advance();
+                    break;
+                }
+                Some(b) => {
+                    return Err(self.error(format!(
+                        "expected ',' or ']' in array, found '{}'",
+                        b as char
+                    )))
+                }
+                None => return Err(self.error("unterminated array (truncated JSON?)")),
+            }
+        }
+        Ok(Json {
+            pos,
+            value: JsonValue::Array(items),
+        })
+    }
+
+    fn parse_object(&mut self, pos: Pos) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.advance();
+            return Ok(Json {
+                pos,
+                value: JsonValue::Object(fields),
+            });
+        }
+        loop {
+            self.skip_ws();
+            let key_pos = self.pos();
+            match self.peek() {
+                Some(b'"') => {}
+                Some(_) => {
+                    return Err(JsonError {
+                        message: "expected a string object key".into(),
+                        pos: key_pos,
+                    })
+                }
+                None => {
+                    return Err(JsonError {
+                        message: "truncated document: expected an object key".into(),
+                        pos: key_pos,
+                    })
+                }
+            }
+            let key = self.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    message: format!("duplicate object key {key:?}"),
+                    pos: key_pos,
+                });
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.advance();
+                }
+                Some(b'}') => {
+                    self.advance();
+                    break;
+                }
+                Some(b) => {
+                    return Err(self.error(format!(
+                        "expected ',' or '}}' in object, found '{}'",
+                        b as char
+                    )))
+                }
+                None => return Err(self.error("unterminated object (truncated JSON?)")),
+            }
+        }
+        Ok(Json {
+            pos,
+            value: JsonValue::Object(fields),
+        })
+    }
+}
+
+// ------------------------------------------------------------------- serializer
+
+/// Serialize a value with two-space indentation (the canonical formatting of the
+/// checked-in IR files).
+pub fn to_pretty(value: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(value, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_value(value: &JsonValue, indent: usize, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(v) => out.push_str(&v.to_string()),
+        JsonValue::Double(v) => {
+            // `{:?}` keeps a trailing `.0` on integral doubles, so the value
+            // re-parses as a double (round-trip stability).
+            out.push_str(&format!("{v:?}"));
+        }
+        JsonValue::Str(s) => write_string(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_value(&item.value, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_value(&value.value, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(text: &str) -> Json {
+        parse(text).expect("should parse")
+    }
+
+    #[test]
+    fn scalars_parse_with_positions() {
+        assert_eq!(parse_ok("42").value, JsonValue::Int(42));
+        assert_eq!(parse_ok("-7").value, JsonValue::Int(-7));
+        assert_eq!(parse_ok("1.5").value, JsonValue::Double(1.5));
+        assert_eq!(parse_ok("1e3").value, JsonValue::Double(1000.0));
+        assert_eq!(parse_ok("\"hi\\n\"").value, JsonValue::Str("hi\n".into()));
+        assert_eq!(parse_ok("true").value, JsonValue::Bool(true));
+        assert_eq!(parse_ok("null").value, JsonValue::Null);
+        let v = parse_ok("\n  12");
+        assert_eq!(v.pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn nested_structure_positions_point_at_values() {
+        let doc = parse_ok("{\n  \"a\": [1, {\"b\": 2}]\n}");
+        let JsonValue::Object(fields) = &doc.value else {
+            panic!("expected object");
+        };
+        let (key, array) = &fields[0];
+        assert_eq!(key, "a");
+        assert_eq!(array.pos, Pos { line: 2, col: 8 });
+        let JsonValue::Array(items) = &array.value else {
+            panic!("expected array");
+        };
+        assert_eq!(items[1].pos, Pos { line: 2, col: 12 });
+    }
+
+    #[test]
+    fn truncated_documents_error_with_position() {
+        for text in ["{\"a\": ", "[1, 2", "\"abc", "{\"a\": 1,"] {
+            let err = parse(text).unwrap_err();
+            assert!(
+                err.message.contains("truncated") || err.message.contains("end of input"),
+                "{text:?} -> {err}"
+            );
+        }
+        let err = parse("{\n  \"a\": [1,\n").unwrap_err();
+        assert_eq!(err.pos.line, 3, "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse("{} x").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        assert_eq!(err.pos, Pos { line: 1, col: 4 });
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        assert_eq!(err.pos.col, 10);
+    }
+
+    #[test]
+    fn numbers_split_into_int_and_double() {
+        assert_eq!(parse_ok("5").value, JsonValue::Int(5));
+        assert_eq!(parse_ok("5.0").value, JsonValue::Double(5.0));
+        // i64 overflow is loud, not lossy
+        assert!(parse("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let text = "{\n  \"version\": 1,\n  \"xs\": [\n    1,\n    2.5,\n    \"s\",\n    null\n  ],\n  \"empty\": {}\n}\n";
+        let parsed = parse(text).unwrap();
+        assert_eq!(to_pretty(&parsed.value), text);
+        let reparsed = parse(&to_pretty(&parsed.value)).unwrap();
+        assert_eq!(reparsed, parsed);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(
+            parse_ok("\"\\u00e9\"").value,
+            JsonValue::Str("\u{e9}".into())
+        );
+        assert!(parse("\"\\ud800\"").is_err(), "lone surrogate rejected");
+    }
+}

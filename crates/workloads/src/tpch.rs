@@ -772,6 +772,30 @@ pub fn run_query(db: &TpchDb, name: &str, config: ScanConfig) -> QueryResult {
     }
 }
 
+/// The checked-in JSON IR document of a [`QUERY_SUBSET`] query — the same plan
+/// expressed through the `query` crate's IR (see `crates/query/README.md`)
+/// instead of a hand-assembled operator tree.
+pub fn query_ir(name: &str) -> &'static str {
+    match name {
+        "Q1" => include_str!("../queries/q1.json"),
+        "Q3" => include_str!("../queries/q3.json"),
+        "Q6" => include_str!("../queries/q6.json"),
+        "Q12" => include_str!("../queries/q12.json"),
+        "Q14" => include_str!("../queries/q14.json"),
+        other => panic!("query {other:?} is not part of the reproduced subset"),
+    }
+}
+
+/// Run a [`QUERY_SUBSET`] query from its checked-in IR file through the planner
+/// (`query::compile`) instead of the hand-built operator tree. The differential
+/// suite (`tests/ir_differential.rs`) pins both paths byte-identical across
+/// thread counts and cache regimes.
+pub fn run_query_ir(db: &TpchDb, name: &str, config: ScanConfig) -> Batch {
+    let plan = query::compile(&db.db, config, query_ir(name))
+        .unwrap_or_else(|err| panic!("planning {name}: {err}"));
+    plan.execute(&db.db)
+}
+
 /// Adapter passing batches through while leaving ownership of the wrapped operator
 /// with the caller, so scan statistics remain accessible after the pipeline ran.
 struct TakeStats<'a, 'b> {

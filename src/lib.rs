@@ -14,6 +14,8 @@
 //!   that takes relations past main memory.
 //! * [`exec`] — the interpreted vectorized scan subsystem feeding (simulated)
 //!   JIT-compiled tuple-at-a-time query pipelines, plus relational operators.
+//! * [`query`] — the versioned JSON IR for logical plans and the
+//!   logical → physical planner lowering it onto `exec`'s operator trees.
 //! * [`bitpack`] — the horizontal bit-packing and heavy-compression baselines the
 //!   paper evaluates against.
 //! * [`workloads`] — TPC-H, TPC-C, IMDB cast_info and flights generators and the
@@ -39,5 +41,6 @@ pub use bitpack;
 pub use datablocks;
 pub use dbsimd;
 pub use exec;
+pub use query;
 pub use storage;
 pub use workloads;
