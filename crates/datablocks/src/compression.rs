@@ -400,11 +400,18 @@ impl ColumnCompression {
         }
         match self {
             ColumnCompression::Truncated { min, codes } => {
-                let lo_code = if lo <= *min { 0 } else { (lo - min) as u64 };
+                // Open-ended comparisons arrive as `i64::MIN`/`i64::MAX` bounds, so
+                // the value→code shift must saturate rather than overflow (the code
+                // width clamp below makes the saturated value exact anyway).
+                let lo_code = if lo <= *min {
+                    0
+                } else {
+                    lo.saturating_sub(*min) as u64
+                };
                 if hi < *min {
                     return None;
                 }
-                let hi_code = (hi - min) as u64;
+                let hi_code = hi.saturating_sub(*min) as u64;
                 // Clamp to the code width; anything above the width's max cannot occur.
                 let width_max = match codes.byte_width() {
                     1 => u8::MAX as u64,

@@ -107,11 +107,19 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     Ok(value)
 }
 
+/// Maximum nesting depth of arrays/objects. The parser recurses once per
+/// nesting level, so without a cap an adversarial document (`[[[[…`) overflows
+/// the stack instead of returning a positioned error. 512 levels is far beyond
+/// any legitimate IR document (plan depth tops out in the dozens) while staying
+/// well inside the default stack even in debug builds.
+const MAX_DEPTH: u32 = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
     line: u32,
     col: u32,
+    depth: u32,
 }
 
 impl<'a> Parser<'a> {
@@ -121,6 +129,7 @@ impl<'a> Parser<'a> {
             at: 0,
             line: 1,
             col: 1,
+            depth: 0,
         }
     }
 
@@ -185,8 +194,8 @@ impl<'a> Parser<'a> {
         let pos = self.pos();
         match self.peek() {
             None => Err(self.error("expected a value, found end of input (truncated JSON?)")),
-            Some(b'{') => self.parse_object(pos),
-            Some(b'[') => self.parse_array(pos),
+            Some(b'{') => self.parse_nested(pos, Parser::parse_object),
+            Some(b'[') => self.parse_nested(pos, Parser::parse_array),
             Some(b'"') => {
                 let s = self.parse_string()?;
                 Ok(Json {
@@ -200,6 +209,26 @@ impl<'a> Parser<'a> {
             Some(b'-' | b'0'..=b'9') => self.parse_number(pos),
             Some(b) => Err(self.error(format!("unexpected character '{}'", b as char))),
         }
+    }
+
+    /// Enter one nesting level (array or object), enforcing [`MAX_DEPTH`]. The
+    /// error is positioned at the opening bracket of the value that crossed the
+    /// limit, so tooling can point straight at the offending nesting.
+    fn parse_nested(
+        &mut self,
+        pos: Pos,
+        inner: fn(&mut Parser<'a>, Pos) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError {
+                message: format!("document nesting exceeds the maximum depth of {MAX_DEPTH}"),
+                pos,
+            });
+        }
+        self.depth += 1;
+        let result = inner(self, pos);
+        self.depth -= 1;
+        result
     }
 
     fn parse_keyword(
@@ -581,6 +610,43 @@ mod tests {
         assert_eq!(to_pretty(&parsed.value), text);
         let reparsed = parse(&to_pretty(&parsed.value)).unwrap();
         assert_eq!(reparsed, parsed);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // 10k-deep documents must produce a positioned error, not a stack
+        // overflow. Exercise both the array and the object recursion paths.
+        let deep_array = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = parse(&deep_array).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        assert_eq!(err.pos.line, 1);
+        assert_eq!(
+            err.pos.col,
+            MAX_DEPTH + 1,
+            "points at the bracket past the limit"
+        );
+
+        let deep_object = "{\"k\":".repeat(10_000) + "1" + &"}".repeat(10_000);
+        let err = parse(&deep_object).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+
+        // Mixed nesting also trips the guard.
+        let mixed = "[{\"k\":".repeat(5_000) + "1" + &"}]".repeat(5_000);
+        assert!(parse(&mixed).unwrap_err().message.contains("nesting"));
+    }
+
+    #[test]
+    fn nesting_below_the_limit_parses() {
+        let depth = (MAX_DEPTH - 2) as usize;
+        let doc = "[".repeat(depth) + "0" + &"]".repeat(depth);
+        let mut value = &parse_ok(&doc).value;
+        for _ in 0..depth {
+            let JsonValue::Array(items) = value else {
+                panic!("expected array");
+            };
+            value = &items[0].value;
+        }
+        assert_eq!(*value, JsonValue::Int(0));
     }
 
     #[test]

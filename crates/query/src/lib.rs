@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fuzz;
 pub mod ir;
 pub mod json;
 pub mod planner;
