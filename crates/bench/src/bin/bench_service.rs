@@ -1,0 +1,150 @@
+//! Query-service throughput benchmark: concurrent sessions racing the TPC-H
+//! Q1/Q6/Q3 mix through [`query::QueryService`] against a spilled database,
+//! across session counts {1, 4, 16} and two admission-budget regimes:
+//!
+//! * `ample` — the shared pool fits every session's budget at once, so
+//!   admission only enforces the concurrency cap and queries run with their
+//!   full channel capacity;
+//! * `tight` — the pool admits two budgets at a time, so sessions queue FIFO
+//!   at admission and each granted query runs with a budget-derived (smaller)
+//!   reorder-channel capacity.
+//!
+//! Reported rows/s is lineitem rows driven through scans over wall time,
+//! summed across sessions — the same row-throughput currency as the other
+//! benchmarks, so the entries fold into `BENCH_trajectory.jsonl` unchanged
+//! (`threads` carries the session count; each query plans at one thread).
+//!
+//! Knobs:
+//! * `TPCH_SF` — scale factor (default 0.2);
+//! * `SERVICE_ROUNDS` — query-mix rounds per session (default 2).
+
+use std::io::Write as _;
+use std::sync::Arc;
+
+use db_bench::{print_table_header, print_table_row};
+use exec::prelude::*;
+use query::service::derive_spill_policy;
+use query::{QueryService, ServiceConfig};
+use storage::SpillPolicy;
+use workloads::tpch::{query_sql, TpchDb};
+
+const SESSION_COUNTS: &[usize] = &[1, 4, 16];
+const QUERIES: &[&str] = &["Q1", "Q6", "Q3"];
+const PER_SESSION_BUDGET: usize = 32 << 20;
+
+/// (regime name, shared pool size): `ample` admits all 16 budgets at once,
+/// `tight` two.
+const REGIMES: &[(&str, usize)] = &[
+    ("ample", 16 * PER_SESSION_BUDGET),
+    ("tight", 2 * PER_SESSION_BUDGET),
+];
+
+fn main() {
+    let sf = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let rounds: usize = std::env::var("SERVICE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    println!("generating TPC-H scale factor {sf} ...");
+    let mut db = TpchDb::generate(sf);
+    db.freeze();
+    let lineitem_rows = db.db.relation("lineitem").row_count();
+
+    // Spill with the block-cache share of the largest pool; the cache capacity
+    // is a property of the database, the admission budgets of the service.
+    let relation_count = db.db.relation_names().len();
+    let (_, largest_pool) = REGIMES[0];
+    db.db
+        .enable_spill(derive_spill_policy(
+            SpillPolicy::default(),
+            largest_pool,
+            relation_count,
+        ))
+        .expect("enable spill");
+    println!(
+        "lineitem: {lineitem_rows} rows; {relation_count} relations spilled, \
+         {} KiB cache per store",
+        db.db.spill_policy().expect("policy").cache_capacity_bytes >> 10,
+    );
+    let db = Arc::new(db.db);
+
+    let widths = [16usize, 10, 10, 12, 14];
+    print_table_header(
+        "Query service throughput (Q1/Q6/Q3 mix, 1 planner thread per query)",
+        &["regime", "sessions", "queries", "elapsed", "rows/s"],
+        &widths,
+    );
+
+    let mut entries = Vec::new();
+    for &(regime, pool) in REGIMES {
+        for &sessions in SESSION_COUNTS {
+            let service = Arc::new(QueryService::new(
+                Arc::clone(&db),
+                ScanConfig::default().with_threads(1),
+                ServiceConfig {
+                    max_concurrent: 16,
+                    total_budget_bytes: pool,
+                },
+            ));
+            let queries = sessions * rounds * QUERIES.len();
+            let start = std::time::Instant::now();
+            let mut handles = Vec::new();
+            for k in 0..sessions {
+                let service = Arc::clone(&service);
+                handles.push(std::thread::spawn(move || {
+                    let session = service.session(PER_SESSION_BUDGET);
+                    for round in 0..rounds {
+                        for (q, &name) in QUERIES.iter().enumerate() {
+                            let sql = query_sql(QUERIES[(k + round + q) % QUERIES.len()]);
+                            session
+                                .sql(sql)
+                                .unwrap_or_else(|err| panic!("{name}: {err}"));
+                        }
+                    }
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("session thread");
+            }
+            let secs = start.elapsed().as_secs_f64();
+            // Every query in the mix drives a full (pruned) pass over
+            // lineitem; rows/s is that driving stream summed over sessions.
+            let rows_per_s = (queries * lineitem_rows) as f64 / secs;
+            let shape = format!("{regime}_s{sessions}");
+            print_table_row(
+                &[
+                    shape.clone(),
+                    format!("{sessions}"),
+                    format!("{queries}"),
+                    format!("{:.2}s", secs),
+                    format!("{rows_per_s:.0}"),
+                ],
+                &widths,
+            );
+            entries.push(format!(
+                "    {{\"service\": \"{shape}\", \"threads\": {sessions}, \
+                 \"elapsed_ms\": {:.3}, \"rows_per_s\": {rows_per_s:.0}, \
+                 \"queries\": {queries}}}",
+                secs * 1e3,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"query_service\",\n  \"scale_factor\": {sf},\n  \
+         \"lineitem_rows\": {lineitem_rows},\n  \"rounds\": {rounds},\n  \
+         \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries.join(",\n"),
+    );
+    let path = "BENCH_service.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_service.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_service.json");
+    println!("\nwrote {path}");
+}

@@ -7,23 +7,40 @@
 //! counts pass through [`exec::morsel::effective_threads`] verbatim, so the
 //! rendered plans do not depend on the machine running the check.
 //!
+//! The SQL texts in `crates/workloads/queries/sql/*.sql` are pinned to the
+//! same goldens: each must lower (via `query::parse_sql`) to exactly the
+//! checked-in IR document, so SQL, JSON and physical plan stay one artifact.
+//!
 //! Usage:
 //!   plan_dump            print every plan to stdout
 //!   plan_dump --check    diff against the golden files, exit 1 on any mismatch
-//!   plan_dump --update   rewrite the golden files with the current plans
+//!   plan_dump --update   rewrite the golden files (plans + IR JSON from SQL)
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use exec::prelude::*;
-use workloads::tpch::{query_ir, TpchDb};
+use query::Connect;
+use workloads::tpch::{query_ir, query_sql, TpchDb};
 
 const QUERIES: &[&str] = &["Q1", "Q6", "Q3", "Q12", "Q14"];
 const THREADS: &[usize] = &[1, 4];
 
+fn queries_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../workloads/queries")
+}
+
 fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../workloads/queries/plans")
+    queries_dir().join("plans")
+}
+
+/// The IR document the query's checked-in SQL lowers to, rendered canonically
+/// (this is the byte content of `queries/<q>.json`).
+fn lowered_ir(db: &TpchDb, name: &str) -> String {
+    let ir = query::parse_sql(&db.db, query_sql(name))
+        .unwrap_or_else(|err| panic!("lowering {name} SQL: {err}"));
+    ir.to_pretty()
 }
 
 /// Render one query's plans at every pinned thread count. Only the relation
@@ -33,7 +50,11 @@ fn render(db: &TpchDb, name: &str) -> String {
     let mut out = String::new();
     for &threads in THREADS {
         let config = ScanConfig::default().with_threads(threads);
-        let plan = query::compile(&db.db, config, query_ir(name))
+        let plan = db
+            .db
+            .connect()
+            .with_config(config)
+            .compile_ir(query_ir(name))
             .unwrap_or_else(|err| panic!("planning {name}: {err}"));
         writeln!(out, "-- {name} threads={threads}").unwrap();
         writeln!(out, "{plan}").unwrap();
@@ -47,14 +68,25 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for &name in QUERIES {
+        let ir_json = lowered_ir(&db, name);
+        let ir_path = queries_dir().join(format!("{}.json", name.to_lowercase()));
         let rendered = render(&db, name);
         let path = golden_dir().join(format!("{}.plan", name.to_lowercase()));
         match mode.as_str() {
             "--update" => {
+                std::fs::write(&ir_path, &ir_json).expect("write IR golden");
                 std::fs::write(&path, &rendered).expect("write golden");
-                println!("updated {}", path.display());
+                println!("updated {} and {}", ir_path.display(), path.display());
             }
             "--check" => {
+                if query_ir(name) != ir_json {
+                    failed = true;
+                    eprintln!(
+                        "SQL/IR drift for {name}: {} does not match the lowered SQL\n--- checked in\n{}--- lowered from SQL\n{ir_json}",
+                        ir_path.display(),
+                        query_ir(name)
+                    );
+                }
                 let golden = std::fs::read_to_string(&path)
                     .unwrap_or_else(|err| panic!("read golden {}: {err}", path.display()));
                 if golden != rendered {

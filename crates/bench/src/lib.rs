@@ -151,6 +151,7 @@ pub const BENCHMARK_FILES: &[(&str, &str)] = &[
     ("io", "BENCH_io.json"),
     ("join", "BENCH_join.json"),
     ("oltp", "BENCH_oltp.json"),
+    ("service", "BENCH_service.json"),
 ];
 
 /// Fold raw `(shape, threads, rows_per_s)` measurements down to the best rows/s

@@ -66,6 +66,15 @@ pub struct Catalog {
     pub relations: Vec<RelationData>,
 }
 
+impl crate::sql::SqlCatalog for Catalog {
+    fn relation_columns(&self, relation: &str) -> Option<Vec<(String, DataType)>> {
+        self.relations
+            .iter()
+            .find(|rel| rel.name == relation)
+            .map(|rel| rel.columns.iter().map(|c| (c.name.clone(), c.ty)).collect())
+    }
+}
+
 impl Catalog {
     /// Materialise the catalog as an in-memory [`Database`].
     pub fn build_database(&self) -> Database {
@@ -188,6 +197,33 @@ pub fn check_case_with(case: &FuzzCase, engine_ir: Option<&QueryIr>) -> Result<(
             regime: "serializer".into(),
             detail: "parse(to_pretty(ir)).to_pretty() differs from to_pretty(ir)".into(),
         });
+    }
+
+    // Stage 1b: the SQL renderer must round-trip through the SQL front end —
+    // to_sql(ir) re-parsed against the case's catalog reproduces the IR
+    // exactly. This pins the lexer, parser, lowering and printer against every
+    // generated plan shape.
+    let sql = crate::sql::to_sql(&case.ir);
+    match crate::sql::parse_sql(&case.catalog, &sql) {
+        Ok(from_sql) => {
+            if from_sql.to_pretty() != text {
+                return Err(Failure {
+                    kind: FailureKind::RoundTrip,
+                    regime: "sql".into(),
+                    detail: format!(
+                        "parse_sql(to_sql(ir)) differs from ir\nsql: {sql}\nreparsed:\n{}\noriginal:\n{text}",
+                        from_sql.to_pretty()
+                    ),
+                });
+            }
+        }
+        Err(err) => {
+            return Err(Failure {
+                kind: FailureKind::RoundTrip,
+                regime: "sql".into(),
+                detail: format!("to_sql output does not re-parse: {err}\nsql: {sql}"),
+            });
+        }
     }
 
     // Stage 2: the oracle. Generated plans are well-typed by construction, so

@@ -55,11 +55,15 @@ pub mod fuzz;
 pub mod ir;
 pub mod json;
 pub mod planner;
+pub mod service;
+pub mod sql;
 
 pub use error::{IrError, IrErrorKind};
 pub use ir::{parse_ir, Node, QueryIr, IR_VERSION};
 pub use json::Pos;
 pub use planner::{PhysicalPlan, Planner};
+pub use service::{Connect, Error, QueryService, ServiceConfig, Session};
+pub use sql::{parse_sql, to_sql, SqlCatalog};
 
 use exec::ScanConfig;
 use storage::Database;

@@ -48,12 +48,12 @@ use crate::json::Pos;
 /// The inferred type of an expression: a concrete [`DataType`], or `Any` for
 /// NULL literals (which take any declared type).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ty {
+pub(crate) enum Ty {
     Known(DataType),
     Any,
 }
 
-fn type_name(ty: DataType) -> &'static str {
+pub(crate) fn type_name(ty: DataType) -> &'static str {
     match ty {
         DataType::Int => "int",
         DataType::Double => "double",
@@ -68,7 +68,7 @@ fn ty_name(ty: Ty) -> &'static str {
     }
 }
 
-fn value_type(value: &Value) -> Ty {
+pub(crate) fn value_type(value: &Value) -> Ty {
     match value {
         Value::Null => Ty::Any,
         Value::Int(_) => Ty::Known(DataType::Int),
@@ -101,7 +101,7 @@ fn combine_numeric(lhs: Ty, rhs: Ty) -> Ty {
 }
 
 /// Infer the type of `expr` over an input with the given column types.
-fn infer_type(expr: &IrExpr, input: &[DataType]) -> Result<Ty, IrError> {
+pub(crate) fn infer_type(expr: &IrExpr, input: &[DataType]) -> Result<Ty, IrError> {
     match &expr.kind {
         ExprKind::Col(idx) => input.get(*idx).map(|t| Ty::Known(*t)).ok_or_else(|| {
             IrError::semantic(
@@ -162,7 +162,12 @@ fn infer_type(expr: &IrExpr, input: &[DataType]) -> Result<Ty, IrError> {
 }
 
 /// Check an inferred type against a declared one (NULL literals accept any).
-fn check_declared(inferred: Ty, declared: DataType, pos: Pos, what: &str) -> Result<(), IrError> {
+pub(crate) fn check_declared(
+    inferred: Ty,
+    declared: DataType,
+    pos: Pos,
+    what: &str,
+) -> Result<(), IrError> {
     match inferred {
         Ty::Any => Ok(()),
         Ty::Known(t) if t == declared => Ok(()),
@@ -258,6 +263,15 @@ impl PhysicalPlan {
     /// The scan configuration the plan was lowered for.
     pub fn config(&self) -> ScanConfig {
         self.config
+    }
+
+    /// Override the reorder-channel capacity the plan executes with (used by the
+    /// query service to derive back-pressure from a session's memory budget).
+    /// Planning decisions are unaffected — the channel cap only bounds how many
+    /// morsel batches may be in flight per scan.
+    pub fn with_channel_cap(mut self, channel_cap: usize) -> PhysicalPlan {
+        self.config.channel_cap = channel_cap;
+        self
     }
 
     /// Build the operator tree and drain it to a single output batch.

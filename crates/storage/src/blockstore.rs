@@ -380,6 +380,9 @@ struct Inner {
     clock: Vec<BlockId>,
     hand: usize,
     cached_bytes: usize,
+    /// Largest `cached_bytes` ever observed (pins can push the resident set
+    /// above the capacity transiently; this records how far).
+    cache_high_water: usize,
     /// Generation new frames are appended to.
     current_gen: u32,
     /// Append point within the current generation file.
@@ -402,6 +405,7 @@ impl Inner {
             clock: Vec::new(),
             hand: 0,
             cached_bytes: 0,
+            cache_high_water: 0,
             current_gen: 0,
             end_offset: 0,
             live_bytes: 0,
@@ -430,6 +434,9 @@ struct ManifestFile {
 struct PrefetchShared {
     state: Mutex<PrefetchState>,
     work: Condvar,
+    /// Signalled whenever the queue and in-flight set both drain (and on
+    /// shutdown); [`BlockStore::quiesce_prefetch`] parks here.
+    idle: Condvar,
 }
 
 #[derive(Debug, Default)]
@@ -674,6 +681,7 @@ impl BlockStore {
                 prefetch: Arc::new(PrefetchShared {
                     state: Mutex::new(PrefetchState::default()),
                     work: Condvar::new(),
+                    idle: Condvar::new(),
                 }),
             }))
         })();
@@ -816,6 +824,7 @@ impl BlockStore {
             prefetch: Arc::new(PrefetchShared {
                 state: Mutex::new(PrefetchState::default()),
                 work: Condvar::new(),
+                idle: Condvar::new(),
             }),
         });
         if fresh_checkpoint {
@@ -960,6 +969,7 @@ impl BlockStore {
                 prefetch: Arc::new(PrefetchShared {
                     state: Mutex::new(PrefetchState::default()),
                     work: Condvar::new(),
+                    idle: Condvar::new(),
                 }),
             });
             store.checkpoint()?;
@@ -1002,6 +1012,15 @@ impl BlockStore {
     /// Bytes of decoded blocks currently resident in the cache.
     pub fn cached_bytes(&self) -> usize {
         self.inner.lock().expect("store lock").cached_bytes
+    }
+
+    /// Largest cache residency, in bytes, the store has ever reached. Pinned
+    /// blocks may push the resident set above
+    /// [`cache_capacity`](BlockStore::cache_capacity) transiently; this is the
+    /// observable bound on that overshoot (the query service's budget tests
+    /// assert against it).
+    pub fn cache_high_water_bytes(&self) -> usize {
+        self.inner.lock().expect("store lock").cache_high_water
     }
 
     /// Bytes of frames the directory currently references.
@@ -1312,6 +1331,7 @@ impl BlockStore {
             let old_bytes = std::mem::replace(&mut entry.bytes, new_bytes);
             entry.block = block;
             inner.cached_bytes = inner.cached_bytes - old_bytes + new_bytes;
+            inner.cache_high_water = inner.cache_high_water.max(inner.cached_bytes);
             self.evict_to_capacity(&mut inner);
         } else {
             self.admit(&mut inner, id, block, 0);
@@ -1692,6 +1712,22 @@ impl BlockStore {
         Ok(())
     }
 
+    /// Block until the read-ahead queue is empty and no prefetch load is in
+    /// flight. Benches and differential tests call this before
+    /// [`clear_cache`](BlockStore::clear_cache)/[`reset_stats`](BlockStore::reset_stats)
+    /// so a straggling prefetch from a previous scan can neither warm blocks
+    /// into the next measurement nor leak reads out of it.
+    pub fn quiesce_prefetch(&self) {
+        let mut state = self.prefetch.state.lock().expect("prefetch lock");
+        while !(state.shutdown || state.queue.is_empty() && state.queued.is_empty()) {
+            state = self
+                .prefetch
+                .idle
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
     /// Stop the read-ahead worker (idempotent; runs from `Drop`).
     fn shutdown_prefetch(&self) {
         let handle = {
@@ -1702,6 +1738,7 @@ impl BlockStore {
             state.worker.take()
         };
         self.prefetch.work.notify_all();
+        self.prefetch.idle.notify_all();
         if let Some(handle) = handle {
             // If the worker's own upgraded Arc was the last one, this drop runs
             // *on* the worker thread — joining ourselves would deadlock; the
@@ -1772,6 +1809,7 @@ impl BlockStore {
         );
         inner.clock.push(id);
         inner.cached_bytes += bytes;
+        inner.cache_high_water = inner.cache_high_water.max(inner.cached_bytes);
         self.evict_to_capacity(inner);
     }
 
@@ -1848,12 +1886,13 @@ fn prefetch_worker(weak: Weak<BlockStore>, shared: Arc<PrefetchShared>) {
                 .stats
                 .prefetch_errors += 1;
         }
-        shared
-            .state
-            .lock()
-            .expect("prefetch lock")
-            .queued
-            .remove(&id);
+        {
+            let mut state = shared.state.lock().expect("prefetch lock");
+            state.queued.remove(&id);
+            if state.queue.is_empty() && state.queued.is_empty() {
+                shared.idle.notify_all();
+            }
+        }
         // `store` drops here; if it was the last Arc, `Drop` runs on this thread
         // and `shutdown_prefetch` skips the self-join.
         drop(store);

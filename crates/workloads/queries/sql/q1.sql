@@ -1,0 +1,16 @@
+-- TPC-H Q1: pricing summary report.
+-- Dates are day numbers since 1900-01-01; money columns are integer cents;
+-- l_discount / l_tax are integer percents, hence the / 100 rescaling.
+SELECT l_returnflag,
+       l_linestatus,
+       sum(l_quantity),
+       sum(l_extendedprice),
+       sum(l_extendedprice * (1.0 - l_discount / 100)),
+       sum(l_extendedprice * (1.0 - l_discount / 100) * (1.0 + l_tax / 100)),
+       avg(l_quantity),
+       avg(l_extendedprice),
+       avg(l_discount),
+       count(*)
+FROM lineitem
+WHERE l_shipdate <= 10471
+GROUP BY l_returnflag, l_linestatus

@@ -1,0 +1,15 @@
+-- TPC-H Q12: shipping modes and order priority. The CASE sums count urgent
+-- vs. non-urgent orders per ship mode.
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END),
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 0 ELSE 1 END)
+FROM orders
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE (l_shipmode = 'MAIL' OR l_shipmode = 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate BETWEEN 8766 AND 9130
+GROUP BY l_shipmode
+ORDER BY l_shipmode

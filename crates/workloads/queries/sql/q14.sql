@@ -1,0 +1,9 @@
+-- TPC-H Q14: promotion effect. The PROMO prefix test is spelled as a string
+-- range ('PROMO' <= p_type < 'PROMP') because the engine has no LIKE.
+SELECT sum(CASE WHEN p_type >= 'PROMO' AND p_type < 'PROMP'
+                THEN l_extendedprice * (1.0 - l_discount / 100)
+                ELSE 0.0 END),
+       sum(l_extendedprice * (1.0 - l_discount / 100))
+FROM part
+JOIN lineitem ON p_partkey = l_partkey
+WHERE l_shipdate BETWEEN 9374 AND 9403

@@ -1,0 +1,16 @@
+-- TPC-H Q3: shipping priority. customer SEMI JOIN orders keeps orders rows
+-- with a BUILDING customer (the customer columns are not needed afterwards),
+-- then the inner join picks up the lineitems.
+SELECT l_orderkey,
+       o_orderdate,
+       o_shippriority,
+       sum(l_extendedprice * (1.0 - l_discount / 100)) AS revenue
+FROM customer
+SEMI JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE c_mktsegment = 'BUILDING'
+  AND o_orderdate < 9204
+  AND l_shipdate > 9204
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10

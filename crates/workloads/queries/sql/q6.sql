@@ -1,0 +1,7 @@
+-- TPC-H Q6: forecasting revenue change. All three conjuncts are sargable and
+-- push into the scan (BETWEEN + BETWEEN + one-sided range).
+SELECT sum(l_extendedprice * l_discount / 100)
+FROM lineitem
+WHERE l_shipdate BETWEEN 8766 AND 9130
+  AND l_discount BETWEEN 5 AND 7
+  AND l_quantity < 24

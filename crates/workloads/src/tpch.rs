@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 use datablocks::scan::Restriction;
 use datablocks::{date_to_days, CmpOp, DataType, Value};
 use exec::prelude::*;
+use query::Connect;
 use storage::{ColumnDef, Database, Relation, Schema};
 
 /// Fixed seed so every run generates the same database.
@@ -786,14 +787,42 @@ pub fn query_ir(name: &str) -> &'static str {
     }
 }
 
-/// Run a [`QUERY_SUBSET`] query from its checked-in IR file through the planner
-/// (`query::compile`) instead of the hand-built operator tree. The differential
-/// suite (`tests/ir_differential.rs`) pins both paths byte-identical across
-/// thread counts and cache regimes.
+/// The checked-in SQL text of a [`QUERY_SUBSET`] query. Lowering it with
+/// `query::parse_sql` produces byte-for-byte the IR document [`query_ir`]
+/// returns (`plan_dump --check` and the golden tests pin that equality), so
+/// SQL, JSON IR and the hand-built operator trees are all the same plan.
+pub fn query_sql(name: &str) -> &'static str {
+    match name {
+        "Q1" => include_str!("../queries/sql/q1.sql"),
+        "Q3" => include_str!("../queries/sql/q3.sql"),
+        "Q6" => include_str!("../queries/sql/q6.sql"),
+        "Q12" => include_str!("../queries/sql/q12.sql"),
+        "Q14" => include_str!("../queries/sql/q14.sql"),
+        other => panic!("query {other:?} is not part of the reproduced subset"),
+    }
+}
+
+/// Run a [`QUERY_SUBSET`] query from its checked-in IR file through the query
+/// service ([`query::Session`]) instead of the hand-built operator tree. The
+/// differential suite (`tests/ir_differential.rs`) pins both paths
+/// byte-identical across thread counts and cache regimes.
 pub fn run_query_ir(db: &TpchDb, name: &str, config: ScanConfig) -> Batch {
-    let plan = query::compile(&db.db, config, query_ir(name))
-        .unwrap_or_else(|err| panic!("planning {name}: {err}"));
-    plan.execute(&db.db)
+    db.db
+        .connect()
+        .with_config(config)
+        .query_ir(query_ir(name))
+        .unwrap_or_else(|err| panic!("running {name}: {err}"))
+}
+
+/// Run a [`QUERY_SUBSET`] query from its checked-in SQL text through the query
+/// service. Identical results to [`run_query_ir`] because the SQL lowers to
+/// the same IR document.
+pub fn run_query_sql(db: &TpchDb, name: &str, config: ScanConfig) -> Batch {
+    db.db
+        .connect()
+        .with_config(config)
+        .sql(query_sql(name))
+        .unwrap_or_else(|err| panic!("running {name}: {err}"))
 }
 
 /// Adapter passing batches through while leaving ownership of the wrapped operator

@@ -14,8 +14,10 @@
 //!   that takes relations past main memory.
 //! * [`exec`] — the interpreted vectorized scan subsystem feeding (simulated)
 //!   JIT-compiled tuple-at-a-time query pipelines, plus relational operators.
-//! * [`query`] — the versioned JSON IR for logical plans and the
-//!   logical → physical planner lowering it onto `exec`'s operator trees.
+//! * [`query`] — the query surface: the SQL front end, the versioned JSON IR
+//!   for logical plans, the logical → physical planner lowering it onto
+//!   `exec`'s operator trees, and the multi-tenant query service
+//!   ([`Session`] / [`QueryService`]) every query runs through.
 //! * [`bitpack`] — the horizontal bit-packing and heavy-compression baselines the
 //!   paper evaluates against.
 //! * [`workloads`] — TPC-H, TPC-C, IMDB cast_info and flights generators and the
@@ -44,3 +46,5 @@ pub use exec;
 pub use query;
 pub use storage;
 pub use workloads;
+
+pub use query::{Connect, Error, QueryService, ServiceConfig, Session};

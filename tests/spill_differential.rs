@@ -215,6 +215,9 @@ fn readahead_scans_byte_identical_with_split_read_accounting() {
         let store = spilled.spill_store().expect("store attached").clone();
         for &threads in &[1usize, 4] {
             for &readahead in &[1usize, 4] {
+                // A straggling prefetch from the previous iteration could warm
+                // blocks past the clear and skew the counters below.
+                store.quiesce_prefetch();
                 store.clear_cache();
                 store.reset_stats();
                 let config = ScanConfig::default()

@@ -1,0 +1,166 @@
+//! The SQL front end pinned end to end: every checked-in TPC-H SQL text
+//! (`crates/workloads/queries/sql/*.sql`) must lower to **byte-for-byte** the
+//! checked-in IR document (`crates/workloads/queries/*.json`), and running the
+//! SQL through the query service ([`Session::sql`]) must produce the same
+//! result as the hand-built operator trees — byte-identical at one thread,
+//! doubles equal up to reassociation above — across thread counts and cache
+//! regimes. Because SQL becomes an IR document first, the plan goldens, the
+//! fuzz oracle and `ir_differential` all pin the same artifact.
+
+use data_blocks::datablocks::Value;
+use data_blocks::exec::{Batch, ScanConfig};
+use data_blocks::query::{parse_sql, to_sql, Connect};
+use data_blocks::storage::SpillPolicy;
+use data_blocks::workloads::tpch::{query_ir, query_sql, run_query, TpchDb};
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 4, 8];
+const QUERIES: &[&str] = &["Q1", "Q6", "Q3", "Q12", "Q14"];
+
+fn tpch() -> TpchDb {
+    let mut db = TpchDb::generate_with_chunk(0.02, 2_048);
+    db.freeze();
+    db
+}
+
+/// Same comparison contract as `ir_differential`: byte-identity when `exact`,
+/// doubles up to reassociation (relative 1e-9) otherwise.
+fn assert_batches_agree(label: &str, expected: &Batch, actual: &Batch, exact: bool) {
+    assert_eq!(expected.len(), actual.len(), "{label}: row count");
+    for row in 0..expected.len() {
+        let (e, a) = (expected.row(row), actual.row(row));
+        assert_eq!(e.len(), a.len(), "{label} row {row}: column count");
+        for (col, (ev, av)) in e.iter().zip(&a).enumerate() {
+            match (ev, av) {
+                (Value::Double(x), Value::Double(y)) if !exact => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!(
+                        (x - y).abs() / scale < 1e-9,
+                        "{label} row {row} col {col}: {x} vs {y}"
+                    );
+                }
+                _ => assert_eq!(ev, av, "{label} row {row} col {col}"),
+            }
+        }
+    }
+}
+
+/// SQL → IR byte goldens: lowering each checked-in SQL text reproduces the
+/// checked-in JSON document exactly (`plan_dump --update` regenerates both).
+#[test]
+fn sql_lowers_to_checked_in_ir_byte_identically() {
+    let db = TpchDb::generate_with_chunk(0.001, 1_024);
+    for &name in QUERIES {
+        let ir = parse_sql(&db.db, query_sql(name))
+            .unwrap_or_else(|err| panic!("lowering {name}: {err}"));
+        assert_eq!(
+            ir.to_pretty(),
+            query_ir(name),
+            "{name}: SQL no longer lowers to the checked-in IR document; \
+             run `cargo run --bin plan_dump -- --update` and review the diff"
+        );
+    }
+}
+
+/// The canonical SQL printer round-trips the checked-in queries: printing the
+/// lowered IR and re-parsing reproduces the same document.
+#[test]
+fn checked_in_queries_round_trip_through_canonical_sql() {
+    let db = TpchDb::generate_with_chunk(0.001, 1_024);
+    for &name in QUERIES {
+        let ir = parse_sql(&db.db, query_sql(name)).expect("lowering");
+        let printed = to_sql(&ir);
+        let reparsed = parse_sql(&db.db, &printed).unwrap_or_else(|err| {
+            panic!("{name}: canonical SQL does not re-parse: {err}\n{printed}")
+        });
+        assert_eq!(reparsed.to_pretty(), ir.to_pretty(), "{name}: {printed}");
+    }
+}
+
+/// SQL through the session API matches the hand-built operator trees across
+/// thread counts, in memory.
+#[test]
+fn sql_matches_hand_built_plans_across_threads() {
+    let db = tpch();
+    for &name in QUERIES {
+        for &threads in THREAD_COUNTS {
+            let config = ScanConfig::default().with_threads(threads);
+            let expected = run_query(&db, name, config).batch;
+            let session = db.db.connect().with_config(config);
+            let actual = session
+                .sql(query_sql(name))
+                .unwrap_or_else(|err| panic!("running {name}: {err}"));
+            assert!(!actual.is_empty(), "{name} must produce rows");
+            assert_batches_agree(
+                &format!("{name} threads {threads}"),
+                &expected,
+                &actual,
+                threads == 1,
+            );
+        }
+    }
+}
+
+/// SQL through the session API on a thrash-cache spilled database still
+/// matches the in-memory hand-built trees, and the pre-compiled plan path
+/// (`compile_sql` + `execute_plan`) agrees with the one-shot path.
+#[test]
+fn sql_matches_across_cache_regimes_and_plan_reuse() {
+    let in_memory = tpch();
+    let mut spilled = tpch();
+    spilled
+        .db
+        .enable_spill(SpillPolicy::with_cache_capacity(1))
+        .expect("enable spill");
+    for &name in QUERIES {
+        for &threads in &[1usize, 4] {
+            let config = ScanConfig::default().with_threads(threads);
+            let expected = run_query(&in_memory, name, config).batch;
+            let session = spilled.db.connect().with_config(config);
+            let actual = session
+                .sql(query_sql(name))
+                .unwrap_or_else(|err| panic!("running {name}: {err}"));
+            assert_batches_agree(
+                &format!("{name} thrash threads {threads}"),
+                &expected,
+                &actual,
+                threads == 1,
+            );
+            let plan = session
+                .compile_sql(query_sql(name))
+                .unwrap_or_else(|err| panic!("compiling {name}: {err}"));
+            let reused = session
+                .execute_plan(&plan)
+                .unwrap_or_else(|err| panic!("re-running {name}: {err}"));
+            assert_batches_agree(
+                &format!("{name} thrash threads {threads} (plan reuse)"),
+                &expected,
+                &reused,
+                threads == 1,
+            );
+        }
+    }
+}
+
+/// SQL errors come back positioned (1-based line/column into the SQL text)
+/// through the unified service error, with the same taxonomy as the JSON
+/// surface.
+#[test]
+fn sql_errors_are_positioned_through_the_session() {
+    let db = tpch();
+    let session = db.db.connect();
+    let err = session
+        .sql("SELECT l_quantity\nFROM lineitme")
+        .expect_err("unknown relation");
+    assert_eq!(
+        err.to_string(),
+        "semantic error at line 2, column 6: unknown relation `lineitme`"
+    );
+    let err = session
+        .sql("SELECT sum(l_quantity FROM lineitem")
+        .expect_err("missing paren");
+    assert!(
+        err.to_string()
+            .starts_with("syntax error at line 1, column 23"),
+        "unexpected rendering: {err}"
+    );
+}
