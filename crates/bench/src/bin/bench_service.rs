@@ -101,6 +101,7 @@ fn main() {
                             let sql = query_sql(QUERIES[(k + round + q) % QUERIES.len()]);
                             session
                                 .sql(sql)
+                                .and_then(|stream| stream.collect())
                                 .unwrap_or_else(|err| panic!("{name}: {err}"));
                         }
                     }

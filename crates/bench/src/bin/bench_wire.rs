@@ -1,0 +1,176 @@
+//! Wire-protocol throughput benchmark: concurrent `WireClient`s racing the
+//! TPC-H Q1/Q6/Q3 mix through a loopback [`query::net::WireServer`], across
+//! session counts {1, 4, 16}.
+//!
+//! Two numbers per shape:
+//!
+//! * **rows/s** — lineitem rows driven through scans over wall time, summed
+//!   across sessions: the same row-throughput currency as the other
+//!   benchmarks (and directly comparable to `bench_service`, which runs the
+//!   identical mix in-process — the gap is the protocol's cost);
+//! * **time-to-first-batch** — mean latency from writing the `QUERY` frame to
+//!   decoding the first `RESULT_BATCH`, the number streaming exists to keep
+//!   low: a client starts consuming while the scan is still running, instead
+//!   of waiting for the last morsel.
+//!
+//! Knobs:
+//! * `TPCH_SF` — scale factor (default 0.2);
+//! * `WIRE_ROUNDS` — query-mix rounds per session (default 2).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use db_bench::{print_table_header, print_table_row};
+use exec::prelude::*;
+use query::net::{ClientConfig, WireClient, WireConfig, WireServer};
+use query::service::derive_spill_policy;
+use query::{QueryService, ServiceConfig};
+use storage::SpillPolicy;
+use workloads::tpch::{query_sql, TpchDb};
+
+const SESSION_COUNTS: &[usize] = &[1, 4, 16];
+const QUERIES: &[&str] = &["Q1", "Q6", "Q3"];
+const PER_SESSION_BUDGET: usize = 32 << 20;
+const AUTH: &str = "bench-wire";
+
+fn main() {
+    let sf = std::env::var("TPCH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2);
+    let rounds: usize = std::env::var("WIRE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    println!("generating TPC-H scale factor {sf} ...");
+    let mut db = TpchDb::generate(sf);
+    db.freeze();
+    let lineitem_rows = db.db.relation("lineitem").row_count();
+
+    // Same database regime as `bench_service`: spilled, with the block-cache
+    // share derived from the (ample) admission pool.
+    let relation_count = db.db.relation_names().len();
+    let pool = 16 * PER_SESSION_BUDGET;
+    db.db
+        .enable_spill(derive_spill_policy(
+            SpillPolicy::default(),
+            pool,
+            relation_count,
+        ))
+        .expect("enable spill");
+    println!(
+        "lineitem: {lineitem_rows} rows; {relation_count} relations spilled, \
+         {} KiB cache per store",
+        db.db.spill_policy().expect("policy").cache_capacity_bytes >> 10,
+    );
+    let db = Arc::new(db.db);
+
+    let widths = [12usize, 10, 10, 12, 14, 12];
+    print_table_header(
+        "Wire protocol throughput (Q1/Q6/Q3 mix over loopback TCP)",
+        &["shape", "sessions", "queries", "elapsed", "rows/s", "ttfb"],
+        &widths,
+    );
+
+    let mut entries = Vec::new();
+    for &sessions in SESSION_COUNTS {
+        let service = Arc::new(QueryService::new(
+            Arc::clone(&db),
+            ScanConfig::default().with_threads(1),
+            ServiceConfig {
+                max_concurrent: 16,
+                total_budget_bytes: pool,
+            },
+        ));
+        let server = WireServer::serve(
+            Arc::clone(&service),
+            "127.0.0.1:0",
+            WireConfig {
+                auth_token: AUTH.into(),
+                ..WireConfig::default()
+            },
+        )
+        .expect("bind wire server");
+        let addr = server.local_addr();
+
+        let queries = sessions * rounds * QUERIES.len();
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for k in 0..sessions {
+            handles.push(std::thread::spawn(move || {
+                let mut client = WireClient::connect(
+                    addr,
+                    &ClientConfig {
+                        auth_token: AUTH.into(),
+                        budget_bytes: PER_SESSION_BUDGET as u64,
+                        window: 4,
+                    },
+                )
+                .expect("handshake");
+                let mut ttfb = Duration::ZERO;
+                for round in 0..rounds {
+                    for q in 0..QUERIES.len() {
+                        let name = QUERIES[(k + round + q) % QUERIES.len()];
+                        let sent = Instant::now();
+                        let mut stream =
+                            client.query_sql(query_sql(name)).expect("query over wire");
+                        let mut first = None;
+                        while let Some(batch) = stream
+                            .next_batch()
+                            .unwrap_or_else(|err| panic!("{name}: {err}"))
+                        {
+                            if first.is_none() {
+                                first = Some(sent.elapsed());
+                            }
+                            std::hint::black_box(batch.len());
+                        }
+                        ttfb += first.expect("every query yields rows");
+                    }
+                }
+                ttfb
+            }));
+        }
+        let mut ttfb_total = Duration::ZERO;
+        for handle in handles {
+            ttfb_total += handle.join().expect("client thread");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let rows_per_s = (queries * lineitem_rows) as f64 / secs;
+        let ttfb_ms = ttfb_total.as_secs_f64() * 1e3 / queries as f64;
+        let shape = format!("s{sessions}");
+        print_table_row(
+            &[
+                shape.clone(),
+                format!("{sessions}"),
+                format!("{queries}"),
+                format!("{:.2}s", secs),
+                format!("{rows_per_s:.0}"),
+                format!("{ttfb_ms:.2}ms"),
+            ],
+            &widths,
+        );
+        entries.push(format!(
+            "    {{\"wire\": \"{shape}\", \"threads\": {sessions}, \
+             \"elapsed_ms\": {:.3}, \"rows_per_s\": {rows_per_s:.0}, \
+             \"ttfb_ms\": {ttfb_ms:.3}, \"queries\": {queries}}}",
+            secs * 1e3,
+        ));
+        server.shutdown();
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"wire_protocol\",\n  \"scale_factor\": {sf},\n  \
+         \"lineitem_rows\": {lineitem_rows},\n  \"rounds\": {rounds},\n  \
+         \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        entries.join(",\n"),
+    );
+    let path = "BENCH_wire.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_wire.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_wire.json");
+    println!("\nwrote {path}");
+}

@@ -152,6 +152,7 @@ pub const BENCHMARK_FILES: &[(&str, &str)] = &[
     ("join", "BENCH_join.json"),
     ("oltp", "BENCH_oltp.json"),
     ("service", "BENCH_service.json"),
+    ("wire", "BENCH_wire.json"),
 ];
 
 /// Fold raw `(shape, threads, rows_per_s)` measurements down to the best rows/s

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cancel;
 pub mod expr;
 pub mod jit;
 pub mod morsel;
@@ -53,6 +54,7 @@ pub mod ops;
 pub mod scan;
 
 pub use batch::Batch;
+pub use cancel::CancelToken;
 pub use expr::{arith, ArithOp, Expr};
 pub use jit::{JitCostModel, ScanCodegen};
 pub use morsel::{

@@ -148,6 +148,7 @@ use datablocks::{DataBlock, DataType};
 use storage::{ColdReadError, Relation, ScanSnapshot, ScanSource};
 
 use crate::batch::Batch;
+use crate::cancel::{self, CancelToken};
 use crate::expr::Expr;
 use crate::ops::{filter_batch, project_batch};
 use crate::scan::{RelationScanner, ScanConfig, ScanStats};
@@ -310,6 +311,11 @@ struct StreamShared {
     /// starved — that keeps the reorder stage deadlock-free while `in_flight`
     /// never exceeds `cap`.
     cap: usize,
+    /// The consumer's cooperative cancel token, captured from the driving
+    /// thread when the stream started (see [`crate::cancel`]). Raising it has
+    /// the same effect as dropping the stream: workers stop at their next
+    /// push or claim.
+    cancel_token: Option<CancelToken>,
     state: Mutex<StreamState>,
     /// Workers wait here for channel space (or for their morsel to become the
     /// starved head-of-line).
@@ -358,7 +364,7 @@ impl StreamShared {
     fn push(&self, morsel_idx: usize, batch: Batch) -> bool {
         let mut state = self.lock_state();
         loop {
-            if state.cancelled {
+            if state.cancelled || self.token_cancelled() {
                 return false;
             }
             // The consumer is starved on exactly this morsel: it must be fed even
@@ -393,7 +399,15 @@ impl StreamShared {
     /// claims, so a dropped stream never keeps scanning — and paging in — the
     /// rest of the relation.
     fn is_cancelled(&self) -> bool {
-        self.lock_state().cancelled
+        self.token_cancelled() || self.lock_state().cancelled
+    }
+
+    /// Has the consumer's cooperative [`CancelToken`] been raised?
+    fn token_cancelled(&self) -> bool {
+        self.cancel_token
+            .as_ref()
+            .map(CancelToken::is_cancelled)
+            .unwrap_or(false)
     }
 
     /// A worker is exiting (normally): fold its statistics in.
@@ -657,6 +671,7 @@ pub fn drive_streaming(
         config,
         cursor: AtomicUsize::new(0),
         cap,
+        cancel_token: cancel::current(),
         state: Mutex::new(StreamState {
             queues: (0..total).map(|_| VecDeque::new()).collect(),
             finished: vec![false; total],
@@ -843,6 +858,7 @@ where
         .max(1);
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
+    let cancel_token = cancel::current();
     let run = |sink: &mut S| -> Result<ScanStats, ColdReadError> {
         let mut scanner = RelationScanner::for_worker(
             relation,
@@ -853,6 +869,11 @@ where
         loop {
             if abort.load(Ordering::Relaxed) {
                 break; // another worker hit an unreadable block
+            }
+            if let Some(token) = &cancel_token {
+                if token.is_cancelled() {
+                    break; // the consumer cancelled the query
+                }
             }
             let morsel_idx = cursor.fetch_add(1, Ordering::Relaxed);
             let Some(&morsel) = morsels.get(morsel_idx) else {
@@ -917,6 +938,15 @@ where
             Err(_) => {}
         }
         sinks.push(sink);
+    }
+    // Every worker is joined at this point. A raised cancel token surfaces
+    // like an unreadable block does on this path: as a panic the session
+    // boundary turns back into a typed error (`query::Error::Cancelled`).
+    if cancel_token
+        .map(|token| token.is_cancelled())
+        .unwrap_or(false)
+    {
+        panic!("{}", cancel::CANCEL_MESSAGE);
     }
     match first_err {
         Some(err) => Err(err),

@@ -330,7 +330,18 @@ impl<'a, S: ScanSource> RelationScanner<'a, S> {
     /// on-disk position. On the parallel path the error cancels the stream and
     /// joins every worker before it is returned, so no worker outlives the
     /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`crate::cancel::CANCEL_MESSAGE`] when the calling thread's
+    /// [`crate::cancel::CancelToken`] is raised — after cancelling and joining
+    /// the streaming workers, so a cancelled scan leaves no thread behind. The
+    /// session boundary turns the panic back into a typed error.
     pub fn try_next_batch(&mut self) -> Result<Option<Batch>, ColdReadError> {
+        if crate::cancel::current_is_cancelled() {
+            self.stream = None; // drop = cancel + join the streaming workers
+            panic!("{}", crate::cancel::CANCEL_MESSAGE);
+        }
         if self.config.threads != 1 {
             return self.next_streamed_batch();
         }

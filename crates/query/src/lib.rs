@@ -54,16 +54,20 @@ pub mod error;
 pub mod fuzz;
 pub mod ir;
 pub mod json;
+pub mod net;
 pub mod planner;
 pub mod service;
 pub mod sql;
+pub mod stream;
 
 pub use error::{IrError, IrErrorKind};
+pub use exec::CancelToken;
 pub use ir::{parse_ir, Node, QueryIr, IR_VERSION};
 pub use json::Pos;
 pub use planner::{PhysicalPlan, Planner};
-pub use service::{Connect, Error, QueryService, ServiceConfig, Session};
+pub use service::{Connect, Error, QueryService, ServiceConfig, ServiceStats, Session};
 pub use sql::{parse_sql, to_sql, SqlCatalog};
+pub use stream::QueryStream;
 
 use exec::ScanConfig;
 use storage::Database;

@@ -285,6 +285,14 @@ impl PhysicalPlan {
         let mut op = build_operator(&self.root, db, self.config);
         collect_operator(op.as_mut())
     }
+
+    /// Instantiate the plan's operator tree against `db` without draining it —
+    /// the entry point for pull-based execution ([`crate::QueryStream`] pulls
+    /// one batch at a time). The returned tree borrows only the database; the
+    /// plan itself can be dropped afterwards.
+    pub(crate) fn build_tree<'a>(&self, db: &'a Database) -> BoxedOperator<'a> {
+        build_operator(&self.root, db, self.config)
+    }
 }
 
 /// Recursively instantiate `exec` operators for a plan node.

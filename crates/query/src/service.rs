@@ -30,15 +30,16 @@
 //! (the operator tree itself has no error channel and panics), and admission
 //! rejections name both the requested and the available budget.
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 
-use exec::{morsel, Batch, ScanConfig};
+use exec::{morsel, CancelToken, ScanConfig};
 use storage::{blockstore::SpillPolicy, Database};
 
 use crate::error::IrError;
 use crate::planner::{PhysicalPlan, Planner};
 use crate::sql::parse_sql;
+use crate::stream::QueryStream;
 use crate::{parse_ir, QueryIr};
 
 /// Bytes of budget that buy one in-flight batch slot in the scan's reorder
@@ -66,6 +67,11 @@ pub enum Error {
         /// The service's whole budget pool.
         total_bytes: usize,
     },
+    /// The query was cancelled cooperatively — the session's
+    /// [`CancelToken`] was raised (or the session was
+    /// [closed](Session::close)) and the morsel workers stopped at their next
+    /// boundary. Renders as `query cancelled`.
+    Cancelled,
     /// Any other I/O-flavoured failure. Renders as `i/o error: <detail>`.
     Io(String),
 }
@@ -82,6 +88,7 @@ impl std::fmt::Display for Error {
                 f,
                 "admission error: query budget {requested_bytes} bytes exceeds the service budget {total_bytes} bytes"
             ),
+            Error::Cancelled => write!(f, "query cancelled"),
             Error::Io(detail) => write!(f, "i/o error: {detail}"),
         }
     }
@@ -120,6 +127,31 @@ pub struct Session<'db> {
     db: DbRef<'db>,
     config: ScanConfig,
     service: Option<ServiceHandle>,
+    shared: Arc<SessionShared>,
+}
+
+/// State shared between a session, its in-flight [`QueryStream`]s, and any
+/// thread holding the session's [`CancelToken`] — the pieces a network server
+/// must reach from its reader thread while the executor is mid-query.
+struct SessionShared {
+    /// The session's cooperative cancel flag (see [`Session::cancel_token`]).
+    cancel: CancelToken,
+    /// Set by [`Session::close`]: the session admits no further queries.
+    closed: AtomicBool,
+    /// Admission grants of the session's in-flight queries. [`Session::close`]
+    /// force-releases them so the service's budget pool recovers immediately
+    /// on client disconnect, instead of waiting for stream drop order.
+    grants: Mutex<Vec<Weak<Grant>>>,
+}
+
+impl SessionShared {
+    fn new() -> Arc<SessionShared> {
+        Arc::new(SessionShared {
+            cancel: CancelToken::new(),
+            closed: AtomicBool::new(false),
+            grants: Mutex::new(Vec::new()),
+        })
+    }
 }
 
 enum DbRef<'db> {
@@ -154,6 +186,7 @@ impl Connect for Database {
             db: DbRef::Borrowed(self),
             config: ScanConfig::default(),
             service: None,
+            shared: SessionShared::new(),
         }
     }
 }
@@ -187,22 +220,25 @@ impl<'db> Session<'db> {
         self.db.get()
     }
 
-    /// Parse SQL, plan it, and execute it.
-    pub fn sql(&self, text: &str) -> Result<Batch, Error> {
+    /// Parse SQL, plan it, and start executing it as a pull-based
+    /// [`QueryStream`] (call [`QueryStream::collect`] for the materialised
+    /// result). Admission (for service sessions) happens here, before the
+    /// stream is returned.
+    pub fn sql(&self, text: &str) -> Result<QueryStream<'_>, Error> {
         let ir = parse_sql(self.db.get(), text)?;
         self.run_ir(&ir)
     }
 
-    /// Parse a JSON-IR document, plan it, and execute it.
-    pub fn query_ir(&self, text: &str) -> Result<Batch, Error> {
+    /// Parse a JSON-IR document, plan it, and start executing it.
+    pub fn query_ir(&self, text: &str) -> Result<QueryStream<'_>, Error> {
         let ir = parse_ir(text)?;
         self.run_ir(&ir)
     }
 
-    /// Plan and execute an already-parsed IR document.
-    pub fn run_ir(&self, ir: &QueryIr) -> Result<Batch, Error> {
+    /// Plan an already-parsed IR document and start executing it.
+    pub fn run_ir(&self, ir: &QueryIr) -> Result<QueryStream<'_>, Error> {
         let plan = Planner::new(self.db.get(), self.effective_config()).plan(ir)?;
-        self.execute_admitted(&plan)
+        self.start(&plan)
     }
 
     /// Lower SQL to a reusable [`PhysicalPlan`] (plan once, execute many).
@@ -217,46 +253,89 @@ impl<'db> Session<'db> {
         Ok(Planner::new(self.db.get(), self.effective_config()).plan(&ir)?)
     }
 
-    /// Execute a pre-built plan. The plan's reorder-channel capacity is
-    /// overridden by the session's budget derivation; every other planning
-    /// decision (thread count, operator choice) is the plan's own.
-    pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<Batch, Error> {
+    /// Execute a pre-built plan as a [`QueryStream`]. The plan's
+    /// reorder-channel capacity is overridden by the session's budget
+    /// derivation; every other planning decision (thread count, operator
+    /// choice) is the plan's own.
+    pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<QueryStream<'_>, Error> {
         let cap = self.effective_config().channel_cap;
         if plan.config().channel_cap != cap {
             let adjusted = plan.clone().with_channel_cap(cap);
-            self.execute_admitted(&adjusted)
+            self.start(&adjusted)
         } else {
-            self.execute_admitted(plan)
+            self.start(plan)
         }
     }
 
-    /// Run a plan under admission control (waits for a grant when the session
-    /// belongs to a service), converting execution panics into [`Error`].
-    fn execute_admitted(&self, plan: &PhysicalPlan) -> Result<Batch, Error> {
-        let _grant = match &self.service {
-            Some(service) => Some(service.admission.acquire(service.budget_bytes)?),
-            None => None,
-        };
-        let db = self.db.get();
-        // The operator tree has no error channel: a cold block that cannot be
-        // read back panics deep inside the scan. The session boundary is where
-        // that becomes a value again.
-        match panic::catch_unwind(AssertUnwindSafe(|| plan.execute(db))) {
-            Ok(batch) => Ok(batch),
-            Err(payload) => {
-                let detail = payload
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| payload.downcast_ref::<&str>().copied())
-                    .unwrap_or("query execution panicked")
-                    .to_string();
-                if detail.contains("cold block") {
-                    Err(Error::ColdRead(detail))
-                } else {
-                    Err(Error::Io(detail))
-                }
+    /// The session's cooperative cancel token. Raising it (from any thread —
+    /// a network server's reader thread, a timeout watchdog, ...) stops the
+    /// in-flight query at its next morsel boundary: the workers cancel and
+    /// join, and the query's [`QueryStream`] reports [`Error::Cancelled`].
+    /// Starting a new query re-arms the token, so a cancel aimed at a
+    /// finished query does not poison the next one.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.shared.cancel.clone()
+    }
+
+    /// Close the session: cancel the in-flight query (if any), release its
+    /// admission grant back to the service pool **immediately** — without
+    /// waiting for the [`QueryStream`] to be dropped — and refuse further
+    /// queries (they return [`Error::Cancelled`]). Idempotent. This is how a
+    /// network server returns a disconnected client's budget deterministically
+    /// rather than depending on drop order.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.cancel.cancel();
+        let mut grants = self.shared.grants.lock().expect("session grants");
+        for grant in grants.drain(..) {
+            if let Some(grant) = grant.upgrade() {
+                grant.release();
             }
         }
+    }
+
+    /// Has [`Session::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Start a plan under admission control (waits for a grant when the
+    /// session belongs to a service) and hand it to a pull-based
+    /// [`QueryStream`]. Execution panics surface from the stream's pulls, not
+    /// from here.
+    fn start(&self, plan: &PhysicalPlan) -> Result<QueryStream<'_>, Error> {
+        if self.is_closed() {
+            return Err(Error::Cancelled);
+        }
+        // Re-arm the token: a cancel aimed at the previous query must not
+        // poison this one. (A cancel that races the new query start simply
+        // cancels the new query — the same semantics as a wire cancel frame
+        // arriving just after a query began.)
+        self.shared.cancel.reset();
+        let grant = match &self.service {
+            Some(service) => {
+                let grant = service.admission.acquire(service.budget_bytes)?;
+                let mut grants = self.shared.grants.lock().expect("session grants");
+                grants.retain(|g| g.strong_count() > 0);
+                grants.push(Arc::downgrade(&grant));
+                Some(grant)
+            }
+            None => None,
+        };
+        if self.is_closed() {
+            // close() raced admission: hand the budget straight back.
+            if let Some(grant) = &grant {
+                grant.release();
+            }
+            return Err(Error::Cancelled);
+        }
+        let db = self.db.get();
+        Ok(QueryStream::new(
+            plan.build_tree(db),
+            plan.output_types().to_vec(),
+            grant,
+            self.shared.cancel.clone(),
+        ))
     }
 }
 
@@ -327,8 +406,30 @@ impl QueryService {
                 admission: Arc::clone(&self.admission),
                 budget_bytes,
             }),
+            shared: SessionShared::new(),
         }
     }
+
+    /// A snapshot of the admission state — what is running and how much of
+    /// the budget pool is granted right now. Deterministically reflects every
+    /// release that happened-before the call (a disconnect test polls this to
+    /// pin that a dead client's budget actually came back).
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.admission.state.lock().expect("admission lock");
+        ServiceStats {
+            running: state.running,
+            granted_bytes: state.granted_bytes,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`QueryService`]'s admission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries currently holding a run slot.
+    pub running: usize,
+    /// Bytes of the shared pool currently granted out.
+    pub granted_bytes: usize,
 }
 
 /// Derive the database's per-relation block-cache capacity from a service
@@ -381,7 +482,7 @@ impl Admission {
 
     /// Block until `budget_bytes` and a run slot are granted (FIFO). Requests
     /// larger than the whole pool fail fast — they could never be granted.
-    fn acquire(self: &Arc<Admission>, budget_bytes: usize) -> Result<Grant, Error> {
+    fn acquire(self: &Arc<Admission>, budget_bytes: usize) -> Result<Arc<Grant>, Error> {
         if budget_bytes > self.total_budget {
             return Err(Error::OverBudget {
                 requested_bytes: budget_bytes,
@@ -402,10 +503,11 @@ impl Admission {
         state.granted_bytes += budget_bytes;
         // Wake the next ticket: it may be admittable immediately.
         self.cond.notify_all();
-        Ok(Grant {
+        Ok(Arc::new(Grant {
             admission: Arc::clone(self),
             budget_bytes,
-        })
+            released: AtomicBool::new(false),
+        }))
     }
 
     fn release(&self, budget_bytes: usize) {
@@ -417,15 +519,27 @@ impl Admission {
     }
 }
 
-/// A granted admission; returns its budget and run slot when dropped.
-struct Grant {
+/// A granted admission; returns its budget and run slot when released —
+/// explicitly (a [`Session::close`] force-release) or on drop, whichever
+/// comes first. Release is idempotent, so both may happen.
+pub(crate) struct Grant {
     admission: Arc<Admission>,
     budget_bytes: usize,
+    released: AtomicBool,
+}
+
+impl Grant {
+    /// Return the budget and run slot to the pool (idempotent).
+    pub(crate) fn release(&self) {
+        if !self.released.swap(true, Ordering::AcqRel) {
+            self.admission.release(self.budget_bytes);
+        }
+    }
 }
 
 impl Drop for Grant {
     fn drop(&mut self) {
-        self.admission.release(self.budget_bytes);
+        self.release();
     }
 }
 
@@ -451,6 +565,8 @@ mod tests {
         let session = db.connect();
         let from_sql = session
             .sql("SELECT count(*) FROM t PREWHERE a < 50")
+            .unwrap()
+            .collect()
             .unwrap();
         let from_ir = session
             .query_ir(
@@ -461,11 +577,13 @@ mod tests {
                     "groups": [],
                     "aggregates": [{"func": "count_star", "type": "int"}]}}"#,
             )
+            .unwrap()
+            .collect()
             .unwrap();
         let plan = session
             .compile_sql("SELECT count(*) FROM t PREWHERE a < 50")
             .unwrap();
-        let from_plan = session.execute_plan(&plan).unwrap();
+        let from_plan = session.execute_plan(&plan).unwrap().collect().unwrap();
         assert_eq!(from_sql.value(0, 0), Value::Int(50));
         assert_eq!(from_ir.value(0, 0), Value::Int(50));
         assert_eq!(from_plan.value(0, 0), Value::Int(50));
@@ -488,6 +606,47 @@ mod tests {
             err.to_string(),
             "admission error: query budget 10 bytes exceeds the service budget 5 bytes"
         );
+        assert_eq!(Error::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            Error::ColdRead("boom".into()).to_string(),
+            "cold read error: boom"
+        );
+        assert_eq!(Error::Io("boom".into()).to_string(), "i/o error: boom");
+    }
+
+    #[test]
+    fn close_releases_budget_before_stream_drop() {
+        let service = QueryService::new(
+            Arc::new(small_db()),
+            ScanConfig::default(),
+            ServiceConfig {
+                max_concurrent: 2,
+                total_budget_bytes: 8 << 20,
+            },
+        );
+        let session = service.session(4 << 20);
+        let mut stream = session.sql("SELECT a FROM t").unwrap();
+        assert_eq!(service.stats().granted_bytes, 4 << 20);
+        assert_eq!(service.stats().running, 1);
+
+        // close() must return the budget immediately — the pinned release
+        // ordering is "close() happens-before the pool recovers", NOT "the
+        // stream drop does". The stream is still alive here.
+        session.close();
+        assert_eq!(service.stats().granted_bytes, 0);
+        assert_eq!(service.stats().running, 0);
+
+        // The closed session's in-flight stream reports Cancelled, new
+        // queries are refused, and dropping the stream later must not
+        // double-release (release is idempotent).
+        assert!(matches!(stream.next_batch(), Err(Error::Cancelled)));
+        assert!(matches!(
+            session.sql("SELECT a FROM t"),
+            Err(Error::Cancelled)
+        ));
+        drop(stream);
+        assert_eq!(service.stats().granted_bytes, 0);
+        assert_eq!(service.stats().running, 0);
     }
 
     #[test]

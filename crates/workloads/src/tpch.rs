@@ -811,6 +811,7 @@ pub fn run_query_ir(db: &TpchDb, name: &str, config: ScanConfig) -> Batch {
         .connect()
         .with_config(config)
         .query_ir(query_ir(name))
+        .and_then(|stream| stream.collect())
         .unwrap_or_else(|err| panic!("running {name}: {err}"))
 }
 
@@ -822,6 +823,7 @@ pub fn run_query_sql(db: &TpchDb, name: &str, config: ScanConfig) -> Batch {
         .connect()
         .with_config(config)
         .sql(query_sql(name))
+        .and_then(|stream| stream.collect())
         .unwrap_or_else(|err| panic!("running {name}: {err}"))
 }
 

@@ -61,6 +61,7 @@ fn concurrent_sessions_match_serial_within_budget() {
                 .connect()
                 .with_config(serial_config)
                 .sql(query_sql(name))
+                .and_then(|stream| stream.collect())
                 .unwrap_or_else(|err| panic!("serial {name}: {err}"));
             (name.to_string(), batch)
         })
@@ -90,7 +91,9 @@ fn concurrent_sessions_match_serial_within_budget() {
             let session = service.session(budget);
             for round in 0..ROUNDS {
                 let name = QUERIES[(k + round) % QUERIES.len()];
-                let result = session.sql(query_sql(name));
+                let result = session
+                    .sql(query_sql(name))
+                    .and_then(|stream| stream.collect());
                 tx.send((k, name.to_string(), result)).expect("send result");
             }
         }));
@@ -174,6 +177,9 @@ fn over_budget_sessions_fail_loudly_and_never_queue() {
 
     // A fitting session still gets through afterwards.
     let ok = service.session(4 << 20);
-    let batch = ok.sql(query_sql("Q6")).expect("within budget");
+    let batch = ok
+        .sql(query_sql("Q6"))
+        .and_then(|stream| stream.collect())
+        .expect("within budget");
     assert_eq!(batch.len(), 1);
 }

@@ -88,6 +88,7 @@ fn sql_matches_hand_built_plans_across_threads() {
             let session = db.db.connect().with_config(config);
             let actual = session
                 .sql(query_sql(name))
+                .and_then(|stream| stream.collect())
                 .unwrap_or_else(|err| panic!("running {name}: {err}"));
             assert!(!actual.is_empty(), "{name} must produce rows");
             assert_batches_agree(
@@ -118,6 +119,7 @@ fn sql_matches_across_cache_regimes_and_plan_reuse() {
             let session = spilled.db.connect().with_config(config);
             let actual = session
                 .sql(query_sql(name))
+                .and_then(|stream| stream.collect())
                 .unwrap_or_else(|err| panic!("running {name}: {err}"));
             assert_batches_agree(
                 &format!("{name} thrash threads {threads}"),
@@ -130,6 +132,7 @@ fn sql_matches_across_cache_regimes_and_plan_reuse() {
                 .unwrap_or_else(|err| panic!("compiling {name}: {err}"));
             let reused = session
                 .execute_plan(&plan)
+                .and_then(|stream| stream.collect())
                 .unwrap_or_else(|err| panic!("re-running {name}: {err}"));
             assert_batches_agree(
                 &format!("{name} thrash threads {threads} (plan reuse)"),
